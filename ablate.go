@@ -1,0 +1,301 @@
+package mosaic
+
+import (
+	"fmt"
+
+	"mosaic/internal/core"
+	"mosaic/internal/stats"
+	"mosaic/internal/tabhash"
+	"mosaic/internal/xxhash"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: how many
+// backyard choices are needed, how the frontyard/backyard split affects δ,
+// what the horizon/ghost mechanism buys over naive candidate-LRU eviction,
+// and how much hash quality matters.
+
+// AblateRow is one row of a single-parameter ablation sweep.
+type AblateRow struct {
+	// Label names the swept setting ("d=6", "f=56/b=8", "xxhash", …).
+	Label string
+	// Associativity is h for the swept geometry.
+	Associativity int
+	// CPFNBits is the compressed-frame-number width h implies.
+	CPFNBits int
+	// FirstConflict is the mean utilization at the first conflict.
+	FirstConflict float64
+	// FirstConflictSD is its standard deviation across trials.
+	FirstConflictSD float64
+}
+
+// fillToConflict creates a mosaic system and touches distinct pages until
+// the first associativity conflict, returning the utilization there.
+func fillToConflict(frames int, geom Geometry, hash core.PlacementHash, seed uint64) (float64, error) {
+	sys, err := NewSystem(SystemConfig{
+		Frames:   frames,
+		Mode:     ModeMosaic,
+		Geometry: geom,
+		Hash:     hash,
+		Seed:     seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for vpn := VPN(0); ; vpn++ {
+		sys.Touch(1, vpn, true)
+		if u, saw := sys.FirstConflictUtilization(); saw {
+			return u, nil
+		}
+		if int(vpn) > 2*frames {
+			return 0, fmt.Errorf("mosaic: no conflict after filling 2× memory")
+		}
+	}
+}
+
+func sweepGeometry(label string, geom Geometry, hash func(seed uint64) core.PlacementHash,
+	frames, trials int, seed uint64) (AblateRow, error) {
+	var r stats.Running
+	for t := 0; t < trials; t++ {
+		s := seed + uint64(t)*6151
+		u, err := fillToConflict(frames, geom, hash(s), s)
+		if err != nil {
+			return AblateRow{}, fmt.Errorf("%s: %w", label, err)
+		}
+		r.Observe(u)
+	}
+	return AblateRow{
+		Label:           label,
+		Associativity:   geom.Associativity(),
+		CPFNBits:        geom.CPFNBits(),
+		FirstConflict:   r.Mean(),
+		FirstConflictSD: r.Stddev(),
+	}, nil
+}
+
+func xxPlacement(seed uint64) core.PlacementHash { return xxhash.NewPlacement(seed) }
+
+// AblateChoices sweeps the number of backyard choices d, holding the
+// 56/8 split fixed: how much does the power of d choices buy in
+// first-conflict utilization, and what does it cost in CPFN bits?
+func AblateChoices(ds []int, frames, trials int, seed uint64) ([]AblateRow, error) {
+	if len(ds) == 0 {
+		ds = []int{1, 2, 4, 6, 8}
+	}
+	if frames == 0 {
+		frames = 1 << 15
+	}
+	if trials == 0 {
+		trials = 5
+	}
+	var rows []AblateRow
+	for _, d := range ds {
+		geom := Geometry{FrontyardSize: 56, BackyardSize: 8, Choices: d}
+		row, err := sweepGeometry(fmt.Sprintf("d=%d", d), geom, xxPlacement, frames, trials, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblateSplit sweeps the frontyard/backyard split of the 64-frame bucket
+// with d = 6 choices fixed.
+func AblateSplit(splits [][2]int, frames, trials int, seed uint64) ([]AblateRow, error) {
+	if len(splits) == 0 {
+		splits = [][2]int{{62, 2}, {60, 4}, {56, 8}, {48, 16}, {32, 32}}
+	}
+	if frames == 0 {
+		frames = 1 << 15
+	}
+	if trials == 0 {
+		trials = 5
+	}
+	var rows []AblateRow
+	for _, fb := range splits {
+		geom := Geometry{FrontyardSize: fb[0], BackyardSize: fb[1], Choices: 6}
+		label := fmt.Sprintf("f=%d/b=%d", fb[0], fb[1])
+		row, err := sweepGeometry(label, geom, xxPlacement, frames, trials, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblateHash compares placement-hash families at the default geometry:
+// xxHash (the Linux prototype's), tabulation hashing with probing (the
+// hardware design), and a deliberately weak hash, which shows why hash
+// quality is load-bearing for the 98% bound.
+func AblateHash(frames, trials int, seed uint64) ([]AblateRow, error) {
+	if frames == 0 {
+		frames = 1 << 15
+	}
+	if trials == 0 {
+		trials = 5
+	}
+	families := []struct {
+		label string
+		mk    func(seed uint64) core.PlacementHash
+	}{
+		{"xxhash", xxPlacement},
+		{"tabulation", func(seed uint64) core.PlacementHash { return tabhash.NewPlacement(seed) }},
+		{"weak-clustering", func(seed uint64) core.PlacementHash {
+			return core.PlacementHashFunc(func(asid ASID, vpn VPN, fn int) uint64 {
+				// No mixing at all: runs of 256 consecutive VPNs share one
+				// frontyard bucket and one set of backyard buckets, so a
+				// sequential fill overflows its h candidate slots almost
+				// immediately — the failure mode a real hash must prevent.
+				return uint64(vpn)>>8 + uint64(fn)*8191 + seed + uint64(asid)
+			})
+		}},
+	}
+	var rows []AblateRow
+	for _, fam := range families {
+		row, err := sweepGeometry(fam.label, DefaultGeometry, fam.mk, frames, trials, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TimestampRow is one row of the timestamp-fidelity ablation: swap I/O of
+// mosaic under exact timestamps vs the prototype's scan-daemon emulation.
+type TimestampRow struct {
+	// Label names the regime ("exact" or "scan@<interval>").
+	Label string
+	// MosaicKIO is mosaic's swap I/O in thousands of pages.
+	MosaicKIO float64
+	// VsLinuxPct is the percent reduction vs the Linux baseline at the
+	// same footprint (positive = mosaic swaps less).
+	VsLinuxPct float64
+}
+
+// AblateTimestamps quantifies the fidelity gap between exact access
+// timestamps (a real mosaic system, and this repo's default) and the
+// paper's Linux-prototype emulation (§3.2: access-bit scans + hot-page
+// sampling). Coarser timestamps degrade Horizon LRU's victim choices, so
+// the margin over Linux shrinks as the scan interval grows — evidence for
+// why the paper argues real hardware should store timestamps.
+func AblateTimestamps(workload string, memoryMiB int, footprintFrac float64, intervals []uint64, maxRefs, seed uint64) ([]TimestampRow, error) {
+	if workload == "" {
+		workload = "graph500"
+	}
+	if memoryMiB == 0 {
+		memoryMiB = 16
+	}
+	if footprintFrac == 0 {
+		footprintFrac = 1.20
+	}
+	if len(intervals) == 0 {
+		intervals = []uint64{0, 1024, 16384, 262144}
+	}
+	if maxRefs == 0 {
+		maxRefs = 15_000_000
+	}
+	frames := memoryMiB << 20 / PageSize
+	footprint := uint64(footprintFrac * float64(memoryMiB) * (1 << 20))
+
+	linuxIO, err := swapIO(ModeVanilla, frames, workload, footprint, seed, maxRefs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []TimestampRow
+	for _, iv := range intervals {
+		sys, err := NewSystem(SystemConfig{
+			Frames:       frames,
+			Mode:         ModeMosaic,
+			Seed:         seed,
+			ScanInterval: iv,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w, err := NewWorkload(workload, footprint, seed)
+		if err != nil {
+			return nil, err
+		}
+		RunLimited(w, vmSink{sys, 1}, maxRefs)
+		io := sys.Device().TotalIO()
+		label := "exact"
+		if iv > 0 {
+			label = fmt.Sprintf("scan@%d", iv)
+		}
+		rows = append(rows, TimestampRow{
+			Label:      label,
+			MosaicKIO:  float64(io) / 1000,
+			VsLinuxPct: stats.PercentChange(float64(linuxIO), float64(io)),
+		})
+	}
+	return rows, nil
+}
+
+// EvictionRow is one row of the eviction ablation: swap I/O under three
+// eviction regimes at one footprint.
+type EvictionRow struct {
+	FootprintMiB   float64
+	HorizonKIO     float64 // mosaic with Horizon LRU (§2.4)
+	NaiveKIO       float64 // mosaic, conflict-LRU only, no ghosts
+	LinuxKIO       float64 // vanilla baseline
+	HorizonVsNaive float64 // % reduction of horizon vs naive
+}
+
+// AblateEviction quantifies what Horizon LRU's ghost mechanism buys over
+// the naive candidate-LRU scheme the paper argues against (§2.4), using
+// the paper's swapping methodology at a ladder of footprints.
+func AblateEviction(workload string, memoryMiB int, fracs []float64, maxRefs, seed uint64) ([]EvictionRow, error) {
+	if workload == "" {
+		workload = "graph500"
+	}
+	if memoryMiB == 0 {
+		memoryMiB = 32
+	}
+	if len(fracs) == 0 {
+		fracs = []float64{1.08, 1.20, 1.33, 1.45}
+	}
+	if maxRefs == 0 {
+		maxRefs = 10_000_000
+	}
+	frames := memoryMiB << 20 / PageSize
+	var rows []EvictionRow
+	for _, frac := range fracs {
+		footprint := uint64(frac * float64(memoryMiB) * (1 << 20))
+		run := func(cfg SystemConfig) (uint64, error) {
+			cfg.Frames = frames
+			cfg.Seed = seed
+			sys, err := NewSystem(cfg)
+			if err != nil {
+				return 0, err
+			}
+			w, err := NewWorkload(workload, footprint, seed)
+			if err != nil {
+				return 0, err
+			}
+			RunLimited(w, vmSink{sys, 1}, maxRefs)
+			return sys.Device().TotalIO(), nil
+		}
+		horizon, err := run(SystemConfig{Mode: ModeMosaic})
+		if err != nil {
+			return nil, err
+		}
+		naive, err := run(SystemConfig{Mode: ModeMosaic, DisableHorizon: true})
+		if err != nil {
+			return nil, err
+		}
+		linux, err := run(SystemConfig{Mode: ModeVanilla})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, EvictionRow{
+			FootprintMiB:   float64(footprint) / (1 << 20),
+			HorizonKIO:     float64(horizon) / 1000,
+			NaiveKIO:       float64(naive) / 1000,
+			LinuxKIO:       float64(linux) / 1000,
+			HorizonVsNaive: stats.PercentChange(float64(naive), float64(horizon)),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,210 @@
+package mosaic
+
+// One benchmark per table/figure of the paper's evaluation, at
+// benchmark-friendly scale. The cmd/ binaries regenerate the full tables;
+// these benches keep the whole pipeline exercised under `go test -bench=.`
+// and report the headline quantity of each experiment as a custom metric.
+//
+//	Figure 6  → BenchmarkFigure6* (TLB misses, vanilla vs mosaic)
+//	Table 3   → BenchmarkTable3 (first-conflict utilization)
+//	Table 4   → BenchmarkTable4 (swap I/O, Linux vs mosaic)
+//	Table 5   → BenchmarkTable5 (circuit synthesis model)
+//	§4.2 δ    → BenchmarkIcebergDelta
+//	Ablations → BenchmarkAblate*
+//
+// Microbenchmarks of the substrates (hash throughput, TLB lookup latency,
+// allocator placement, …) live in their internal packages and run under
+// `go test -bench=. ./...`.
+
+import (
+	"testing"
+)
+
+func benchFigure6(b *testing.B, workload string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := Figure6(Figure6Options{
+			Workload:       workload,
+			FootprintBytes: 8 << 20,
+			MaxRefs:        1_000_000,
+			TLBEntries:     256,
+			Ways:           []int{1, 8, 256},
+			Arities:        []int{4, 16, 64},
+			Seed:           1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			v, _ := res.MissesFor(8, "Vanilla")
+			m, _ := res.MissesFor(8, "Mosaic-4")
+			b.ReportMetric(float64(v), "vanilla-misses")
+			b.ReportMetric(float64(m), "mosaic4-misses")
+			if v > 0 {
+				b.ReportMetric(100*(1-float64(m)/float64(v)), "reduction-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure6Graph500(b *testing.B) { benchFigure6(b, "graph500") }
+func BenchmarkFigure6BTree(b *testing.B)    { benchFigure6(b, "btree") }
+func BenchmarkFigure6GUPS(b *testing.B)     { benchFigure6(b, "gups") }
+func BenchmarkFigure6XSBench(b *testing.B)  { benchFigure6(b, "xsbench") }
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Table3(Table3Options{
+			Workloads:      []string{"btree"},
+			MemoryMiB:      8,
+			FootprintFracs: []float64{1.05},
+			Runs:           1,
+			MaxRefs:        4_000_000,
+			Seed:           uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].FirstConflict*100, "first-conflict-%")
+			b.ReportMetric(rows[0].Steady*100, "steady-%")
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Table4(Table4Options{
+			Workloads:      []string{"btree"},
+			MemoryMiB:      8,
+			FootprintFracs: []float64{1.2},
+			MaxRefs:        4_000_000,
+			Runs:           1,
+			Seed:           uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].LinuxKPages, "linux-kIO")
+			b.ReportMetric(rows[0].MosaicKPages, "mosaic-kIO")
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := Table5()
+		asic := Table5ASIC()
+		if i == b.N-1 {
+			b.ReportMetric(float64(rows[3].LUTs), "H8-LUTs")
+			b.ReportMetric(rows[3].LatencyNs, "H8-latency-ns")
+			b.ReportMetric(asic[3].AreaKGE, "H8-area-KGE")
+		}
+	}
+}
+
+func BenchmarkIcebergDelta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := IcebergDelta(IcebergDeltaOptions{Slots: 1 << 14, Trials: 2, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Mean*100, "load-at-conflict-%")
+		}
+	}
+}
+
+func BenchmarkAblateChoices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblateChoices([]int{1, 6}, 1<<13, 1, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].FirstConflict*100, "d1-%")
+			b.ReportMetric(rows[1].FirstConflict*100, "d6-%")
+		}
+	}
+}
+
+func BenchmarkAblateEviction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblateEviction("btree", 8, []float64{1.15}, 3_000_000, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].HorizonKIO, "horizon-kIO")
+			b.ReportMetric(rows[0].NaiveKIO, "naive-kIO")
+		}
+	}
+}
+
+// BenchmarkAccessPipeline measures the simulator's per-reference cost —
+// the number that determines how much workload the harness can replay.
+func BenchmarkAccessPipeline(b *testing.B) {
+	sim, err := NewSimulator(SimConfig{
+		Frames: 1 << 16,
+		Specs: []TLBSpec{
+			{Geometry: TLBGeometry{Entries: 1024, Ways: 8}},
+			{Geometry: TLBGeometry{Entries: 1024, Ways: 8}, Arity: 4},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Access(0x10000000+uint64(i%8_000_000)*64, false)
+	}
+}
+
+func BenchmarkFragmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := Fragmentation(FragmentationOptions{Frames: 1 << 13, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].HugeBackedPct, "fresh-huge-%")
+			b.ReportMetric(rows[len(rows)-1].HugeBackedPct, "worst-huge-%")
+			b.ReportMetric(rows[len(rows)-1].MosaicBackedPct, "worst-mosaic-%")
+		}
+	}
+}
+
+func BenchmarkMultiprogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := Multiprogram(MultiprogramOptions{
+			Workloads:      []string{"gups", "kvstore"},
+			FootprintBytes: 4 << 20,
+			MaxRefsPerProc: 300_000,
+			Seed:           uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range res {
+				if r.Label == "Mosaic-4" {
+					b.ReportMetric(r.InterferencePct, "mosaic4-interference-%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAblateTimestamps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AblateTimestamps("btree", 8, 1.15, []uint64{0, 4096}, 2_000_000, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(rows[0].MosaicKIO, "exact-kIO")
+			b.ReportMetric(rows[1].MosaicKIO, "scan-kIO")
+		}
+	}
+}

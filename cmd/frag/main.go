@@ -1,0 +1,66 @@
+// Command frag runs the fragmentation experiment behind the paper's
+// motivation (§1): how much of a new region can 2 MiB huge pages still
+// back as physical memory fragments, what would defragmentation cost, and
+// how the mosaic allocator — which needs no contiguity — compares at the
+// same occupancy.
+//
+// Usage:
+//
+//	frag [-frames N] [-free F] [-seed N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mosaic"
+	"mosaic/internal/stats"
+)
+
+func main() {
+	frames := flag.Int("frames", 1<<14, "physical frames (default 64 MiB)")
+	free := flag.Float64("free", 0.5, "fraction of memory freed before the new region faults (paper's point: 0.5)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	rows, err := mosaic.Fragmentation(mosaic.FragmentationOptions{
+		Frames:   *frames,
+		FreeFrac: *free,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "frag: %v\n", err)
+		os.Exit(1)
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Fragmentation vs TLB reach (%d MiB memory, %.0f%% freed, region = free memory)",
+			*frames*4/1024, 100**free),
+		"Freed in chunks of", "Unusable idx", "Huge-backed", "Compaction copies",
+		"Mosaic-backed", "Mosaic copies", "TLB entries (huge)", "TLB entries (Mosaic-4)")
+	for _, r := range rows {
+		comp := fmt.Sprintf("%d", r.CompactionCopies)
+		if r.CompactionCopies < 0 {
+			comp = "infeasible"
+		}
+		tb.AddRow(
+			fmt.Sprintf("%d KiB", (1<<r.ChunkOrder)*4),
+			fmt.Sprintf("%.2f", r.UnusableIndex),
+			fmt.Sprintf("%.1f%%", r.HugeBackedPct),
+			comp,
+			fmt.Sprintf("%.1f%%", r.MosaicBackedPct),
+			r.MosaicCopies,
+			r.HugeTLBEntries,
+			r.MosaicTLBEntries)
+	}
+	if *csv {
+		fmt.Print(tb.CSV())
+		return
+	}
+	fmt.Println(tb.String())
+	fmt.Println("Huge pages' reach gains require 2 MiB of contiguous free memory; once the")
+	fmt.Println("machine has fragmented, backing collapses and defragmentation bills arrive")
+	fmt.Println("(each copy is a full page migration). Mosaic's reach never depended on")
+	fmt.Println("contiguity: backing and TLB-entry counts are flat across every row.")
+}

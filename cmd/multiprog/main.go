@@ -1,0 +1,80 @@
+// Command multiprog runs the multiprogramming extension experiment:
+// several processes time-share one TLB, with ASID-tagged entries or full
+// flushes on context switch, and the harness reports how much interference
+// each TLB design suffers relative to solo execution.
+//
+// Usage:
+//
+//	multiprog [-workloads graph500,kvstore] [-footprint MiB] [-quantum N]
+//	          [-maxrefs N] [-entries N] [-seed N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mosaic"
+	"mosaic/internal/stats"
+)
+
+func main() {
+	workloads := flag.String("workloads", "graph500,kvstore", "comma-separated co-scheduled workloads")
+	footprint := flag.Uint64("footprint", 16, "footprint per process in MiB")
+	quantum := flag.Uint64("quantum", 50_000, "context-switch quantum in references")
+	maxRefs := flag.Uint64("maxrefs", 3_000_000, "captured references per process")
+	entries := flag.Int("entries", 256, "shared TLB entries")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	names := strings.Split(*workloads, ",")
+	base := mosaic.MultiprogramOptions{
+		Workloads:      names,
+		FootprintBytes: *footprint << 20,
+		QuantumRefs:    *quantum,
+		MaxRefsPerProc: *maxRefs,
+		TLBEntries:     *entries,
+		Seed:           *seed,
+	}
+
+	tagged, refs, err := mosaic.Multiprogram(base)
+	exitOn(err)
+	flushOpts := base
+	flushOpts.FlushOnSwitch = true
+	flushed, _, err := mosaic.Multiprogram(flushOpts)
+	exitOn(err)
+
+	tb := stats.NewTable(
+		fmt.Sprintf("Multiprogramming: %s time-sharing a %d-entry TLB (%d refs, %d-ref quanta)",
+			strings.Join(names, " + "), *entries, refs, *quantum),
+		"Design", "Solo misses", "Shared (tagged)", "Interference",
+		"Shared (flushed)", "Flush penalty")
+	for i, r := range tagged {
+		f := flushed[i]
+		flushPen := "n/a"
+		if r.SoloMisses > 0 {
+			flushPen = fmt.Sprintf("%+.1f%%", 100*(float64(f.SharedMisses)-float64(r.SoloMisses))/float64(r.SoloMisses))
+		}
+		tb.AddRow(r.Label, r.SoloMisses, r.SharedMisses,
+			fmt.Sprintf("%+.1f%%", r.InterferencePct),
+			f.SharedMisses, flushPen)
+	}
+	if *csv {
+		fmt.Print(tb.CSV())
+		return
+	}
+	fmt.Println(tb.String())
+	fmt.Println("Interference = extra misses vs the processes running alone. With ASID")
+	fmt.Println("tags, entries survive context switches; with flushes every quantum")
+	fmt.Println("restarts cold — and each lost mosaic entry costs arity× the reach,")
+	fmt.Println("so high-arity designs feel flushing the most but still miss least.")
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "multiprog: %v\n", err)
+		os.Exit(1)
+	}
+}

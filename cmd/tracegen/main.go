@@ -1,0 +1,127 @@
+// Command tracegen captures a workload's memory-reference stream into a
+// compact binary trace file, or replays a previously captured trace through
+// the memory-system simulator. Traces let a reference stream be simulated
+// many times (or inspected) without re-running the workload.
+//
+// Usage:
+//
+//	tracegen -workload graph500 -footprint 32 -out graph500.trace
+//	tracegen -replay graph500.trace [-entries 256] [-arity 4]
+//	tracegen -workload gups -stats          # just count/summarize
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mosaic"
+	"mosaic/internal/core"
+	"mosaic/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload to capture (graph500, btree, gups, xsbench)")
+	footprint := flag.Uint64("footprint", 32, "workload footprint in MiB")
+	maxRefs := flag.Uint64("maxrefs", 0, "cap on captured references (0 = full run)")
+	out := flag.String("out", "", "output trace file (capture mode)")
+	replay := flag.String("replay", "", "trace file to replay through the simulator")
+	entries := flag.Int("entries", 256, "TLB entries for replay")
+	arity := flag.Int("arity", 4, "mosaic arity for replay")
+	seed := flag.Uint64("seed", 1, "random seed")
+	statsOnly := flag.Bool("stats", false, "summarize the stream without writing a file")
+	flag.Parse()
+
+	switch {
+	case *replay != "":
+		if err := replayTrace(*replay, *entries, *arity); err != nil {
+			fail(err)
+		}
+	case *workload != "" && (*out != "" || *statsOnly):
+		if err := capture(*workload, *footprint<<20, *maxRefs, *seed, *out, *statsOnly); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func capture(name string, footprint, maxRefs, seed uint64, out string, statsOnly bool) error {
+	w, err := mosaic.NewWorkload(name, footprint, seed)
+	if err != nil {
+		return err
+	}
+	var pages = map[core.VPN]bool{}
+	var counter trace.Counter
+	sinks := []trace.Sink{&counter, trace.SinkFunc(func(va uint64, _ bool) {
+		pages[core.VPNOf(va)] = true
+	})}
+
+	var tw *trace.Writer
+	if !statsOnly {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw, err = trace.NewWriter(f)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, tw)
+	}
+
+	mosaic.RunLimited(w, trace.Tee(sinks...), maxRefs)
+	fmt.Printf("%s: %d refs (%d reads, %d writes), %d pages touched, footprint %d MiB\n",
+		name, counter.Total(), counter.Reads, counter.Writes, len(pages), w.FootprintBytes()>>20)
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		info, err := os.Stat(out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d records, %d bytes (%.2f bytes/record)\n",
+			out, tw.Count(), info.Size(), float64(info.Size())/float64(tw.Count()))
+	}
+	return nil
+}
+
+func replayTrace(path string, entries, arity int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	sim, err := mosaic.NewSimulator(mosaic.SimConfig{
+		Frames: 1 << 18,
+		Specs: []mosaic.TLBSpec{
+			{Geometry: mosaic.TLBGeometry{Entries: entries, Ways: 8}},
+			{Geometry: mosaic.TLBGeometry{Entries: entries, Ways: 8}, Arity: arity},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	n, err := tr.ReplayAll(sim)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d refs through a %d-entry 8-way TLB:\n", n, entries)
+	for _, r := range sim.Results() {
+		fmt.Printf("  %-10s misses=%d (%.3f%% miss rate)\n",
+			r.Spec.Label(), r.TLB.Misses, 100*r.TLB.MissRate())
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// KV cache: the paper's motivating application class end-to-end.
+//
+// The introduction motivates mosaic with in-memory stores like Redis: huge
+// pages buy them ~29% throughput on a fresh machine but the gain inverts at
+// 50% fragmentation, and many databases ship with "disable transparent
+// huge pages" in their tuning guides (§5.1). This example runs a Zipfian
+// GET/SET workload over a Redis-like hash table through the simulator,
+// then shows the fragmentation table that explains why contiguity-based
+// reach is operationally fragile while mosaic's is not.
+//
+// Run with: go run ./examples/kvcache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mosaic"
+)
+
+func main() {
+	const footprint = 48 << 20
+	kv, err := mosaic.NewWorkload("kvstore", footprint, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	geom := mosaic.TLBGeometry{Entries: 256, Ways: 8}
+	sim, err := mosaic.NewSimulator(mosaic.SimConfig{
+		Frames: 1 << 17,
+		Specs: []mosaic.TLBSpec{
+			{Geometry: geom},
+			{Geometry: geom, Coalesce: 4}, // CoLT: needs physical contiguity
+			{Geometry: geom, Arity: 4},
+			{Geometry: geom, Arity: 16},
+		},
+		Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Zipfian KV store (%d MiB: buckets, chain nodes, 256 B values)\n", footprint>>20)
+	fmt.Printf("TLB: %s — misses per design:\n\n", geom)
+	refs := mosaic.RunLimited(kv, sim, 12_000_000)
+	var vanilla uint64
+	for _, r := range sim.Results() {
+		if r.Spec.Arity == 0 && r.Spec.Coalesce == 0 {
+			vanilla = r.TLB.Misses
+		}
+	}
+	for _, r := range sim.Results() {
+		note := ""
+		if r.Spec.Coalesce != 0 {
+			note = fmt.Sprintf("  (coalescing factor %.2f — hashed placement offers no runs)", r.CoalescingFactor)
+		} else if r.Spec.Arity != 0 && vanilla > 0 {
+			note = fmt.Sprintf("  (−%.1f%% vs vanilla)", 100*(1-float64(r.TLB.Misses)/float64(vanilla)))
+		}
+		fmt.Printf("  %-9s %9d misses%s\n", r.Spec.Label(), r.TLB.Misses, note)
+	}
+	fmt.Printf("\n(%d references; Zipf skew keeps hot buckets cached, so misses come\n", refs)
+	fmt.Println("from the long tail of values — reach, not associativity, is the limit.)")
+
+	// Why not just huge pages? The fragmentation table.
+	fmt.Println()
+	fmt.Println("Huge pages vs fragmentation (50% of memory free, varying contiguity):")
+	rows, err := mosaic.Fragmentation(mosaic.FragmentationOptions{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n  %-18s %-12s %-18s %-14s\n", "freed in chunks of", "huge-backed", "compaction copies", "mosaic-backed")
+	for _, r := range rows {
+		comp := fmt.Sprintf("%d", r.CompactionCopies)
+		if r.CompactionCopies < 0 {
+			comp = "infeasible"
+		}
+		fmt.Printf("  %-18s %-12s %-18s %-14s\n",
+			fmt.Sprintf("%d KiB", (1<<r.ChunkOrder)*4),
+			fmt.Sprintf("%.0f%%", r.HugeBackedPct),
+			comp,
+			fmt.Sprintf("%.0f%%", r.MosaicBackedPct))
+	}
+	fmt.Println()
+	fmt.Println("A long-running cache node fragments toward the bottom rows, where huge")
+	fmt.Println("pages deliver nothing without paying thousands of page copies. Mosaic's")
+	fmt.Println("column never moves — which is the paper's thesis in one table.")
+}

@@ -1,0 +1,97 @@
+// Shared memory via location IDs: the §2.5 extension.
+//
+// Plain mosaic hashes (ASID, VPN), so two address spaces can never share a
+// frame — their candidate sets are disjoint. The paper's proposed fix gives
+// each shared region a location ID and hashes (location ID, index) instead;
+// every mapping of the region then resolves to the same frames and the same
+// CPFNs, so the TLB entries are identical too. This example demonstrates
+// cross-process shared memory and duplicate in-process mappings built on
+// that mechanism.
+//
+// Run with: go run ./examples/sharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mosaic"
+)
+
+func main() {
+	sys, err := mosaic.NewSystem(mosaic.SystemConfig{
+		Frames: 4096,
+		Mode:   mosaic.ModeMosaic,
+		Seed:   9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 16-page shared region — think of it as a shared buffer pool
+	// segment or a shared library's data.
+	region, err := sys.CreateSharedRegion(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Created shared region with location ID %d (%d pages)\n\n", region.ID(), region.Len())
+
+	// Process 1 maps it at VPN 0x7f0000; process 2 at a completely
+	// different VPN, 0x123. Process 1 also maps it a second time (a
+	// duplicate mmap) at VPN 0x900.
+	must(sys.MapShared(1, 0x7f0000, region))
+	must(sys.MapShared(2, 0x123, region))
+	must(sys.MapShared(1, 0x900, region))
+
+	// First touch from process 1 faults the page in; everyone else hits.
+	sys.Touch(1, 0x7f0000, true)
+
+	p1, _ := sys.Translate(1, 0x7f0000)
+	p2, _ := sys.Translate(2, 0x123)
+	p3, _ := sys.Translate(1, 0x900)
+	c1, _ := sys.CPFNFor(1, 0x7f0000)
+	c2, _ := sys.CPFNFor(2, 0x123)
+
+	fmt.Println("Page 0 of the region, seen through three mappings:")
+	fmt.Printf("  ASID 1 @ VPN %#x: PFN %d, CPFN %d\n", 0x7f0000, p1, c1)
+	fmt.Printf("  ASID 2 @ VPN %#x: PFN %d, CPFN %d\n", 0x123, p2, c2)
+	fmt.Printf("  ASID 1 @ VPN %#x: PFN %d (duplicate mapping)\n", 0x900, p3)
+	if p1 != p2 || p2 != p3 {
+		log.Fatal("sharing broken: mappings disagree on the frame")
+	}
+	if c1 != c2 {
+		log.Fatal("sharing broken: mappings disagree on the CPFN")
+	}
+	fmt.Println("  -> one frame, one CPFN, three mappings. The TLB entry is shareable.")
+	fmt.Println()
+
+	// Residency accounting: 16 pages mapped three times use at most 16
+	// frames.
+	for i := mosaic.VPN(0); i < 16; i++ {
+		sys.Touch(2, 0x123+i, false)
+	}
+	fmt.Printf("After touching all 16 pages: %d frames in use (not %d).\n\n", sys.Used(), 3*16)
+
+	// Teardown is reference-counted: the frames outlive the first unmaps
+	// and are released with the last one.
+	must(sys.UnmapShared(1, 0x7f0000, region))
+	must(sys.UnmapShared(1, 0x900, region))
+	fmt.Printf("After ASID 1 unmaps both of its views: %d frames still in use.\n", sys.Used())
+	must(sys.UnmapShared(2, 0x123, region))
+	fmt.Printf("After the last unmap: %d frames in use.\n", sys.Used())
+
+	fmt.Println()
+	fmt.Println("Contrast with private pages: the same VPN in two address spaces gets")
+	fmt.Println("disjoint candidate frames, because placement hashes (ASID, VPN):")
+	sys.Touch(7, 0x5000, true)
+	sys.Touch(8, 0x5000, true)
+	q1, _ := sys.Translate(7, 0x5000)
+	q2, _ := sys.Translate(8, 0x5000)
+	fmt.Printf("  ASID 7 VPN 0x5000 -> PFN %d;  ASID 8 VPN 0x5000 -> PFN %d\n", q1, q2)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package mosaic
+
+import (
+	"fmt"
+
+	"mosaic/internal/tlb"
+	"mosaic/internal/trace"
+)
+
+// limitReached aborts a workload once the simulator has seen enough
+// references.
+type limitReached struct{}
+
+// RunLimited drives a workload into sink, stopping after maxRefs
+// references (0 means unlimited). It returns the number of references
+// delivered.
+func RunLimited(w Workload, sink Sink, maxRefs uint64) (n uint64) {
+	if maxRefs == 0 {
+		var c trace.Counter
+		w.Run(trace.Tee(&c, sink))
+		return c.Total()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(limitReached); !ok {
+				panic(r)
+			}
+		}
+	}()
+	w.Run(trace.SinkFunc(func(va uint64, write bool) {
+		sink.Access(va, write)
+		n++
+		if n >= maxRefs {
+			panic(limitReached{})
+		}
+	}))
+	return n
+}
+
+// Figure6Options parameterizes the Figure 6 reproduction (TLB misses vs
+// TLB associativity × mosaic arity, per workload).
+type Figure6Options struct {
+	// Workload is one of WorkloadNames().
+	Workload string
+	// FootprintBytes sizes the workload (default 32 MiB — ≥8× the reach
+	// of the default 1024-entry vanilla TLB, preserving the paper's
+	// footprint ≫ reach regime at simulation-friendly scale).
+	FootprintBytes uint64
+	// MaxRefs caps the references simulated per associativity point
+	// (default 8,000,000; 0 = run the workload to completion, the
+	// full-fidelity setting).
+	MaxRefs uint64
+	// TLBEntries is the TLB size (Table 1a uses 1024).
+	TLBEntries int
+	// Ways lists the associativities (default 1, 2, 4, 8, TLBEntries —
+	// the paper's direct / 2-way / 4-way / 8-way / fully-associative).
+	Ways []int
+	// Arities lists the mosaic arities (default 4, 8, 16, 32, 64).
+	Arities []int
+	// Coalesce lists CoLT-style coalescing baselines (run lengths) to
+	// include alongside vanilla and mosaic; empty means none. Under
+	// mosaic's hashed placement these illustrate how little contiguity-
+	// dependent coalescing recovers (§5.2).
+	Coalesce []int
+	// Seed drives workload generation and placement hashing.
+	Seed uint64
+	// Frames is the simulated DRAM size (default 4× footprint, so Figure 6
+	// measures TLB behaviour without memory pressure, as in the paper).
+	Frames int
+}
+
+func (o *Figure6Options) applyDefaults() error {
+	if o.Workload == "" {
+		return fmt.Errorf("mosaic: Figure6 needs a workload name")
+	}
+	if o.FootprintBytes == 0 {
+		o.FootprintBytes = 32 << 20
+	}
+	if o.MaxRefs == 0 {
+		o.MaxRefs = 8_000_000
+	}
+	if o.TLBEntries == 0 {
+		o.TLBEntries = 1024
+	}
+	if len(o.Ways) == 0 {
+		o.Ways = []int{1, 2, 4, 8, o.TLBEntries}
+	}
+	if len(o.Arities) == 0 {
+		o.Arities = []int{4, 8, 16, 32, 64}
+	}
+	if o.Frames == 0 {
+		o.Frames = int(4 * o.FootprintBytes / PageSize)
+	}
+	return nil
+}
+
+// Figure6Cell is one bar of Figure 6: a (associativity, design) point.
+type Figure6Cell struct {
+	// Ways is the TLB associativity of this column group.
+	Ways int
+	// Label is "Vanilla" or "Mosaic-<arity>".
+	Label string
+	// Stats is the TLB hit/miss breakdown.
+	Stats tlb.Stats
+}
+
+// Figure6Result is a full sub-figure (one workload).
+type Figure6Result struct {
+	Workload string
+	// Refs is the number of references simulated per associativity point.
+	Refs  uint64
+	Cells []Figure6Cell
+}
+
+// MissesFor returns the miss count of a (ways, label) cell.
+func (r Figure6Result) MissesFor(ways int, label string) (uint64, bool) {
+	for _, c := range r.Cells {
+		if c.Ways == ways && c.Label == label {
+			return c.Stats.Misses, true
+		}
+	}
+	return 0, false
+}
+
+// Figure6 reproduces one sub-figure of Figure 6: for each TLB
+// associativity, it feeds an identical workload reference stream through a
+// vanilla TLB and a mosaic TLB per arity (the paper's dual-TLB
+// methodology) and reports the miss counts.
+func Figure6(opt Figure6Options) (Figure6Result, error) {
+	if err := opt.applyDefaults(); err != nil {
+		return Figure6Result{}, err
+	}
+	res := Figure6Result{Workload: opt.Workload}
+	for _, ways := range opt.Ways {
+		specs := []TLBSpec{{Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: ways}}}
+		for _, c := range opt.Coalesce {
+			specs = append(specs, TLBSpec{
+				Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: ways},
+				Coalesce: c,
+			})
+		}
+		for _, a := range opt.Arities {
+			specs = append(specs, TLBSpec{
+				Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: ways},
+				Arity:    a,
+			})
+		}
+		sim, err := NewSimulator(SimConfig{Frames: opt.Frames, Specs: specs, Seed: opt.Seed})
+		if err != nil {
+			return Figure6Result{}, err
+		}
+		// A fresh workload with the same seed replays the identical
+		// reference stream at every associativity point.
+		w, err := NewWorkload(opt.Workload, opt.FootprintBytes, opt.Seed)
+		if err != nil {
+			return Figure6Result{}, err
+		}
+		refs := RunLimited(w, sim, opt.MaxRefs)
+		if res.Refs == 0 {
+			res.Refs = refs
+		} else if res.Refs != refs {
+			return Figure6Result{}, fmt.Errorf("mosaic: reference streams diverged across associativities (%d vs %d)", res.Refs, refs)
+		}
+		for _, r := range sim.Results() {
+			res.Cells = append(res.Cells, Figure6Cell{
+				Ways:  ways,
+				Label: r.Spec.Label(),
+				Stats: r.TLB,
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,116 @@
+package mosaic
+
+import "testing"
+
+func TestFragmentationShape(t *testing.T) {
+	rows, err := Fragmentation(FragmentationOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fresh := rows[0] // chunk order 9: unfragmented
+	worst := rows[len(rows)-1]
+
+	// On a fresh machine huge pages back everything for free.
+	if fresh.HugeBackedPct != 100 || fresh.CompactionCopies != 0 || fresh.UnusableIndex != 0 {
+		t.Errorf("unfragmented row implausible: %+v", fresh)
+	}
+	// Under page-granularity fragmentation, huge backing collapses and
+	// compaction gets expensive (or infeasible).
+	if worst.HugeBackedPct > 10 {
+		t.Errorf("huge backing survived worst-case fragmentation: %.1f%%", worst.HugeBackedPct)
+	}
+	if worst.CompactionCopies == 0 {
+		t.Error("worst-case compaction reported free")
+	}
+	// Compaction cost grows with severity (where feasible).
+	prev := -1
+	for _, r := range rows {
+		if r.CompactionCopies < 0 {
+			continue
+		}
+		if r.CompactionCopies < prev {
+			t.Errorf("compaction cost not monotone: %+v", rows)
+			break
+		}
+		prev = r.CompactionCopies
+	}
+	// Mosaic is indifferent to fragmentation: backs ~everything (only
+	// associativity conflicts near 100% utilization are excluded) at every
+	// severity, with zero copies.
+	for _, r := range rows {
+		if r.MosaicBackedPct < 95 {
+			t.Errorf("chunk %d: mosaic backed only %.1f%%", r.ChunkOrder, r.MosaicBackedPct)
+		}
+		if r.MosaicCopies != 0 {
+			t.Errorf("mosaic reported %d copies", r.MosaicCopies)
+		}
+	}
+	spread := maxPct(rows) - minPct(rows)
+	if spread > 3 {
+		t.Errorf("mosaic backing varies %.1f points with fragmentation; should be flat", spread)
+	}
+	// TLB-entry accounting: fragmentation costs the huge-page system up to
+	// 512× the entries; mosaic stays constant.
+	if fresh.HugeTLBEntries >= fresh.MosaicTLBEntries {
+		t.Errorf("fresh machine: huge entries %d not below mosaic %d",
+			fresh.HugeTLBEntries, fresh.MosaicTLBEntries)
+	}
+	if worst.HugeTLBEntries <= worst.MosaicTLBEntries {
+		t.Errorf("fragmented machine: huge entries %d not above mosaic %d",
+			worst.HugeTLBEntries, worst.MosaicTLBEntries)
+	}
+	if fresh.MosaicTLBEntries != worst.MosaicTLBEntries {
+		t.Error("mosaic entry count varied with fragmentation")
+	}
+}
+
+func minPct(rows []FragmentationRow) float64 {
+	m := rows[0].MosaicBackedPct
+	for _, r := range rows {
+		if r.MosaicBackedPct < m {
+			m = r.MosaicBackedPct
+		}
+	}
+	return m
+}
+
+func maxPct(rows []FragmentationRow) float64 {
+	m := rows[0].MosaicBackedPct
+	for _, r := range rows {
+		if r.MosaicBackedPct > m {
+			m = r.MosaicBackedPct
+		}
+	}
+	return m
+}
+
+func TestFragmentationValidation(t *testing.T) {
+	if _, err := Fragmentation(FragmentationOptions{Frames: 10}); err == nil {
+		t.Error("tiny memory accepted")
+	}
+	if _, err := Fragmentation(FragmentationOptions{FreeFrac: 1.5}); err == nil {
+		t.Error("free fraction > 1 accepted")
+	}
+	if _, err := Fragmentation(FragmentationOptions{ChunkOrders: []int{20}}); err == nil {
+		t.Error("oversized chunk order accepted")
+	}
+}
+
+func TestFragmentationDeterministic(t *testing.T) {
+	a, err := Fragmentation(FragmentationOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fragmentation(FragmentationOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

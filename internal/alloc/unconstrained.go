@@ -1,0 +1,101 @@
+package alloc
+
+import (
+	"fmt"
+
+	"mosaic/internal/core"
+)
+
+// Unconstrained is the baseline fully-associative allocator: any virtual
+// page may occupy any physical frame, as in conventional virtual memory.
+// It keeps a simple free stack plus the same per-frame bookkeeping as
+// Memory so the two can be driven by the same OS layer.
+type Unconstrained struct {
+	frames []frame
+	free   []core.PFN
+}
+
+// NewUnconstrained creates a fully-associative physical memory of numFrames
+// frames.
+func NewUnconstrained(numFrames int) *Unconstrained {
+	if numFrames <= 0 {
+		panic(fmt.Sprintf("alloc: %d frames must be positive", numFrames))
+	}
+	u := &Unconstrained{
+		frames: make([]frame, numFrames),
+		free:   make([]core.PFN, 0, numFrames),
+	}
+	// Hand out low frames first, like a fresh free list.
+	for i := numFrames - 1; i >= 0; i-- {
+		u.free = append(u.free, core.PFN(i))
+	}
+	return u
+}
+
+// NumFrames is the number of physical frames.
+func (u *Unconstrained) NumFrames() int { return len(u.frames) }
+
+// Used is the number of occupied frames.
+func (u *Unconstrained) Used() int { return len(u.frames) - len(u.free) }
+
+// FreeFrames is the number of unoccupied frames.
+func (u *Unconstrained) FreeFrames() int { return len(u.free) }
+
+// Utilization is Used divided by NumFrames.
+func (u *Unconstrained) Utilization() float64 {
+	return float64(u.Used()) / float64(len(u.frames))
+}
+
+// Place allocates any free frame for (asid, vpn). It returns ErrNoMemory
+// when none is free; the caller reclaims via its eviction policy and
+// retries.
+func (u *Unconstrained) Place(asid core.ASID, vpn core.VPN, now uint64) (core.PFN, error) {
+	if len(u.free) == 0 {
+		return 0, ErrNoMemory
+	}
+	pfn := u.free[len(u.free)-1]
+	u.free = u.free[:len(u.free)-1]
+	fr := &u.frames[pfn]
+	if fr.used {
+		panic("alloc: free list handed out an occupied frame")
+	}
+	fr.used = true
+	fr.owner = Owner{ASID: asid, VPN: vpn}
+	fr.lastAccess = now
+	fr.dirty = false
+	return pfn, nil
+}
+
+// Evict frees pfn and returns its former owner.
+func (u *Unconstrained) Evict(pfn core.PFN) Owner {
+	fr := &u.frames[pfn]
+	if !fr.used {
+		panic(fmt.Sprintf("alloc: Evict of free frame %d", pfn))
+	}
+	owner := fr.owner
+	*fr = frame{}
+	u.free = append(u.free, pfn)
+	return owner
+}
+
+// Free releases pfn on unmap.
+func (u *Unconstrained) Free(pfn core.PFN) { u.Evict(pfn) }
+
+// Touch records an access to pfn at time now.
+func (u *Unconstrained) Touch(pfn core.PFN, now uint64, write bool) {
+	fr := &u.frames[pfn]
+	if !fr.used {
+		panic(fmt.Sprintf("alloc: Touch of free frame %d", pfn))
+	}
+	fr.lastAccess = now
+	if write {
+		fr.dirty = true
+	}
+}
+
+// FrameInfo reports the owner, last access time, dirtiness, and occupancy
+// of pfn.
+func (u *Unconstrained) FrameInfo(pfn core.PFN) (owner Owner, lastAccess uint64, dirty, used bool) {
+	fr := &u.frames[pfn]
+	return fr.owner, fr.lastAccess, fr.dirty, fr.used
+}

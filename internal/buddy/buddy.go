@@ -1,0 +1,251 @@
+// Package buddy implements a binary buddy allocator over physical frames —
+// the contiguity-producing allocator that huge pages depend on, built here
+// so the repository can execute the paper's motivating comparison:
+// contiguity-based TLB reach (huge pages, CoLT) collapses under
+// fragmentation and must pay for defragmentation, while mosaic pages never
+// need contiguity at all (§1, §5.1).
+//
+// The allocator mirrors the Linux buddy system: free frames are grouped
+// into power-of-two blocks up to MaxOrder; allocation splits larger blocks,
+// freeing coalesces buddies. A compaction model estimates the page copies
+// needed to mint contiguous blocks out of a fragmented memory — the
+// defragmentation cost the paper's introduction weighs against huge-page
+// gains.
+package buddy
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mosaic/internal/core"
+)
+
+// MaxOrder is the largest block: 2^9 frames = 2 MiB, a huge page.
+const MaxOrder = 9
+
+// Allocator is a binary buddy allocator. It is not safe for concurrent use.
+type Allocator struct {
+	frames int
+	// freeLists[o] holds the base PFNs of free blocks of order o.
+	freeLists [MaxOrder + 1]map[core.PFN]bool
+	// blockOrder records the order of every allocated block, keyed by base.
+	blockOrder map[core.PFN]int
+	freeFrames int
+}
+
+// New creates an allocator over frames physical frames (rounded down to a
+// whole number of max-order blocks).
+func New(frames int) *Allocator {
+	blockFrames := 1 << MaxOrder
+	frames = frames / blockFrames * blockFrames
+	if frames == 0 {
+		panic(fmt.Sprintf("buddy: need at least %d frames", blockFrames))
+	}
+	a := &Allocator{frames: frames, blockOrder: make(map[core.PFN]int)}
+	for o := range a.freeLists {
+		a.freeLists[o] = make(map[core.PFN]bool)
+	}
+	for base := 0; base < frames; base += blockFrames {
+		a.freeLists[MaxOrder][core.PFN(base)] = true
+	}
+	a.freeFrames = frames
+	return a
+}
+
+// NumFrames is the managed frame count.
+func (a *Allocator) NumFrames() int { return a.frames }
+
+// FreeFrames is the number of unallocated frames.
+func (a *Allocator) FreeFrames() int { return a.freeFrames }
+
+// Alloc allocates a block of 2^order contiguous frames, returning its base
+// PFN. It fails (ok = false) when no block of that order can be made by
+// splitting — the huge-page allocation failure fragmentation causes, even
+// with plenty of free memory.
+func (a *Allocator) Alloc(order int) (core.PFN, bool) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("buddy: order %d out of range [0,%d]", order, MaxOrder))
+	}
+	// Find the smallest free block that fits.
+	o := order
+	for o <= MaxOrder && len(a.freeLists[o]) == 0 {
+		o++
+	}
+	if o > MaxOrder {
+		return 0, false
+	}
+	var base core.PFN
+	for b := range a.freeLists[o] {
+		base = b
+		break
+	}
+	delete(a.freeLists[o], base)
+	// Split down to the requested order, returning the upper halves.
+	for o > order {
+		o--
+		buddy := base + core.PFN(1<<o)
+		a.freeLists[o][buddy] = true
+	}
+	a.blockOrder[base] = order
+	a.freeFrames -= 1 << order
+	return base, true
+}
+
+// Free releases the block at base (which must have been returned by Alloc),
+// coalescing with free buddies as far as possible.
+func (a *Allocator) Free(base core.PFN) {
+	order, ok := a.blockOrder[base]
+	if !ok {
+		panic(fmt.Sprintf("buddy: Free of unallocated base %d", base))
+	}
+	delete(a.blockOrder, base)
+	a.freeFrames += 1 << order
+	for order < MaxOrder {
+		buddy := base ^ core.PFN(1<<order)
+		if !a.freeLists[order][buddy] {
+			break
+		}
+		delete(a.freeLists[order], buddy)
+		if buddy < base {
+			base = buddy
+		}
+		order++
+	}
+	a.freeLists[order][base] = true
+}
+
+// FreeBlocks reports the number of free blocks of each order — the buddy
+// system's fragmentation profile.
+func (a *Allocator) FreeBlocks() [MaxOrder + 1]int {
+	var out [MaxOrder + 1]int
+	for o := range a.freeLists {
+		out[o] = len(a.freeLists[o])
+	}
+	return out
+}
+
+// LargestFreeOrder is the biggest order with a free block (-1 if memory is
+// exhausted).
+func (a *Allocator) LargestFreeOrder() int {
+	for o := MaxOrder; o >= 0; o-- {
+		if len(a.freeLists[o]) > 0 {
+			return o
+		}
+	}
+	return -1
+}
+
+// UnusableIndex is Linux's fragmentation metric for a given order: the
+// fraction of free memory that sits in blocks too small to satisfy an
+// allocation of that order (0 = perfectly defragmented, 1 = completely
+// unusable for this order).
+func (a *Allocator) UnusableIndex(order int) float64 {
+	if a.freeFrames == 0 {
+		return 1
+	}
+	usable := 0
+	for o := order; o <= MaxOrder; o++ {
+		usable += len(a.freeLists[o]) << o
+	}
+	return 1 - float64(usable)/float64(a.freeFrames)
+}
+
+// CompactionCost estimates how many page copies a compactor must perform to
+// mint `want` free blocks of the given order out of the current state —
+// the defragmentation bill the paper's introduction weighs against
+// huge-page benefit. The model mirrors Linux's compaction: for each needed
+// block, pick the 2^order-aligned region with the fewest allocated frames
+// and migrate them elsewhere (possible only if enough free frames exist
+// outside the chosen regions).
+func (a *Allocator) CompactionCost(order, want int) (copies int, feasible bool) {
+	if order < 0 || order > MaxOrder {
+		panic(fmt.Sprintf("buddy: order %d out of range", order))
+	}
+	blockFrames := 1 << order
+	have := 0
+	for o := order; o <= MaxOrder; o++ {
+		have += len(a.freeLists[o]) << (o - order)
+	}
+	if have >= want {
+		return 0, true
+	}
+	need := want - have
+
+	// Occupancy per aligned candidate region (regions that are already
+	// wholly free were counted above; regions partially free are the
+	// compaction targets).
+	var regions []region
+	for base := 0; base < a.frames; base += blockFrames {
+		alloc := a.allocatedIn(core.PFN(base), blockFrames)
+		if alloc > 0 && alloc < blockFrames {
+			regions = append(regions, region{core.PFN(base), alloc})
+		}
+	}
+	// Cheapest regions first.
+	sortRegions(regions)
+	totalFree := a.freeFrames
+	for _, r := range regions {
+		if need == 0 {
+			break
+		}
+		// Migrating r.allocated pages needs that many free frames outside
+		// this region; the region's own free frames stop being available.
+		if totalFree-(blockFrames-r.allocated) < r.allocated {
+			return copies, false
+		}
+		copies += r.allocated
+		totalFree -= blockFrames - r.allocated // region's free frames now inside the minted block
+		need--
+	}
+	return copies, need == 0
+}
+
+// allocatedIn counts allocated frames within [base, base+n).
+func (a *Allocator) allocatedIn(base core.PFN, n int) int {
+	free := 0
+	// Count free frames by scanning free blocks that overlap the region.
+	// Free blocks are aligned, so any free block of order ≤ region order
+	// lies wholly inside or wholly outside.
+	for o := 0; o <= MaxOrder; o++ {
+		size := 1 << o
+		for b := range a.freeLists[o] {
+			if b >= base && int(b) < int(base)+n {
+				free += size
+			} else if int(b) <= int(base) && int(b)+size > int(base) {
+				// Larger free block containing the region.
+				free += n
+			}
+		}
+	}
+	if free > n {
+		free = n
+	}
+	return n - free
+}
+
+func sortRegions(rs []region) {
+	// Insertion sort by allocated count; candidate lists are short.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].allocated < rs[j-1].allocated; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// region is a compaction candidate: an aligned block-sized area and the
+// number of allocated frames that would have to migrate out of it.
+type region struct {
+	base      core.PFN
+	allocated int
+}
+
+// OrderFor returns the smallest order whose block covers n frames.
+func OrderFor(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("buddy: OrderFor(%d)", n))
+	}
+	if n == 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,259 @@
+package buddy
+
+import (
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/core"
+)
+
+func TestAllocFreeRoundTrip(t *testing.T) {
+	a := New(1 << 12)
+	if a.NumFrames() != 1<<12 || a.FreeFrames() != 1<<12 {
+		t.Fatalf("fresh allocator: %d/%d", a.FreeFrames(), a.NumFrames())
+	}
+	base, ok := a.Alloc(0)
+	if !ok {
+		t.Fatal("single-frame alloc failed")
+	}
+	if a.FreeFrames() != 1<<12-1 {
+		t.Fatalf("FreeFrames = %d", a.FreeFrames())
+	}
+	a.Free(base)
+	if a.FreeFrames() != 1<<12 {
+		t.Fatalf("FreeFrames after free = %d", a.FreeFrames())
+	}
+	// Full coalescing: the max-order block is whole again.
+	if a.LargestFreeOrder() != MaxOrder {
+		t.Fatalf("LargestFreeOrder = %d after coalescing", a.LargestFreeOrder())
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	a := New(1 << 12)
+	for order := 0; order <= MaxOrder; order++ {
+		base, ok := a.Alloc(order)
+		if !ok {
+			t.Fatalf("order %d alloc failed", order)
+		}
+		if uint64(base)%(1<<uint(order)) != 0 {
+			t.Fatalf("order-%d block at unaligned base %d", order, base)
+		}
+		a.Free(base)
+	}
+}
+
+func TestSplitAndCoalesce(t *testing.T) {
+	a := New(1 << MaxOrder) // exactly one max block
+	// Two huge allocations can't fit.
+	b1, ok := a.Alloc(MaxOrder)
+	if !ok {
+		t.Fatal("first huge alloc failed")
+	}
+	if _, ok := a.Alloc(0); ok {
+		t.Fatal("alloc from exhausted memory succeeded")
+	}
+	a.Free(b1)
+	// Split into singles, free all, and the huge block must re-form.
+	var singles []core.PFN
+	for {
+		b, ok := a.Alloc(0)
+		if !ok {
+			break
+		}
+		singles = append(singles, b)
+	}
+	if len(singles) != 1<<MaxOrder {
+		t.Fatalf("split yielded %d singles", len(singles))
+	}
+	for _, b := range singles {
+		a.Free(b)
+	}
+	if _, ok := a.Alloc(MaxOrder); !ok {
+		t.Fatal("huge block did not coalesce back")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a := New(1 << 10)
+	b, _ := a.Alloc(3)
+	a.Free(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free should panic")
+		}
+	}()
+	a.Free(b)
+}
+
+func TestFragmentationBlocksHugePages(t *testing.T) {
+	// The paper's motivation: allocate all of memory in 4 KiB pages, free
+	// every other one — 50% of memory is free yet no huge page can be
+	// allocated.
+	a := New(1 << 12)
+	var pages []core.PFN
+	for {
+		b, ok := a.Alloc(0)
+		if !ok {
+			break
+		}
+		pages = append(pages, b)
+	}
+	for i, b := range pages {
+		if i%2 == 0 {
+			a.Free(b)
+		}
+	}
+	if a.FreeFrames() != 1<<11 {
+		t.Fatalf("FreeFrames = %d, want half", a.FreeFrames())
+	}
+	if _, ok := a.Alloc(MaxOrder); ok {
+		t.Fatal("huge page allocated from checkerboard memory")
+	}
+	if a.LargestFreeOrder() != 0 {
+		t.Fatalf("LargestFreeOrder = %d on a checkerboard", a.LargestFreeOrder())
+	}
+	if ui := a.UnusableIndex(MaxOrder); ui != 1 {
+		t.Fatalf("UnusableIndex(huge) = %f on a checkerboard", ui)
+	}
+	if ui := a.UnusableIndex(0); ui != 0 {
+		t.Fatalf("UnusableIndex(0) = %f; order-0 allocations always usable", ui)
+	}
+}
+
+func TestCompactionCostCheckerboard(t *testing.T) {
+	a := New(1 << 12)
+	var pages []core.PFN
+	for {
+		b, ok := a.Alloc(0)
+		if !ok {
+			break
+		}
+		pages = append(pages, b)
+	}
+	for i, b := range pages {
+		if i%2 == 0 {
+			a.Free(b)
+		}
+	}
+	// Minting one huge block from a checkerboard means moving half its
+	// frames: 256 copies.
+	copies, feasible := a.CompactionCost(MaxOrder, 1)
+	if !feasible {
+		t.Fatal("compaction infeasible with 50% free")
+	}
+	if copies != 256 {
+		t.Fatalf("copies = %d, want 256 (half a huge block)", copies)
+	}
+	// Fresh memory costs nothing.
+	fresh := New(1 << 12)
+	copies, feasible = fresh.CompactionCost(MaxOrder, 4)
+	if !feasible || copies != 0 {
+		t.Fatalf("fresh compaction = %d,%v", copies, feasible)
+	}
+}
+
+func TestCompactionInfeasibleWhenFull(t *testing.T) {
+	a := New(1 << MaxOrder)
+	for {
+		if _, ok := a.Alloc(0); !ok {
+			break
+		}
+	}
+	if _, feasible := a.CompactionCost(MaxOrder, 1); feasible {
+		t.Fatal("compaction of full memory reported feasible")
+	}
+}
+
+func TestFreeBlocksProfile(t *testing.T) {
+	a := New(1 << 12) // 8 max blocks
+	profile := a.FreeBlocks()
+	if profile[MaxOrder] != 8 {
+		t.Fatalf("fresh profile = %v", profile)
+	}
+	a.Alloc(0) // splits one max block all the way down
+	profile = a.FreeBlocks()
+	if profile[MaxOrder] != 7 {
+		t.Fatalf("profile after split = %v", profile)
+	}
+	// One free block at each order 0..MaxOrder-1 from the split chain.
+	for o := 0; o < MaxOrder; o++ {
+		if profile[o] != 1 {
+			t.Fatalf("order %d has %d free blocks, want 1", o, profile[o])
+		}
+	}
+}
+
+func TestRandomizedConservation(t *testing.T) {
+	a := New(1 << 13)
+	rng := rand.New(rand.NewSource(1))
+	allocated := map[core.PFN]int{}
+	frames := 0
+	for i := 0; i < 20000; i++ {
+		if len(allocated) > 0 && rng.Intn(2) == 0 {
+			// Free a random block.
+			for b, o := range allocated {
+				a.Free(b)
+				frames -= 1 << o
+				delete(allocated, b)
+				break
+			}
+			continue
+		}
+		order := rng.Intn(4)
+		if b, ok := a.Alloc(order); ok {
+			if _, dup := allocated[b]; dup {
+				t.Fatalf("base %d allocated twice", b)
+			}
+			allocated[b] = order
+			frames += 1 << order
+		}
+	}
+	if a.FreeFrames() != a.NumFrames()-frames {
+		t.Fatalf("free frames %d, model %d", a.FreeFrames(), a.NumFrames()-frames)
+	}
+	// Blocks must not overlap.
+	covered := map[core.PFN]bool{}
+	for b, o := range allocated {
+		for i := core.PFN(0); i < core.PFN(1<<o); i++ {
+			if covered[b+i] {
+				t.Fatalf("frame %d covered twice", b+i)
+			}
+			covered[b+i] = true
+		}
+	}
+	// Drain everything: memory must coalesce fully.
+	for b := range allocated {
+		a.Free(b)
+	}
+	if a.LargestFreeOrder() != MaxOrder || a.FreeFrames() != a.NumFrames() {
+		t.Fatal("memory did not fully coalesce after draining")
+	}
+}
+
+func TestOrderFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 512: 9, 511: 9, 257: 9}
+	for n, want := range cases {
+		if got := OrderFor(n); got != want {
+			t.Errorf("OrderFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	assertPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("tiny memory", func() { New(100) })
+	a := New(1 << 10)
+	assertPanic("bad order", func() { a.Alloc(MaxOrder + 1) })
+	assertPanic("negative order", func() { a.Alloc(-1) })
+	assertPanic("free of never-allocated", func() { a.Free(5) })
+	assertPanic("OrderFor(0)", func() { OrderFor(0) })
+}

@@ -1,0 +1,215 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustLevel(t testing.TB, cfg Config) *Level {
+	t.Helper()
+	l, err := NewLevel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", Size: 0, Ways: 2},
+		{Name: "ways", Size: 1024, Ways: 0},
+		{Name: "line", Size: 1024, Ways: 2, LineSize: 48},
+		{Name: "sets", Size: 64 * 2 * 3, Ways: 2}, // 3 sets
+	}
+	for _, cfg := range bad {
+		if _, err := NewLevel(cfg); err == nil {
+			t.Errorf("%s: accepted invalid config", cfg.Name)
+		}
+	}
+	l := mustLevel(t, Config{Name: "ok", Size: 1024, Ways: 2})
+	if l.Config().LineSize != 64 {
+		t.Errorf("default line size = %d", l.Config().LineSize)
+	}
+}
+
+func TestLevelHitMissLRU(t *testing.T) {
+	// 2 sets × 2 ways × 64 B lines = 256 B.
+	l := mustLevel(t, Config{Name: "t", Size: 256, Ways: 2})
+	if l.lookup(0, false) {
+		t.Fatal("hit in empty cache")
+	}
+	l.fill(0, false)
+	if !l.lookup(0, false) {
+		t.Fatal("miss after fill")
+	}
+	// Same set: lines at strides of 128 B. Fill two more to evict LRU.
+	l.fill(128, false)
+	l.lookup(0, false) // 0 MRU, 128 LRU
+	if _, _, evicted := l.fill(256, false); !evicted {
+		t.Fatal("no eviction from full set")
+	}
+	if l.contains(128) {
+		t.Error("LRU line survived")
+	}
+	if !l.contains(0) {
+		t.Error("MRU line evicted")
+	}
+}
+
+func TestDirtyVictimReported(t *testing.T) {
+	l := mustLevel(t, Config{Name: "t", Size: 128, Ways: 1})
+	l.fill(0, false)
+	l.lookup(0, true) // dirty it
+	victimPA, victimDirty, evicted := l.fill(128, false)
+	if !evicted || !victimDirty || victimPA != 0 {
+		t.Fatalf("victim = %#x dirty=%v evicted=%v", victimPA, victimDirty, evicted)
+	}
+}
+
+func newTestHierarchy(t testing.TB) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(100,
+		Config{Name: "L1", Size: 1 << 10, Ways: 2, Latency: 1},
+		Config{Name: "L2", Size: 8 << 10, Ways: 4, Latency: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyFillPath(t *testing.T) {
+	h := newTestHierarchy(t)
+	lat := h.Access(0x1000, false)
+	if lat != 1+10+100 {
+		t.Errorf("cold access latency = %d", lat)
+	}
+	if h.MemReads() != 1 {
+		t.Errorf("mem reads = %d", h.MemReads())
+	}
+	// Second access: L1 hit.
+	if lat := h.Access(0x1000, false); lat != 1 {
+		t.Errorf("warm access latency = %d", lat)
+	}
+	l1, l2 := h.Levels()[0].Stats(), h.Levels()[1].Stats()
+	if l1.Hits != 1 || l1.Misses != 1 || l2.Misses != 1 || l2.Hits != 0 {
+		t.Errorf("l1=%+v l2=%+v", l1, l2)
+	}
+	if h.Accesses() != 2 {
+		t.Errorf("accesses = %d", h.Accesses())
+	}
+	if h.AMAT() != float64(111+1)/2 {
+		t.Errorf("AMAT = %f", h.AMAT())
+	}
+}
+
+func TestHierarchyL2HitAfterL1Eviction(t *testing.T) {
+	h := newTestHierarchy(t)
+	// L1: 1 KiB, 2-way, 64 B lines → 8 sets; addresses 0, 512, 1024 share
+	// set 0. Fill three lines to evict one from L1; it should still hit L2.
+	h.Access(0, false)
+	h.Access(512, false)
+	h.Access(1024, false) // evicts 0 from L1
+	lat := h.Access(0, false)
+	if lat != 1+10 {
+		t.Errorf("L2-hit latency = %d, want 11", lat)
+	}
+	if h.MemReads() != 3 {
+		t.Errorf("mem reads = %d, want 3", h.MemReads())
+	}
+}
+
+func TestHierarchyWritebackReachesMemory(t *testing.T) {
+	h, err := NewHierarchy(100, Config{Name: "L1", Size: 128, Ways: 1, Latency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, true)   // dirty line 0
+	h.Access(128, true) // evicts dirty 0 → memory write
+	if h.MemWrites() != 1 {
+		t.Errorf("mem writes = %d, want 1", h.MemWrites())
+	}
+	if h.Levels()[0].Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d", h.Levels()[0].Stats().Writebacks)
+	}
+}
+
+func TestHierarchyDirtyVictimLandsInL2(t *testing.T) {
+	h := newTestHierarchy(t)
+	h.Access(0, true)
+	h.Access(512, false)
+	h.Access(1024, false) // dirty 0 falls to L2
+	if h.MemWrites() != 0 {
+		t.Errorf("dirty victim went to memory instead of L2")
+	}
+	// 0 must hit in L2 now.
+	if lat := h.Access(0, false); lat != 11 {
+		t.Errorf("latency for L2 hit = %d", lat)
+	}
+}
+
+func TestSpatialLocalitySameLine(t *testing.T) {
+	h := newTestHierarchy(t)
+	h.Access(0x200, false)
+	if lat := h.Access(0x23F, false); lat != 1 {
+		t.Errorf("same-line access latency = %d, want 1 (64 B line)", lat)
+	}
+	if lat := h.Access(0x240, false); lat == 1 {
+		t.Error("next line should miss")
+	}
+}
+
+func TestHierarchyRandomizedConservation(t *testing.T) {
+	h := newTestHierarchy(t)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		h.Access(uint64(rng.Intn(1<<16))&^0x3, rng.Intn(4) == 0)
+	}
+	l1, l2 := h.Levels()[0].Stats(), h.Levels()[1].Stats()
+	// Every L1 miss probes L2.
+	if l1.Misses != l2.Hits+l2.Misses {
+		t.Errorf("L1 misses %d != L2 lookups %d", l1.Misses, l2.Hits+l2.Misses)
+	}
+	// Demand misses at the last level go to memory.
+	if l2.Misses != h.MemReads() {
+		t.Errorf("L2 misses %d != mem reads %d", l2.Misses, h.MemReads())
+	}
+	if l1.Hits+l1.Misses != h.Accesses() {
+		t.Errorf("L1 lookups %d != accesses %d", l1.Hits+l1.Misses, h.Accesses())
+	}
+}
+
+func TestTable1aConfigs(t *testing.T) {
+	h, err := NewHierarchy(0, Table1a()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels()) != 3 {
+		t.Fatalf("levels = %d", len(h.Levels()))
+	}
+	if h.Levels()[0].Config().Size != 64<<10 || h.Levels()[2].Config().Ways != 16 {
+		t.Error("Table1a geometry mismatch")
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	if _, err := NewHierarchy(10); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	if _, err := NewHierarchy(10, Config{Name: "bad", Size: -1, Ways: 1}); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h, _ := NewHierarchy(100, Table1a()...)
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 1<<14)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 26))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addrs[i&(1<<14-1)], false)
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	g := DefaultGeometry
+	if err := g.Validate(); err != nil {
+		t.Fatalf("default geometry invalid: %v", err)
+	}
+	if got := g.BucketSize(); got != 64 {
+		t.Errorf("BucketSize = %d, want 64", got)
+	}
+	if got := g.Associativity(); got != 104 {
+		t.Errorf("Associativity = %d, want 104", got)
+	}
+	if got := g.CPFNBits(); got != 7 {
+		t.Errorf("CPFNBits = %d, want 7", got)
+	}
+	if got := g.HashCount(); got != 7 {
+		t.Errorf("HashCount = %d, want 7 (1 frontyard + 6 backyard)", got)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Geometry
+		ok   bool
+	}{
+		{"default", DefaultGeometry, true},
+		{"zero frontyard", Geometry{0, 8, 6}, false},
+		{"zero backyard", Geometry{56, 0, 6}, false},
+		{"zero choices", Geometry{56, 8, 0}, false},
+		{"negative frontyard", Geometry{-1, 8, 6}, false},
+		{"too associative", Geometry{200, 8, 7}, false}, // 200+56 = 256 > 254
+		{"small", Geometry{4, 2, 2}, true},
+		{"max byte", Geometry{246, 1, 8}, true}, // h = 254
+	}
+	for _, tc := range cases {
+		if err := tc.g.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestCPFNBits(t *testing.T) {
+	cases := []struct {
+		g    Geometry
+		bits int
+	}{
+		{Geometry{56, 8, 6}, 7},  // h=104, need 105 values
+		{Geometry{1, 1, 1}, 2},   // h=2, need 3 values
+		{Geometry{3, 1, 4}, 3},   // h=7, need 8 values
+		{Geometry{4, 1, 3}, 3},   // h=7
+		{Geometry{8, 8, 7}, 7},   // h=64, need 65 values
+		{Geometry{246, 1, 8}, 8}, // h=254, need 255 values
+	}
+	for _, tc := range cases {
+		if got := tc.g.CPFNBits(); got != tc.bits {
+			t.Errorf("CPFNBits(%+v) = %d, want %d", tc.g, got, tc.bits)
+		}
+	}
+}
+
+func TestCPFNSplitRoundTrip(t *testing.T) {
+	g := DefaultGeometry
+	for s := 0; s < g.FrontyardSize; s++ {
+		c := g.FrontyardCPFN(s)
+		choice, slot := g.Split(c)
+		if choice != -1 || slot != s {
+			t.Fatalf("frontyard slot %d: Split = (%d,%d)", s, choice, slot)
+		}
+		if !g.IsFrontyard(c) {
+			t.Fatalf("frontyard CPFN %d not recognized as frontyard", c)
+		}
+	}
+	for j := 0; j < g.Choices; j++ {
+		for s := 0; s < g.BackyardSize; s++ {
+			c := g.BackyardCPFN(j, s)
+			choice, slot := g.Split(c)
+			if choice != j || slot != s {
+				t.Fatalf("backyard (%d,%d): Split = (%d,%d)", j, s, choice, slot)
+			}
+			if g.IsFrontyard(c) {
+				t.Fatalf("backyard CPFN %d recognized as frontyard", c)
+			}
+		}
+	}
+}
+
+func TestCPFNValidity(t *testing.T) {
+	g := DefaultGeometry
+	if CPFNInvalid.Valid() {
+		t.Error("CPFNInvalid.Valid() = true")
+	}
+	if g.ValidCPFN(CPFNInvalid) {
+		t.Error("ValidCPFN(CPFNInvalid) = true")
+	}
+	if !g.ValidCPFN(0) || !g.ValidCPFN(103) {
+		t.Error("boundary CPFNs 0 and 103 should be valid")
+	}
+	if g.ValidCPFN(104) {
+		t.Error("CPFN 104 should be invalid for h=104")
+	}
+}
+
+func TestHWEncoding(t *testing.T) {
+	g := DefaultGeometry
+	cases := []struct {
+		c   CPFN
+		raw uint8
+	}{
+		{g.FrontyardCPFN(0), 0x00},
+		{g.FrontyardCPFN(5), 0x05},
+		{g.FrontyardCPFN(55), 0x37},
+		{g.BackyardCPFN(0, 0), 0x40},
+		{g.BackyardCPFN(3, 6), 0x5E}, // 0b1_011_110
+		{g.BackyardCPFN(5, 7), 0x6F}, // 0b1_101_111
+		{CPFNInvalid, 0x7F},
+	}
+	for _, tc := range cases {
+		if got := g.EncodeHW(tc.c); got != tc.raw {
+			t.Errorf("EncodeHW(%d) = %#x, want %#x", tc.c, got, tc.raw)
+		}
+		if got := g.DecodeHW(tc.raw); got != tc.c {
+			t.Errorf("DecodeHW(%#x) = %d, want %d", tc.raw, got, tc.c)
+		}
+	}
+	// The hardware layout must fit in 7 bits for every valid CPFN.
+	for c := CPFN(0); g.ValidCPFN(c); c++ {
+		if raw := g.EncodeHW(c); raw > 0x7F {
+			t.Errorf("EncodeHW(%d) = %#x exceeds 7 bits", c, raw)
+		}
+	}
+}
+
+func TestHWEncodingRoundTripAll(t *testing.T) {
+	g := DefaultGeometry
+	seen := make(map[uint8]bool)
+	for c := CPFN(0); int(c) < g.Associativity(); c++ {
+		raw := g.EncodeHW(c)
+		if seen[raw] {
+			t.Fatalf("hardware encoding %#x assigned twice", raw)
+		}
+		seen[raw] = true
+		if back := g.DecodeHW(raw); back != c {
+			t.Fatalf("round trip %d -> %#x -> %d", c, raw, back)
+		}
+	}
+	if len(seen) != 104 {
+		t.Fatalf("expected 104 distinct encodings, got %d", len(seen))
+	}
+}
+
+func TestHWEncodingNonDefaultPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodeHW on non-default geometry should panic")
+		}
+	}()
+	Geometry{8, 8, 2}.EncodeHW(0)
+}
+
+func TestSplitInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split(CPFNInvalid) should panic")
+		}
+	}()
+	DefaultGeometry.Split(CPFNInvalid)
+}
+
+func TestMosaicPage(t *testing.T) {
+	cases := []struct {
+		vpn   VPN
+		arity int
+		mvpn  MVPN
+		off   int
+	}{
+		{0, 4, 0, 0},
+		{3, 4, 0, 3},
+		{4, 4, 1, 0},
+		{0x1013, 4, 0x404, 3},
+		{0x1013, 64, 0x40, 0x13},
+		{7, 1, 7, 0},
+	}
+	for _, tc := range cases {
+		m, off := MosaicPage(tc.vpn, tc.arity)
+		if m != tc.mvpn || off != tc.off {
+			t.Errorf("MosaicPage(%#x, %d) = (%#x, %d), want (%#x, %d)",
+				tc.vpn, tc.arity, m, off, tc.mvpn, tc.off)
+		}
+		if back := BaseVPN(m, tc.arity, off); back != tc.vpn {
+			t.Errorf("BaseVPN(%#x, %d, %d) = %#x, want %#x", m, tc.arity, off, back, tc.vpn)
+		}
+	}
+}
+
+func TestMosaicPageBadArityPanics(t *testing.T) {
+	for _, arity := range []int{0, -4, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MosaicPage with arity %d should panic", arity)
+				}
+			}()
+			MosaicPage(1, arity)
+		}()
+	}
+}
+
+func TestMosaicPageRoundTripProperty(t *testing.T) {
+	for _, arity := range []int{1, 2, 4, 8, 16, 32, 64} {
+		arity := arity
+		f := func(raw uint64) bool {
+			vpn := VPN(raw >> 24) // keep within 40 bits
+			m, off := MosaicPage(vpn, arity)
+			return BaseVPN(m, arity, off) == vpn && off < arity
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("arity %d: %v", arity, err)
+		}
+	}
+}
+
+func TestAddressHelpers(t *testing.T) {
+	va := uint64(0x7f1234567abc)
+	if got := VPNOf(va); got != VPN(0x7f1234567) {
+		t.Errorf("VPNOf = %#x", got)
+	}
+	if got := PageOffset(va); got != 0xabc {
+		t.Errorf("PageOffset = %#x", got)
+	}
+	if got := Address(VPNOf(va), PageOffset(va)); got != va {
+		t.Errorf("Address round trip = %#x, want %#x", got, va)
+	}
+}
+
+func TestAddressRoundTripProperty(t *testing.T) {
+	f := func(va uint64) bool {
+		return Address(VPNOf(va), PageOffset(va)) == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type constHash uint64
+
+func (c constHash) Hash(asid ASID, vpn VPN, fn int) uint64 {
+	return uint64(c) + uint64(fn)*1000
+}
+
+func TestBucketsAndFrameFor(t *testing.T) {
+	g := DefaultGeometry
+	dst := make([]uint64, g.HashCount())
+	g.Buckets(constHash(5), 1, 2, 100, dst)
+	want := []uint64{5, 1005 % 100, 2005 % 100, 3005 % 100, 4005 % 100, 5005 % 100, 6005 % 100}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, dst[i], want[i])
+		}
+	}
+	// Frontyard slot 10 of bucket 5: frame 5*64 + 10.
+	if got := g.FrameFor(g.FrontyardCPFN(10), dst); got != PFN(5*64+10) {
+		t.Errorf("frontyard FrameFor = %d", got)
+	}
+	// Backyard choice 2 slot 3: bucket dst[3] = 5, frame 5*64 + 56 + 3.
+	if got := g.FrameFor(g.BackyardCPFN(2, 3), dst); got != PFN(dst[3]*64+56+3) {
+		t.Errorf("backyard FrameFor = %d", got)
+	}
+}
+
+func TestBucketsLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Buckets with wrong dst length should panic")
+		}
+	}()
+	DefaultGeometry.Buckets(constHash(0), 0, 0, 10, make([]uint64, 3))
+}
+
+func TestFrameForDistinctFrames(t *testing.T) {
+	// Within one set of bucket choices, all 104 CPFNs must name frames, and
+	// frontyard frames must differ from each other; backyard frames within
+	// one choice must differ from each other.
+	g := DefaultGeometry
+	buckets := []uint64{3, 10, 11, 12, 13, 14, 15}
+	seen := make(map[PFN]CPFN)
+	for c := CPFN(0); int(c) < g.Associativity(); c++ {
+		f := g.FrameFor(c, buckets)
+		if prev, dup := seen[f]; dup {
+			t.Fatalf("CPFN %d and %d both map to frame %d", prev, c, f)
+		}
+		seen[f] = c
+	}
+}

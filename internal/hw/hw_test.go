@@ -1,0 +1,162 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpecValidation(t *testing.T) {
+	bad := []CircuitSpec{
+		{NumTables: 0, TableEntries: 256, WordBits: 32, HashOutputs: 1},
+		{NumTables: 4, TableEntries: 255, WordBits: 32, HashOutputs: 1},
+		{NumTables: 4, TableEntries: 256, WordBits: 0, HashOutputs: 1},
+		{NumTables: 4, TableEntries: 256, WordBits: 32, HashOutputs: 0},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+	if DefaultSpec(4).Validate() != nil {
+		t.Error("default spec rejected")
+	}
+}
+
+func TestTable5AnchorsExact(t *testing.T) {
+	// The model must reproduce the paper's synthesis results exactly at
+	// the measured points.
+	want := []struct {
+		h, luts, regs, f7, f8 int
+	}{
+		{1, 858, 32, 0, 0},
+		{2, 1696, 32, 32, 0},
+		{4, 3392, 32, 64, 32},
+		{8, 6208, 32, 2880, 160},
+	}
+	got := Table5()
+	if len(got) != len(want) {
+		t.Fatalf("Table5 has %d rows", len(got))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.HashOutputs != w.h || g.LUTs != w.luts || g.Registers != w.regs ||
+			g.F7Muxes != w.f7 || g.F8Muxes != w.f8 {
+			t.Errorf("H=%d: got %+v, want %+v", w.h, g, w)
+		}
+		if math.Abs(g.LatencyNs-2.155) > 1e-9 {
+			t.Errorf("H=%d: latency %.3f ns, want 2.155", w.h, g.LatencyNs)
+		}
+	}
+}
+
+func TestLatencyIndependentOfH(t *testing.T) {
+	// The paper's central timing claim: probing produces extra outputs
+	// without touching the critical path.
+	base, err := SynthesizeFPGA(DefaultSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []int{2, 4, 8, 16, 64} {
+		r, err := SynthesizeFPGA(DefaultSpec(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LatencyNs != base.LatencyNs {
+			t.Errorf("H=%d: latency %.3f ≠ base %.3f", h, r.LatencyNs, base.LatencyNs)
+		}
+	}
+}
+
+func TestAreaMonotoneInH(t *testing.T) {
+	prevLUTs := 0
+	for _, h := range []int{1, 2, 3, 4, 6, 8, 12, 16} {
+		r, err := SynthesizeFPGA(DefaultSpec(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LUTs <= prevLUTs {
+			t.Errorf("H=%d: LUTs %d not increasing (prev %d)", h, r.LUTs, prevLUTs)
+		}
+		prevLUTs = r.LUTs
+	}
+}
+
+func TestFPGAFmax(t *testing.T) {
+	r, _ := SynthesizeFPGA(DefaultSpec(8))
+	// 1/2.155 ns ≈ 464 MHz, as the artifact appendix derives.
+	if math.Abs(r.FmaxMHz-464) > 1 {
+		t.Errorf("Fmax = %.1f MHz, want ≈464", r.FmaxMHz)
+	}
+}
+
+func TestASICMatchesPaper(t *testing.T) {
+	r, err := SynthesizeASIC(DefaultSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.AreaKGE-13.806) > 0.01 {
+		t.Errorf("area = %.3f KGE, want 13.806", r.AreaKGE)
+	}
+	if r.LatencyPs != 220 || r.SlackPs != 20 {
+		t.Errorf("timing = %f ps / %f ps slack", r.LatencyPs, r.SlackPs)
+	}
+	// 4 GHz class: period = latency + slack = 240 ps → ≈4.17 GHz; the
+	// paper rounds to "a maximum frequency of 4 GHz".
+	if r.FmaxGHz < 4.0 || r.FmaxGHz > 4.5 {
+		t.Errorf("Fmax = %.2f GHz, want ≈4", r.FmaxGHz)
+	}
+}
+
+func TestASICAreaGrowsMinimally(t *testing.T) {
+	r1, _ := SynthesizeASIC(DefaultSpec(1))
+	r8, _ := SynthesizeASIC(DefaultSpec(8))
+	growth := (r8.AreaKGE - r1.AreaKGE) / r1.AreaKGE
+	// "increasing the number of hash functions ... increas[es] the area
+	// minimally": well under 2× from 1 to 8 outputs.
+	if growth <= 0 || growth > 0.5 {
+		t.Errorf("area growth H=1→8 is %.1f%%, want small positive", growth*100)
+	}
+	if r8.LatencyPs != r1.LatencyPs {
+		t.Errorf("ASIC latency depends on H: %f vs %f", r1.LatencyPs, r8.LatencyPs)
+	}
+}
+
+func TestWiderInputScalesArea(t *testing.T) {
+	// 8 tables (64-bit input) must cost roughly 2× the 4-table circuit.
+	s := CircuitSpec{NumTables: 8, TableEntries: 256, WordBits: 32, HashOutputs: 4}
+	r, err := SynthesizeFPGA(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := SynthesizeFPGA(DefaultSpec(4))
+	if r.LUTs < base.LUTs*3/2 || r.LUTs > base.LUTs*3 {
+		t.Errorf("8-table LUTs %d vs 4-table %d: want ≈2×", r.LUTs, base.LUTs)
+	}
+	// Deeper XOR tree adds a small latency increment.
+	if r.LatencyNs <= base.LatencyNs {
+		t.Errorf("8-table latency %.3f not above 4-table %.3f", r.LatencyNs, base.LatencyNs)
+	}
+	if r.LatencyNs > base.LatencyNs*1.2 {
+		t.Errorf("8-table latency %.3f grew too much", r.LatencyNs)
+	}
+}
+
+func TestExtrapolationBeyondAnchors(t *testing.T) {
+	r16, err := SynthesizeFPGA(DefaultSpec(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, _ := SynthesizeFPGA(DefaultSpec(8))
+	if r16.LUTs <= r8.LUTs || r16.F7Muxes <= r8.F7Muxes {
+		t.Errorf("extrapolation not increasing: H16=%+v H8=%+v", r16, r8)
+	}
+}
+
+func TestInvalidSpecErrors(t *testing.T) {
+	if _, err := SynthesizeFPGA(CircuitSpec{}); err == nil {
+		t.Error("FPGA synthesis of zero spec succeeded")
+	}
+	if _, err := SynthesizeASIC(CircuitSpec{}); err == nil {
+		t.Error("ASIC synthesis of zero spec succeeded")
+	}
+}

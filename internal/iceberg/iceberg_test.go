@@ -1,0 +1,409 @@
+package iceberg
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mosaic/internal/core"
+	"mosaic/internal/xxhash"
+)
+
+func seededHash(seed uint64) KeyHash[uint64] {
+	return func(key uint64, fn int) uint64 {
+		return xxhash.Sum64Pair(key, uint64(fn), seed)
+	}
+}
+
+func newTable(t testing.TB, capacity int, seed uint64) *Table[uint64, int] {
+	t.Helper()
+	return NewWithHash[uint64, int](capacity, core.DefaultGeometry, seededHash(seed))
+}
+
+func TestPutGetDelete(t *testing.T) {
+	tb := newTable(t, 1024, 1)
+	if _, ok := tb.Get(42); ok {
+		t.Fatal("Get on empty table returned ok")
+	}
+	if err := tb.Put(42, 100); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tb.Get(42); !ok || v != 100 {
+		t.Fatalf("Get(42) = %d,%v", v, ok)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if !tb.Delete(42) {
+		t.Fatal("Delete(42) = false")
+	}
+	if tb.Delete(42) {
+		t.Fatal("second Delete(42) = true")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len after delete = %d", tb.Len())
+	}
+	if _, ok := tb.Get(42); ok {
+		t.Fatal("Get after delete returned ok")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	tb := newTable(t, 1024, 1)
+	if err := tb.Put(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	slot1, ok := tb.Slot(7)
+	if !ok {
+		t.Fatal("Slot(7) missing")
+	}
+	if err := tb.Put(7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("update changed Len to %d", tb.Len())
+	}
+	slot2, _ := tb.Slot(7)
+	if slot1 != slot2 {
+		t.Fatalf("update moved item from slot %d to %d (stability violated)", slot1, slot2)
+	}
+	if v, _ := tb.Get(7); v != 2 {
+		t.Fatalf("Get after update = %d", v)
+	}
+}
+
+func TestStabilityUnderChurn(t *testing.T) {
+	// Items never move while resident, regardless of surrounding inserts
+	// and deletes. Track the slot of a pinned set of keys across heavy churn.
+	tb := newTable(t, 4096, 3)
+	rng := rand.New(rand.NewSource(1))
+	pinned := map[uint64]core.CPFN{}
+	for k := uint64(0); k < 100; k++ {
+		if err := tb.Put(k, int(k)); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := tb.Slot(k)
+		pinned[k] = s
+	}
+	live := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		k := 1000 + uint64(rng.Intn(3000))
+		if live[k] {
+			tb.Delete(k)
+			delete(live, k)
+		} else if err := tb.Put(k, 0); err == nil {
+			live[k] = true
+		}
+		if i%1000 == 0 {
+			for k, want := range pinned {
+				if got, ok := tb.Slot(k); !ok || got != want {
+					t.Fatalf("iteration %d: pinned key %d moved from slot %d to %d (ok=%v)",
+						i, k, want, got, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestConflictError(t *testing.T) {
+	// A tiny table must eventually report ErrConflict rather than loop or
+	// relocate.
+	g := core.Geometry{FrontyardSize: 2, BackyardSize: 1, Choices: 2}
+	tb := NewWithHash[uint64, int](g.BucketSize()*2, g, seededHash(9))
+	var sawConflict bool
+	for k := uint64(0); k < 100; k++ {
+		if err := tb.Put(k, 0); err != nil {
+			if !errors.Is(err, ErrConflict) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			sawConflict = true
+			break
+		}
+	}
+	if !sawConflict {
+		t.Fatal("tiny table accepted 100 keys without conflict")
+	}
+}
+
+func TestConflictKeyAbsentAfterError(t *testing.T) {
+	g := core.Geometry{FrontyardSize: 1, BackyardSize: 1, Choices: 1}
+	tb := NewWithHash[uint64, int](g.BucketSize(), g, func(key uint64, fn int) uint64 { return 0 })
+	if err := tb.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Put(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	err := tb.Put(3, 3)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("want ErrConflict, got %v", err)
+	}
+	if tb.Contains(3) {
+		t.Fatal("conflicted key was partially inserted")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d after failed insert", tb.Len())
+	}
+}
+
+func TestHighUtilizationBeforeFirstConflict(t *testing.T) {
+	// §4.2: with the default geometry, the first associativity conflict
+	// appears only when the table is ≈98% full. Statistical, so allow slack.
+	const slots = 1 << 15
+	var loads float64
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		tb := newTable(t, slots, uint64(100+trial))
+		rng := rand.New(rand.NewSource(int64(trial)))
+		for {
+			if err := tb.Put(rng.Uint64(), 0); err != nil {
+				break
+			}
+		}
+		loads += tb.LoadFactor()
+	}
+	avg := loads / trials
+	if avg < 0.95 {
+		t.Errorf("average load factor at first conflict = %.4f, want ≥ 0.95 (paper: ≈0.98)", avg)
+	}
+	t.Logf("average first-conflict load factor over %d trials: %.4f (paper: ≈0.9803)", trials, avg)
+}
+
+func TestBackyardStaysSparse(t *testing.T) {
+	// Iceberg's analysis requires the backyard to hold a vanishing fraction
+	// of items. At 95% load the backyard should hold well under its share.
+	const slots = 1 << 15
+	tb := newTable(t, slots, 5)
+	rng := rand.New(rand.NewSource(5))
+	target := int(0.95 * float64(tb.Cap()))
+	for tb.Len() < target {
+		if err := tb.Put(rng.Uint64(), 0); err != nil {
+			t.Fatalf("conflict at load %.4f before reaching 95%%", tb.LoadFactor())
+		}
+	}
+	frac := float64(tb.BackyardLen()) / float64(tb.Len())
+	// Backyard capacity is 8/64 = 12.5% of slots; occupancy should be well
+	// below capacity.
+	if frac > 0.125 {
+		t.Errorf("backyard holds %.1f%% of items at 95%% load", 100*frac)
+	}
+	t.Logf("backyard fraction at 95%% load: %.2f%%", 100*frac)
+}
+
+func TestAgainstMapModel(t *testing.T) {
+	// Differential test against the built-in map over a random op stream.
+	tb := newTable(t, 8192, 11)
+	model := map[uint64]int{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50000; i++ {
+		k := uint64(rng.Intn(6000))
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Int()
+			if err := tb.Put(k, v); err == nil {
+				model[k] = v
+			} else if _, exists := model[k]; exists {
+				t.Fatalf("Put of existing key %d returned %v", k, err)
+			}
+		case 1:
+			got, ok := tb.Get(k)
+			want, wok := model[k]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("Get(%d) = (%d,%v), model (%d,%v)", k, got, ok, want, wok)
+			}
+		case 2:
+			if tb.Delete(k) != (func() bool { _, ok := model[k]; return ok })() {
+				t.Fatalf("Delete(%d) disagrees with model", k)
+			}
+			delete(model, k)
+		}
+	}
+	if tb.Len() != len(model) {
+		t.Fatalf("final Len = %d, model %d", tb.Len(), len(model))
+	}
+	for k, want := range model {
+		if got, ok := tb.Get(k); !ok || got != want {
+			t.Fatalf("final Get(%d) = (%d,%v), want %d", k, got, ok, want)
+		}
+	}
+}
+
+func TestSlotMatchesPutSlot(t *testing.T) {
+	tb := newTable(t, 4096, 13)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 2000; i++ {
+		k := rng.Uint64()
+		putSlot, err := tb.PutSlot(k, i)
+		if err != nil {
+			continue
+		}
+		if got, ok := tb.Slot(k); !ok || got != putSlot {
+			t.Fatalf("Slot(%d) = (%d,%v), PutSlot said %d", k, got, ok, putSlot)
+		}
+		if !tb.Geometry().ValidCPFN(putSlot) {
+			t.Fatalf("PutSlot returned invalid CPFN %d", putSlot)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	tb := newTable(t, 4096, 17)
+	want := map[uint64]int{}
+	for k := uint64(0); k < 500; k++ {
+		if err := tb.Put(k, int(k)*3); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = int(k) * 3
+	}
+	got := map[uint64]int{}
+	tb.Range(func(k uint64, v int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d pairs, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range saw %d=%d, want %d", k, got[k], v)
+		}
+	}
+	// Early termination.
+	n := 0
+	tb.Range(func(uint64, int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("Range visited %d pairs after early stop", n)
+	}
+}
+
+func TestDefaultHashConstructor(t *testing.T) {
+	tb := New[string, string](1024, core.DefaultGeometry)
+	if err := tb.Put("key", "value"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tb.Get("key"); !ok || v != "value" {
+		t.Fatalf("Get = (%q,%v)", v, ok)
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	tb := newTable(t, 1, 1)
+	if tb.Cap() != core.DefaultGeometry.BucketSize() {
+		t.Fatalf("Cap = %d, want one bucket (%d)", tb.Cap(), core.DefaultGeometry.BucketSize())
+	}
+	tb = newTable(t, 65, 1)
+	if tb.Cap() != 128 {
+		t.Fatalf("Cap = %d, want 128", tb.Cap())
+	}
+}
+
+func TestPutDeleteProperty(t *testing.T) {
+	// Inserting any set of distinct keys below half load then deleting them
+	// all must leave the table empty with every key absent.
+	f := func(keys []uint64) bool {
+		uniq := map[uint64]bool{}
+		for _, k := range keys {
+			uniq[k] = true
+		}
+		tb := newTable(t, 4*len(uniq)+128, 21)
+		for k := range uniq {
+			if err := tb.Put(k, 1); err != nil {
+				return false
+			}
+		}
+		for k := range uniq {
+			if !tb.Delete(k) {
+				return false
+			}
+		}
+		return tb.Len() == 0 && tb.BackyardLen() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReuseAfterDelete(t *testing.T) {
+	// Fill to conflict, delete a batch, and confirm the table accepts new
+	// keys again — slots must actually be reclaimed.
+	tb := newTable(t, 4096, 23)
+	rng := rand.New(rand.NewSource(23))
+	var keys []uint64
+	for {
+		k := rng.Uint64()
+		if err := tb.Put(k, 0); err != nil {
+			break
+		}
+		keys = append(keys, k)
+	}
+	for _, k := range keys[:len(keys)/2] {
+		if !tb.Delete(k) {
+			t.Fatalf("delete of inserted key %d failed", k)
+		}
+	}
+	inserted := 0
+	for i := 0; i < len(keys)/4; i++ {
+		if err := tb.Put(rng.Uint64(), 0); err == nil {
+			inserted++
+		}
+	}
+	if inserted < len(keys)/8 {
+		t.Fatalf("only %d/%d inserts succeeded after freeing half the table", inserted, len(keys)/4)
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 should panic")
+		}
+	}()
+	NewWithHash[int, int](0, core.DefaultGeometry, func(int, int) uint64 { return 0 })
+}
+
+func TestNilHashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil hash should panic")
+		}
+	}()
+	NewWithHash[int, int](64, core.DefaultGeometry, nil)
+}
+
+func TestStringKeys(t *testing.T) {
+	tb := NewWithHash[string, int](2048, core.DefaultGeometry, func(key string, fn int) uint64 {
+		return xxhash.Sum64([]byte(key), uint64(fn))
+	})
+	for i := 0; i < 1000; i++ {
+		if err := tb.Put(fmt.Sprintf("key-%d", i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if v, ok := tb.Get(fmt.Sprintf("key-%d", i)); !ok || v != i {
+			t.Fatalf("Get(key-%d) = (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tb := NewWithHash[uint64, uint64](b.N*2+1024, core.DefaultGeometry, seededHash(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tb.Put(uint64(i)*0x9E3779B97F4A7C15, uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	const n = 1 << 16
+	tb := NewWithHash[uint64, uint64](n*2, core.DefaultGeometry, seededHash(1))
+	for i := 0; i < n; i++ {
+		_ = tb.Put(uint64(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Get(uint64(i) % n)
+	}
+}

@@ -1,0 +1,458 @@
+// Package memsim is the repository's gem5 substitute: a trace-driven
+// memory-system simulator that reproduces the paper's dual-TLB methodology
+// (§3.1). Every workload reference is fed simultaneously to a conventional
+// TLB and any number of mosaic TLBs — one per (geometry, arity) point of
+// Figure 6 — each backed by its own page-table walker, so a single workload
+// pass yields the entire associativity × arity grid under an identical
+// reference stream.
+//
+// The OS underneath is a mosaic-mode vm.System with ample memory (Figure 6
+// runs fit in DRAM, as in the paper's 16 GB gem5 machine), so placement is
+// iceberg-constrained and CPFNs are real. Vanilla TLB entries store the
+// resulting PFNs; TLB miss counts are placement-independent either way.
+//
+// With caches enabled, each TLB unit gets a private cache hierarchy
+// (Table 1a) through which both its page-table walks and the data stream
+// flow, exactly as gem5 attaches a walker per TLB.
+package memsim
+
+import (
+	"fmt"
+
+	"mosaic/internal/cache"
+	"mosaic/internal/core"
+	"mosaic/internal/pagetable"
+	"mosaic/internal/stats"
+	"mosaic/internal/tlb"
+	"mosaic/internal/trace"
+	"mosaic/internal/vm"
+	"mosaic/internal/workloads"
+)
+
+// TLBSpec names one TLB design point.
+type TLBSpec struct {
+	// Geometry is the entry count and associativity.
+	Geometry tlb.Geometry
+	// Arity is the mosaic arity; 0 selects a vanilla TLB.
+	Arity int
+	// Coalesce, when nonzero, selects a CoLT-style coalescing TLB with
+	// this maximum run length instead (§5.2 baseline). Mutually exclusive
+	// with Arity.
+	Coalesce int
+}
+
+// Label renders the spec the way the paper's figures do ("Vanilla",
+// "Mosaic-4", …); coalescing baselines render as "CoLT-<run>".
+func (s TLBSpec) Label() string {
+	switch {
+	case s.Coalesce != 0:
+		return fmt.Sprintf("CoLT-%d", s.Coalesce)
+	case s.Arity == 0:
+		return "Vanilla"
+	default:
+		return fmt.Sprintf("Mosaic-%d", s.Arity)
+	}
+}
+
+// Config parameterizes a Simulator.
+type Config struct {
+	// Frames is the simulated DRAM size in 4 KiB frames. It must
+	// comfortably exceed the workload footprint (Figure 6 measures TLB
+	// behaviour, not swapping). Default 1<<20 frames (4 GiB).
+	Frames int
+	// Specs are the TLB design points to drive simultaneously.
+	Specs []TLBSpec
+	// EnableCaches attaches a Table 1a cache hierarchy per TLB unit.
+	EnableCaches bool
+	// MemLatency is the DRAM latency in cycles for the cache model.
+	MemLatency int
+	// Seed seeds the placement hash.
+	Seed uint64
+	// ASID is the address space the workload runs in (default 1).
+	ASID core.ASID
+	// EnableWalkCache attaches a per-unit MMU page-walk cache (§5.4) that
+	// caches upper-level page-table entries, shortening walks.
+	EnableWalkCache bool
+	// WalkCacheEntries sizes the walk cache (default 32).
+	WalkCacheEntries int
+}
+
+// Result is the outcome of one TLB design point after a run.
+type Result struct {
+	Spec TLBSpec
+	// TLB is the hit/miss breakdown.
+	TLB tlb.Stats
+	// Walks is the number of page-table walks performed (== TLB misses).
+	Walks uint64
+	// WalkAccesses is the number of memory references those walks issued.
+	WalkAccesses uint64
+	// AMAT is the average memory access time in cycles (caches enabled
+	// only), averaged over data references and walk references together.
+	AMAT float64
+	// TotalCycles is the summed latency of all data and walk accesses
+	// (caches enabled only) — the comparable end-to-end cost.
+	TotalCycles uint64
+	// WalkCycles is the latency spent in page-table walks alone (caches
+	// enabled only). WalkCycles/TotalCycles is the address-translation
+	// share of memory time — the paper's intro reports 20–30% for
+	// TLB-bound applications.
+	WalkCycles uint64
+	// CacheStats holds per-level cache counters (caches enabled only).
+	CacheStats []cache.Stats
+	// WalkCacheHits counts upper-level walk reads absorbed by the MMU
+	// walk cache (walk-cache enabled only).
+	WalkCacheHits uint64
+	// CoalescingFactor is the mean pages covered per fill (CoLT units).
+	CoalescingFactor float64
+}
+
+// unit is one TLB design point with its TLB and caches; the page table it
+// walks is selected per access by the faulting ASID.
+type unit struct {
+	spec       TLBSpec
+	vanilla    *tlb.Vanilla
+	mosaic     *tlb.Mosaic
+	coalesced  *tlb.Coalesced
+	caches     *cache.Hierarchy
+	pwc        *walkCache
+	walks      uint64
+	walkRefs   uint64
+	pwcHits    uint64
+	walkCycles uint64
+}
+
+// ptKey identifies a per-process page table: each address space has its
+// own radix tree (its own CR3), per arity for the mosaic variants.
+type ptKey struct {
+	asid  core.ASID
+	arity int // 0 = vanilla
+}
+
+// Simulator drives the memory system. It implements trace.Sink, so
+// workloads can emit straight into it. It is not safe for concurrent use.
+type Simulator struct {
+	cfg   Config
+	os    *vm.System
+	units []*unit
+	// Page tables are per (ASID, arity): mosaic PTs are shared among units
+	// with equal arity (their contents are identical; each unit still
+	// walks them independently).
+	vanillaPTs map[core.ASID]*pagetable.Vanilla
+	mosaicPTs  map[ptKey]*pagetable.Mosaic
+	arities    map[int]bool
+	paAlloc    pagetable.PAAllocator
+	counters   *stats.Counters
+	path       []uint64
+}
+
+// asidTagShift places the ASID above the 36-bit VPN in TLB tags, the
+// PCID-style tagging that lets entries from several address spaces coexist.
+const asidTagShift = 40
+
+func taggedVPN(asid core.ASID, vpn core.VPN) core.VPN {
+	return vpn | core.VPN(uint64(asid)<<asidTagShift)
+}
+
+// New builds a Simulator.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Frames == 0 {
+		cfg.Frames = 1 << 20
+	}
+	if cfg.ASID == 0 {
+		cfg.ASID = 1
+	}
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("memsim: config needs at least one TLB spec")
+	}
+	osys, err := vm.New(vm.Config{Frames: cfg.Frames, Mode: vm.ModeMosaic, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		os:        osys,
+		mosaicPTs: make(map[ptKey]*pagetable.Mosaic),
+		counters:  stats.NewCounters(),
+	}
+	// Page-table nodes live above the workload's physical frames so walk
+	// traffic and data traffic never alias in the caches.
+	ptBase := uint64(cfg.Frames) * core.PageSize
+	s.paAlloc = pagetable.BumpAllocator(ptBase)
+	s.vanillaPTs = make(map[core.ASID]*pagetable.Vanilla)
+	s.arities = make(map[int]bool)
+	for _, spec := range cfg.Specs {
+		if err := spec.Geometry.Validate(); err != nil {
+			return nil, err
+		}
+		if spec.Arity != 0 && spec.Coalesce != 0 {
+			return nil, fmt.Errorf("memsim: spec %s sets both Arity and Coalesce", spec.Label())
+		}
+		u := &unit{spec: spec}
+		switch {
+		case spec.Coalesce != 0:
+			u.coalesced = tlb.NewCoalesced(spec.Geometry, spec.Coalesce)
+		case spec.Arity == 0:
+			u.vanilla = tlb.NewVanilla(spec.Geometry)
+		default:
+			u.mosaic = tlb.NewMosaic(spec.Geometry, spec.Arity)
+			s.arities[spec.Arity] = true
+		}
+		if cfg.EnableWalkCache {
+			n := cfg.WalkCacheEntries
+			if n == 0 {
+				n = 32
+			}
+			u.pwc = newWalkCache(n)
+		}
+		if cfg.EnableCaches {
+			h, err := cache.NewHierarchy(cfg.MemLatency, cache.Table1a()...)
+			if err != nil {
+				return nil, err
+			}
+			u.caches = h
+		}
+		s.units = append(s.units, u)
+	}
+	osys.OnEvict(s.onEvict)
+	return s, nil
+}
+
+// OS exposes the underlying vm.System (swap counters, utilization, …).
+func (s *Simulator) OS() *vm.System { return s.os }
+
+// Counters exposes simulator-level counters.
+func (s *Simulator) Counters() *stats.Counters { return s.counters }
+
+// vanillaPT returns (creating if needed) the ASID's conventional page table.
+func (s *Simulator) vanillaPT(asid core.ASID) *pagetable.Vanilla {
+	pt, ok := s.vanillaPTs[asid]
+	if !ok {
+		pt = pagetable.NewVanilla(nil, s.paAlloc)
+		s.vanillaPTs[asid] = pt
+	}
+	return pt
+}
+
+// mosaicPT returns (creating if needed) the ASID's mosaic page table for
+// the given arity.
+func (s *Simulator) mosaicPT(asid core.ASID, arity int) *pagetable.Mosaic {
+	k := ptKey{asid: asid, arity: arity}
+	pt, ok := s.mosaicPTs[k]
+	if !ok {
+		pt = pagetable.NewMosaic(arity, nil, s.paAlloc)
+		s.mosaicPTs[k] = pt
+	}
+	return pt
+}
+
+// onEvict keeps page tables and TLBs coherent with the OS: the evicted
+// page's leaf entry is cleared and the TLBs shoot down the mapping — for a
+// mosaic TLB only the sub-page entry, per §3.1.
+func (s *Simulator) onEvict(asid core.ASID, vpn core.VPN) {
+	s.counters.Inc("shootdowns")
+	if pt, ok := s.vanillaPTs[asid]; ok {
+		pt.Unset(vpn)
+	}
+	for arity := range s.arities {
+		if pt, ok := s.mosaicPTs[ptKey{asid: asid, arity: arity}]; ok {
+			pt.ClearCPFN(vpn)
+		}
+	}
+	tagged := taggedVPN(asid, vpn)
+	for _, u := range s.units {
+		switch {
+		case u.vanilla != nil:
+			u.vanilla.Invalidate(tagged)
+		case u.coalesced != nil:
+			u.coalesced.Invalidate(tagged)
+		default:
+			u.mosaic.InvalidateSub(tagged)
+		}
+	}
+}
+
+// FlushTLBs invalidates every entry of every TLB unit — the cost of a
+// context switch without ASID tagging.
+func (s *Simulator) FlushTLBs() {
+	s.counters.Inc("flushes")
+	for _, u := range s.units {
+		switch {
+		case u.vanilla != nil:
+			u.vanilla.Flush()
+		case u.coalesced != nil:
+			u.coalesced.Flush()
+		default:
+			u.mosaic.Flush()
+		}
+	}
+}
+
+// Access implements trace.Sink: one data reference through the whole
+// simulated memory system, from the configured default address space.
+func (s *Simulator) Access(va uint64, write bool) {
+	s.AccessFrom(s.cfg.ASID, va, write)
+}
+
+// AccessFrom performs one data reference from the given address space.
+// TLB entries are ASID-tagged (PCID-style), so entries from several
+// processes coexist; use FlushTLBs to model untagged context switches.
+func (s *Simulator) AccessFrom(asid core.ASID, va uint64, write bool) {
+	vpn := core.VPNOf(va)
+	res := s.os.Touch(asid, vpn, write)
+	if res != vm.Hit {
+		// New mapping: install it in the page tables.
+		pfn, ok := s.os.Translate(asid, vpn)
+		if !ok {
+			panic("memsim: page absent immediately after fault")
+		}
+		cpfn, ok := s.os.CPFNFor(asid, vpn)
+		if !ok {
+			panic("memsim: CPFN absent immediately after fault")
+		}
+		s.vanillaPT(asid).Set(vpn, pfn)
+		for arity := range s.arities {
+			s.mosaicPT(asid, arity).SetCPFN(vpn, cpfn)
+		}
+	}
+
+	pfn, _ := s.os.Translate(asid, vpn)
+	pa := uint64(pfn)*core.PageSize + core.PageOffset(va)
+
+	for _, u := range s.units {
+		s.lookupAndFill(u, asid, vpn)
+		if u.caches != nil {
+			u.caches.Access(pa, write)
+		}
+	}
+}
+
+func (s *Simulator) lookupAndFill(u *unit, asid core.ASID, vpn core.VPN) {
+	tagged := taggedVPN(asid, vpn)
+	switch {
+	case u.vanilla != nil:
+		if _, hit := u.vanilla.Lookup(tagged); hit {
+			return
+		}
+		pfn, ok, path := s.vanillaPT(asid).Walk(vpn, s.path[:0])
+		s.walkTraffic(u, path)
+		if !ok {
+			panic(fmt.Sprintf("memsim: vanilla walk failed for resident VPN %#x", vpn))
+		}
+		u.vanilla.Insert(tagged, pfn)
+	case u.coalesced != nil:
+		if _, hit := u.coalesced.Lookup(tagged); hit {
+			return
+		}
+		pt := s.vanillaPT(asid)
+		pfn, ok, path := pt.Walk(vpn, s.path[:0])
+		s.walkTraffic(u, path)
+		if !ok {
+			panic(fmt.Sprintf("memsim: coalescing walk failed for resident VPN %#x", vpn))
+		}
+		// CoLT's walker inspects the neighbouring PTEs in the same leaf
+		// cache line it already fetched, so offering the aligned group for
+		// coalescing costs no extra memory traffic. The ASID tag is
+		// group-aligned (it lives far above the run bits), so tagging does
+		// not split runs.
+		run := u.coalesced.MaxRun()
+		base := core.VPN(uint64(vpn) &^ uint64(run-1))
+		neighbours := make([]tlb.NeighbourPFN, run)
+		for i := 0; i < run; i++ {
+			npfn, nok := pt.Get(base + core.VPN(i))
+			neighbours[i] = tlb.NeighbourPFN{PFN: npfn, OK: nok}
+		}
+		u.coalesced.Insert(tagged, pfn, neighbours)
+	default:
+		if _, hit := u.mosaic.Lookup(tagged); hit {
+			return
+		}
+		toc, ok, path := s.mosaicPT(asid, u.spec.Arity).WalkToC(vpn, s.path[:0])
+		s.walkTraffic(u, path)
+		if !ok {
+			panic(fmt.Sprintf("memsim: mosaic walk failed for resident VPN %#x", vpn))
+		}
+		u.mosaic.Insert(tagged, toc)
+	}
+}
+
+func (s *Simulator) walkTraffic(u *unit, path []uint64) {
+	u.walks++
+	if u.pwc != nil && len(path) > 1 {
+		// The MMU walk cache absorbs upper-level reads; the leaf entry is
+		// always fetched from memory (its PTE changes on every remap).
+		kept := path[:0]
+		for _, pa := range path[:len(path)-1] {
+			if u.pwc.lookupInsert(pa) {
+				u.pwcHits++
+			} else {
+				kept = append(kept, pa)
+			}
+		}
+		kept = append(kept, path[len(path)-1])
+		path = kept
+	}
+	u.walkRefs += uint64(len(path))
+	s.path = path[:0]
+	if u.caches != nil {
+		for _, pa := range path {
+			u.walkCycles += uint64(u.caches.Access(pa, false))
+		}
+	}
+}
+
+// Run executes a workload through the simulator.
+func (s *Simulator) Run(w workloads.Workload) { w.Run(s) }
+
+// RunLimited executes a workload, stopping after maxRefs references.
+func (s *Simulator) RunLimited(w workloads.Workload, maxRefs uint64) {
+	lim := &trace.Limiter{Next: s, N: maxRefs}
+	w.Run(lim)
+}
+
+// Results snapshots the per-design-point outcomes.
+func (s *Simulator) Results() []Result {
+	out := make([]Result, 0, len(s.units))
+	for _, u := range s.units {
+		r := Result{Spec: u.spec, Walks: u.walks, WalkAccesses: u.walkRefs, WalkCacheHits: u.pwcHits}
+		switch {
+		case u.vanilla != nil:
+			r.TLB = u.vanilla.Stats()
+		case u.coalesced != nil:
+			r.TLB = u.coalesced.Stats()
+			r.CoalescingFactor = u.coalesced.AvgRunLength()
+		default:
+			r.TLB = u.mosaic.Stats()
+		}
+		if u.caches != nil {
+			r.AMAT = u.caches.AMAT()
+			r.TotalCycles = u.caches.TotalCycles()
+			r.WalkCycles = u.walkCycles
+			for _, l := range u.caches.Levels() {
+				r.CacheStats = append(r.CacheStats, l.Stats())
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// WalkOverheadPct is the share of modeled memory time spent in address
+// translation: WalkCycles / TotalCycles (caches enabled only).
+func (r Result) WalkOverheadPct() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return 100 * float64(r.WalkCycles) / float64(r.TotalCycles)
+}
+
+// ResultFor returns the result for the spec with the given label.
+func (s *Simulator) ResultFor(label string) (Result, bool) {
+	for _, r := range s.Results() {
+		if r.Spec.Label() == label {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+var _ trace.Sink = (*Simulator)(nil)

@@ -1,0 +1,102 @@
+package memsim
+
+// End-to-end translation correctness: the CPFN a mosaic TLB hit returns
+// must decode — via the page's bucket choices, exactly as the hardware's
+// hash units would — to the same physical frame the OS placed the page in.
+// This closes the loop across vm, alloc, pagetable, and tlb: a bug in any
+// CPFN hand-off (page table leaf, ToC fill, sub-page indexing) breaks it.
+
+import (
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/core"
+	"mosaic/internal/tlb"
+	"mosaic/internal/vm"
+	"mosaic/internal/xxhash"
+)
+
+func TestMosaicTLBHitDecodesToOSFrame(t *testing.T) {
+	const seed = 11
+	osys, err := vm.New(vm.Config{Frames: 1 << 14, Mode: vm.ModeMosaic, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hardware-side decoder: the same placement hash the OS allocator
+	// uses, applied to (ASID, VPN) and the stored CPFN.
+	hash := xxhash.NewPlacement(seed)
+	geom := core.DefaultGeometry
+	numBuckets := uint64((1 << 14) / geom.BucketSize())
+	buckets := make([]uint64, geom.HashCount())
+	decode := func(asid core.ASID, vpn core.VPN, c core.CPFN) core.PFN {
+		geom.Buckets(hash, asid, vpn, numBuckets, buckets)
+		return geom.FrameFor(c, buckets)
+	}
+
+	mtlb := tlb.NewMosaic(tlb.Geometry{Entries: 64, Ways: 8}, 4)
+	rng := rand.New(rand.NewSource(3))
+	checked := 0
+	for i := 0; i < 50000; i++ {
+		vpn := core.VPN(rng.Intn(4000))
+		osys.Touch(1, vpn, rng.Intn(3) == 0)
+
+		cpfn, hit := mtlb.Lookup(vpn)
+		if !hit {
+			// Fill the ToC like the walker: one CPFN per mapped sub-page.
+			mvpn, _ := core.MosaicPage(vpn, 4)
+			toc := mtlb.InvalidToC()
+			for off := 0; off < 4; off++ {
+				sub := core.BaseVPN(mvpn, 4, off)
+				if c, ok := osys.CPFNFor(1, sub); ok {
+					toc[off] = c
+				}
+			}
+			mtlb.Insert(vpn, toc)
+			cpfn, hit = mtlb.Lookup(vpn)
+			if !hit {
+				t.Fatalf("miss immediately after fill for VPN %#x", vpn)
+			}
+		}
+		// The TLB's CPFN must decode to the OS's frame — unless the OS
+		// remapped the page since the fill (stale entry), which cannot
+		// happen here because memory is ample (no evictions).
+		want, ok := osys.Translate(1, vpn)
+		if !ok {
+			t.Fatalf("page %#x not resident", vpn)
+		}
+		if got := decode(1, vpn, cpfn); got != want {
+			t.Fatalf("VPN %#x: TLB CPFN %d decodes to frame %d, OS has %d", vpn, cpfn, got, want)
+		}
+		checked++
+	}
+	if osys.Device().TotalIO() != 0 {
+		t.Fatal("evictions occurred; stale-entry caveat violated")
+	}
+	if checked != 50000 {
+		t.Fatalf("checked %d translations", checked)
+	}
+}
+
+func TestHWEncodingSurvivesFullPath(t *testing.T) {
+	// The 7-bit hardware encoding round-trips every CPFN the OS ever
+	// produces under heavy allocation churn.
+	osys, err := vm.New(vm.Config{Frames: 1 << 12, Mode: vm.ModeMosaic, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := core.DefaultGeometry
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 30000; i++ {
+		vpn := core.VPN(rng.Intn(5000)) // oversubscribed: evictions happen
+		osys.Touch(1, vpn, true)
+		if c, ok := osys.CPFNFor(1, vpn); ok {
+			raw := geom.EncodeHW(c)
+			if raw > 0x7F {
+				t.Fatalf("CPFN %d encodes beyond 7 bits: %#x", c, raw)
+			}
+			if back := geom.DecodeHW(raw); back != c {
+				t.Fatalf("hardware round trip %d -> %#x -> %d", c, raw, back)
+			}
+		}
+	}
+}

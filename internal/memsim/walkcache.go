@@ -1,0 +1,43 @@
+package memsim
+
+// walkCache models an MMU page-walk cache (§5.4 of the paper: "by caching
+// portions of the page tables in hardware MMU caches, one can potentially
+// eliminate a series of sequential loads"). It is a small fully-associative
+// LRU cache over the physical addresses of upper-level page-table entries;
+// the leaf PTE is never cached (it changes on every remap, and real PWCs
+// cache only non-leaf levels).
+type walkCache struct {
+	// entries holds PAs in recency order, entries[0] = MRU.
+	entries []uint64
+	cap     int
+}
+
+func newWalkCache(capacity int) *walkCache {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &walkCache{entries: make([]uint64, 0, capacity), cap: capacity}
+}
+
+// lookupInsert probes for pa and reports a hit; on hit the entry is
+// promoted, on miss it is inserted (evicting the LRU entry when full).
+// A PWC this small is scanned associatively in hardware; linear scan
+// matches that.
+func (w *walkCache) lookupInsert(pa uint64) bool {
+	for i, e := range w.entries {
+		if e == pa {
+			copy(w.entries[1:i+1], w.entries[:i])
+			w.entries[0] = pa
+			return true
+		}
+	}
+	if len(w.entries) < w.cap {
+		w.entries = append(w.entries, 0)
+	}
+	copy(w.entries[1:], w.entries[:len(w.entries)-1])
+	w.entries[0] = pa
+	return false
+}
+
+// len reports the number of cached entries.
+func (w *walkCache) len() int { return len(w.entries) }

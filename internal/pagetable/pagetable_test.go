@@ -1,0 +1,251 @@
+package pagetable
+
+import (
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/core"
+)
+
+func TestVanillaSetGetUnset(t *testing.T) {
+	pt := NewVanilla(nil, nil)
+	if _, ok := pt.Get(100); ok {
+		t.Fatal("hit in empty table")
+	}
+	pt.Set(100, 7)
+	if pfn, ok := pt.Get(100); !ok || pfn != 7 {
+		t.Fatalf("Get = %d,%v", pfn, ok)
+	}
+	pt.Set(100, 8) // remap
+	if pfn, _ := pt.Get(100); pfn != 8 {
+		t.Fatalf("remap lost: %d", pfn)
+	}
+	if pt.Len() != 1 {
+		t.Fatalf("Len = %d", pt.Len())
+	}
+	if !pt.Unset(100) || pt.Unset(100) {
+		t.Fatal("Unset misbehaved")
+	}
+	if pt.Len() != 0 {
+		t.Fatalf("Len after unset = %d", pt.Len())
+	}
+}
+
+func TestVanillaWalkPath(t *testing.T) {
+	pt := NewVanilla(nil, BumpAllocator(1<<40))
+	pt.Set(0x123456789, 42)
+	pfn, ok, path := pt.Walk(0x123456789, nil)
+	if !ok || pfn != 42 {
+		t.Fatalf("Walk = %d,%v", pfn, ok)
+	}
+	if len(path) != 4 {
+		t.Fatalf("walk touched %d levels, want 4", len(path))
+	}
+	// All entry addresses must be distinct and inside page-table space.
+	seen := map[uint64]bool{}
+	for _, pa := range path {
+		if pa < 1<<40 {
+			t.Fatalf("walk address %#x below page-table base", pa)
+		}
+		if seen[pa] {
+			t.Fatalf("duplicate walk address %#x", pa)
+		}
+		seen[pa] = true
+	}
+	// A partial walk (unmapped VPN sharing upper levels) still touches the
+	// levels that exist.
+	_, ok, path2 := pt.Walk(0x123456788, nil)
+	if ok {
+		t.Fatal("unmapped VPN translated")
+	}
+	if len(path2) != 4 {
+		t.Fatalf("sibling VPN walk touched %d levels, want 4 (same leaf node)", len(path2))
+	}
+	_, ok, path3 := pt.Walk(0x523456789, nil)
+	if ok || len(path3) != 1 {
+		t.Fatalf("far VPN: ok=%v levels=%d, want miss after 1 level", ok, len(path3))
+	}
+}
+
+func TestVanillaSharedUpperLevels(t *testing.T) {
+	pt := NewVanilla(nil, nil)
+	pt.Set(0, 1)
+	pt.Set(1, 2) // same leaf node
+	_, _, p0 := pt.Walk(0, nil)
+	_, _, p1 := pt.Walk(1, nil)
+	for lvl := 0; lvl < 3; lvl++ {
+		if p0[lvl] != p1[lvl] {
+			t.Fatalf("level %d addresses differ for adjacent VPNs", lvl)
+		}
+	}
+	if p0[3] == p1[3] {
+		t.Fatal("leaf entry addresses must differ")
+	}
+	if p1[3]-p0[3] != entrySize {
+		t.Fatalf("adjacent leaf entries %d bytes apart, want %d", p1[3]-p0[3], entrySize)
+	}
+}
+
+func TestVanillaCustomLevels(t *testing.T) {
+	pt := NewVanilla([]int{10, 10, 10}, nil)
+	if pt.Levels() != 3 {
+		t.Fatalf("Levels = %d", pt.Levels())
+	}
+	pt.Set(0x3FFFFFFF, 5) // max 30-bit key
+	if pfn, ok := pt.Get(0x3FFFFFFF); !ok || pfn != 5 {
+		t.Fatalf("Get = %d,%v", pfn, ok)
+	}
+	_, _, path := pt.Walk(0x3FFFFFFF, nil)
+	if len(path) != 3 {
+		t.Fatalf("walk length %d", len(path))
+	}
+}
+
+func TestVanillaAgainstMapModel(t *testing.T) {
+	pt := NewVanilla(nil, nil)
+	model := map[core.VPN]core.PFN{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 30000; i++ {
+		vpn := core.VPN(rng.Intn(1 << 20))
+		switch rng.Intn(3) {
+		case 0:
+			pfn := core.PFN(rng.Intn(1 << 20))
+			pt.Set(vpn, pfn)
+			model[vpn] = pfn
+		case 1:
+			got, ok := pt.Get(vpn)
+			want, wok := model[vpn]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("Get(%#x) = (%d,%v), model (%d,%v)", vpn, got, ok, want, wok)
+			}
+		case 2:
+			if pt.Unset(vpn) != (func() bool { _, ok := model[vpn]; return ok })() {
+				t.Fatalf("Unset(%#x) disagrees", vpn)
+			}
+			delete(model, vpn)
+		}
+	}
+	if pt.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", pt.Len(), len(model))
+	}
+}
+
+func TestMosaicToCLifecycle(t *testing.T) {
+	pt := NewMosaic(4, nil, nil)
+	if _, ok := pt.Get(5); ok {
+		t.Fatal("hit in empty table")
+	}
+	pt.SetCPFN(5, 10) // MVPN 1, offset 1
+	pt.SetCPFN(6, 11) // MVPN 1, offset 2
+	if pt.Len() != 1 {
+		t.Fatalf("two sub-pages created %d ToCs", pt.Len())
+	}
+	if c, ok := pt.Get(5); !ok || c != 10 {
+		t.Fatalf("Get(5) = %d,%v", c, ok)
+	}
+	if _, ok := pt.Get(4); ok {
+		t.Fatal("unmapped sub-page translated")
+	}
+	toc, ok, path := pt.WalkToC(5, nil)
+	if !ok || len(path) != 4 {
+		t.Fatalf("WalkToC ok=%v levels=%d", ok, len(path))
+	}
+	if len(toc) != 4 || toc[1] != 10 || toc[2] != 11 || toc[0] != core.CPFNInvalid {
+		t.Fatalf("ToC = %v", toc)
+	}
+	// WalkToC of sibling sub-pages sees the same ToC and path.
+	toc2, _, path2 := pt.WalkToC(7, nil)
+	if &toc[0] != &toc2[0] {
+		t.Fatal("sibling sub-pages resolved to different ToCs")
+	}
+	for i := range path {
+		if path[i] != path2[i] {
+			t.Fatal("sibling walk paths differ")
+		}
+	}
+	if !pt.ClearCPFN(5) || pt.ClearCPFN(5) {
+		t.Fatal("ClearCPFN misbehaved")
+	}
+	if _, ok := pt.Get(5); ok {
+		t.Fatal("cleared sub-page still translates")
+	}
+	if c, ok := pt.Get(6); !ok || c != 11 {
+		t.Fatalf("sibling lost after clear: %d,%v", c, ok)
+	}
+	if pt.Len() != 1 {
+		t.Fatalf("ToC dropped by sub-page clear: Len=%d", pt.Len())
+	}
+}
+
+func TestMosaicArityValidation(t *testing.T) {
+	for _, arity := range []int{0, 3, -8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("arity %d should panic", arity)
+				}
+			}()
+			NewMosaic(arity, nil, nil)
+		}()
+	}
+	pt := NewMosaic(64, nil, nil)
+	if pt.Arity() != 64 {
+		t.Fatalf("Arity = %d", pt.Arity())
+	}
+}
+
+func TestBumpAllocatorPageAligned(t *testing.T) {
+	a := BumpAllocator(1 << 30)
+	p1 := a(512 * entrySize)
+	p2 := a(512 * entrySize)
+	if p1 != 1<<30 {
+		t.Fatalf("first allocation at %#x", p1)
+	}
+	if p2-p1 != core.PageSize {
+		t.Fatalf("4 KiB node consumed %d bytes", p2-p1)
+	}
+	p3 := a(100) // sub-page allocation still rounds up
+	if p3-p2 != core.PageSize {
+		t.Fatalf("small node not page aligned: %#x after %#x", p3, p2)
+	}
+}
+
+func TestRadixValidation(t *testing.T) {
+	assertPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("no levels", func() { NewVanilla([]int{}, nil) })
+	assertPanic("zero width", func() { NewVanilla([]int{9, 0}, nil) })
+	assertPanic("too wide", func() { NewVanilla([]int{21}, nil) })
+	assertPanic("too many bits", func() { NewVanilla([]int{15, 15, 15, 15}, nil) })
+}
+
+func BenchmarkVanillaWalk(b *testing.B) {
+	pt := NewVanilla(nil, nil)
+	for v := core.VPN(0); v < 1<<16; v++ {
+		pt.Set(v, core.PFN(v))
+	}
+	path := make([]uint64, 0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, path = pt.Walk(core.VPN(i&(1<<16-1)), path[:0])
+	}
+}
+
+func BenchmarkMosaicWalkToC(b *testing.B) {
+	pt := NewMosaic(4, nil, nil)
+	for v := core.VPN(0); v < 1<<16; v++ {
+		pt.SetCPFN(v, core.CPFN(v&0x37))
+	}
+	path := make([]uint64, 0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, path = pt.WalkToC(core.VPN(i&(1<<16-1)), path[:0])
+	}
+}

@@ -1,0 +1,247 @@
+// Package stats provides the counters, running statistics, and table
+// rendering shared by the experiment harness. Every table and figure in
+// EXPERIMENTS.md is rendered through this package so that outputs are
+// uniform and machine-parsable.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counters is a named set of monotonically increasing event counters.
+type Counters struct {
+	names  []string
+	values map[string]uint64
+}
+
+// NewCounters creates an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{values: make(map[string]uint64)}
+}
+
+// Add increments counter name by delta, creating it on first use.
+func (c *Counters) Add(name string, delta uint64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += delta
+}
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the current value of name (zero if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.values[name] }
+
+// Names returns the counter names in first-use order.
+func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.values))
+	for k, v := range c.values {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters but keeps their registration order.
+func (c *Counters) Reset() {
+	for k := range c.values {
+		c.values[k] = 0
+	}
+}
+
+// String renders the counters as "name=value" pairs in first-use order.
+func (c *Counters) String() string {
+	parts := make([]string, 0, len(c.names))
+	for _, n := range c.names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, c.values[n]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Running accumulates a stream of float64 samples and reports mean and
+// standard deviation, as the paper does for its ten-run averages.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe adds a sample.
+func (r *Running) Observe(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		r.min = math.Min(r.min, x)
+		r.max = math.Max(r.max, x)
+	}
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N is the number of samples observed.
+func (r *Running) N() int { return r.n }
+
+// Mean is the sample mean (zero with no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Stddev is the sample standard deviation (zero with fewer than 2 samples).
+func (r *Running) Stddev() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n-1))
+}
+
+// Min returns the smallest sample (zero with no samples).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (zero with no samples).
+func (r *Running) Max() float64 { return r.max }
+
+// Table accumulates rows of cells and renders them aligned or as CSV.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// NumRows reports the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Percentiles computes the requested percentiles (0..100) of samples.
+// The input slice is not modified.
+func Percentiles(samples []float64, ps ...float64) []float64 {
+	if len(samples) == 0 {
+		return make([]float64, len(ps))
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p <= 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		if p >= 100 {
+			out[i] = sorted[len(sorted)-1]
+			continue
+		}
+		rank := p / 100 * float64(len(sorted)-1)
+		lo := int(math.Floor(rank))
+		frac := rank - float64(lo)
+		out[i] = sorted[lo]
+		if lo+1 < len(sorted) {
+			out[i] += frac * (sorted[lo+1] - sorted[lo])
+		}
+	}
+	return out
+}
+
+// PercentChange returns the percent reduction from base to x, matching the
+// "Difference (%)" column of Table 4: positive means x is smaller (better).
+func PercentChange(base, x float64) float64 {
+	if base == 0 {
+		if x == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return (base - x) / base * 100
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	if c.Get("misses") != 0 {
+		t.Error("unregistered counter should read zero")
+	}
+	c.Inc("misses")
+	c.Add("misses", 4)
+	c.Inc("hits")
+	if c.Get("misses") != 5 || c.Get("hits") != 1 {
+		t.Errorf("misses=%d hits=%d", c.Get("misses"), c.Get("hits"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "misses" || names[1] != "hits" {
+		t.Errorf("Names = %v", names)
+	}
+	snap := c.Snapshot()
+	c.Inc("misses")
+	if snap["misses"] != 5 {
+		t.Error("Snapshot aliases live state")
+	}
+	if got := c.String(); got != "misses=6 hits=1" {
+		t.Errorf("String = %q", got)
+	}
+	c.Reset()
+	if c.Get("misses") != 0 {
+		t.Error("Reset did not zero counters")
+	}
+	if len(c.Names()) != 2 {
+		t.Error("Reset dropped registration order")
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Stddev() != 0 || r.N() != 0 {
+		t.Error("zero-value Running should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Observe(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if got := r.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if got, want := r.Stddev(), math.Sqrt(32.0/7.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Stddev = %v, want %v", got, want)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min=%v Max=%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingleSample(t *testing.T) {
+	var r Running
+	r.Observe(3.5)
+	if r.Mean() != 3.5 || r.Stddev() != 0 || r.Min() != 3.5 || r.Max() != 3.5 {
+		t.Errorf("single sample: mean=%v sd=%v min=%v max=%v", r.Mean(), r.Stddev(), r.Min(), r.Max())
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("Demo", "Workload", "Misses")
+	tb.AddRow("graph500", 12345)
+	tb.AddRow("gups", 7)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "Workload") {
+		t.Errorf("missing title or header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(3.14159)
+	tb.AddRow(42.0)
+	out := tb.String()
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("float not rounded to 2 places:\n%s", out)
+	}
+	if !strings.Contains(out, "42") || strings.Contains(out, "42.00") {
+		t.Errorf("integral float should render without decimals:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := Percentiles(samples, 0, 50, 100)
+	if got[0] != 1 || got[2] != 10 {
+		t.Errorf("extremes = %v", got)
+	}
+	if math.Abs(got[1]-5.5) > 1e-12 {
+		t.Errorf("median = %v, want 5.5", got[1])
+	}
+	// Out-of-range percentiles clamp.
+	got = Percentiles(samples, -5, 150)
+	if got[0] != 1 || got[1] != 10 {
+		t.Errorf("clamped = %v", got)
+	}
+	// Input must not be mutated.
+	shuffled := []float64{3, 1, 2}
+	Percentiles(shuffled, 50)
+	if shuffled[0] != 3 {
+		t.Error("Percentiles mutated its input")
+	}
+	if got := Percentiles(nil, 50); got[0] != 0 {
+		t.Errorf("empty input = %v", got)
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	cases := []struct {
+		base, x, want float64
+	}{
+		{100, 80, 20},
+		{100, 120, -20},
+		{100, 100, 0},
+		{0, 0, 0},
+	}
+	for _, tc := range cases {
+		if got := PercentChange(tc.base, tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("PercentChange(%v,%v) = %v, want %v", tc.base, tc.x, got, tc.want)
+		}
+	}
+	if got := PercentChange(0, 5); !math.IsInf(got, -1) {
+		t.Errorf("PercentChange(0,5) = %v, want -Inf", got)
+	}
+}

@@ -1,0 +1,104 @@
+package swap
+
+import (
+	"fmt"
+
+	"mosaic/internal/core"
+)
+
+// Clock is the classic second-chance (CLOCK) replacement policy: resident
+// pages sit on a ring with a reference bit; the hand sweeps, clearing bits
+// and evicting the first unreferenced page it finds. CLOCK is the
+// traditional low-overhead LRU approximation (pre-dating Linux's two-list
+// design) and completes the baseline set for the eviction ablations.
+type Clock struct {
+	nodes []node // ring links via prev/next; where==onLRU marks residency
+	hand  int    // current hand position (a resident frame), -1 if empty
+	count int
+}
+
+// NewClock creates a CLOCK policy for frames [0, numFrames).
+func NewClock(numFrames int) *Clock {
+	c := &Clock{nodes: make([]node, numFrames), hand: -1}
+	return c
+}
+
+// OnFault implements Policy: the new page joins the ring just behind the
+// hand (so it is swept last) with its reference bit clear.
+func (c *Clock) OnFault(pfn core.PFN) {
+	n := &c.nodes[pfn]
+	if n.where != onNone {
+		panic(fmt.Sprintf("swap: OnFault of tracked frame %d", pfn))
+	}
+	n.where = onLRU
+	n.referenced = false
+	i := int(pfn)
+	if c.hand < 0 {
+		n.prev, n.next = i, i
+		c.hand = i
+	} else {
+		// Insert before the hand.
+		prev := c.nodes[c.hand].prev
+		n.prev, n.next = prev, c.hand
+		c.nodes[prev].next = i
+		c.nodes[c.hand].prev = i
+	}
+	c.count++
+}
+
+// OnAccess implements Policy: set the reference bit (the hardware access
+// bit CLOCK relies on).
+func (c *Clock) OnAccess(pfn core.PFN) {
+	if c.nodes[pfn].where != onLRU {
+		panic(fmt.Sprintf("swap: OnAccess of untracked frame %d", pfn))
+	}
+	c.nodes[pfn].referenced = true
+}
+
+// OnRemove implements Policy.
+func (c *Clock) OnRemove(pfn core.PFN) {
+	n := &c.nodes[pfn]
+	if n.where != onLRU {
+		panic(fmt.Sprintf("swap: OnRemove of untracked frame %d", pfn))
+	}
+	i := int(pfn)
+	if c.count == 1 {
+		c.hand = -1
+	} else {
+		c.nodes[n.prev].next = n.next
+		c.nodes[n.next].prev = n.prev
+		if c.hand == i {
+			c.hand = n.next
+		}
+	}
+	n.where = onNone
+	n.referenced = false
+	n.prev, n.next = 0, 0
+	c.count--
+}
+
+// Victim implements Policy: sweep from the hand, giving referenced pages a
+// second chance, and return the first unreferenced page. The hand stops
+// just past the victim. Terminates within two sweeps (the first clears all
+// bits).
+func (c *Clock) Victim() core.PFN {
+	if c.count == 0 {
+		panic("swap: Victim with no resident pages")
+	}
+	for {
+		n := &c.nodes[c.hand]
+		if n.referenced {
+			n.referenced = false
+			c.hand = n.next
+			continue
+		}
+		victim := core.PFN(c.hand)
+		c.hand = n.next
+		return victim
+	}
+}
+
+// Len implements Policy.
+func (c *Clock) Len() int { return c.count }
+
+var _ Policy = (*Clock)(nil)

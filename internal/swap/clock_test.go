@@ -1,0 +1,133 @@
+package swap
+
+import (
+	"math/rand"
+	"testing"
+
+	"mosaic/internal/core"
+)
+
+func TestClockSecondChance(t *testing.T) {
+	c := NewClock(8)
+	for i := 0; i < 4; i++ {
+		c.OnFault(core.PFN(i))
+	}
+	// Reference 0 and 2; the sweep must clear their bits and evict 1 (the
+	// first unreferenced page at or after the hand).
+	c.OnAccess(0)
+	c.OnAccess(2)
+	if v := c.Victim(); v != 1 {
+		t.Fatalf("Victim = %d, want 1", v)
+	}
+	// 0 and 2 had their chance consumed only if the hand passed them: hand
+	// started at 0 (referenced → cleared), then 1 chosen. So 2 is still
+	// referenced; next victim is 3.
+	if v := c.Victim(); v != 3 {
+		t.Fatalf("second Victim = %d, want 3", v)
+	}
+}
+
+func TestClockAllReferencedTerminates(t *testing.T) {
+	c := NewClock(8)
+	for i := 0; i < 8; i++ {
+		c.OnFault(core.PFN(i))
+		c.OnAccess(core.PFN(i))
+	}
+	// First sweep clears everything; a victim must still emerge.
+	v := c.Victim()
+	if v >= 8 {
+		t.Fatalf("victim %d out of range", v)
+	}
+}
+
+func TestClockRemoveMaintainsRing(t *testing.T) {
+	c := NewClock(8)
+	for i := 0; i < 5; i++ {
+		c.OnFault(core.PFN(i))
+	}
+	c.OnRemove(2)
+	c.OnRemove(0)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Drain: victims must be the remaining pages exactly once.
+	seen := map[core.PFN]bool{}
+	for c.Len() > 0 {
+		v := c.Victim()
+		if seen[v] {
+			t.Fatalf("victim %d repeated", v)
+		}
+		seen[v] = true
+		c.OnRemove(v)
+	}
+	for _, want := range []core.PFN{1, 3, 4} {
+		if !seen[want] {
+			t.Fatalf("page %d never chosen", want)
+		}
+	}
+}
+
+func TestClockPanics(t *testing.T) {
+	c := NewClock(4)
+	assertPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("Victim empty", func() { c.Victim() })
+	assertPanic("OnAccess untracked", func() { c.OnAccess(0) })
+	assertPanic("OnRemove untracked", func() { c.OnRemove(0) })
+	c.OnFault(1)
+	assertPanic("double OnFault", func() { c.OnFault(1) })
+}
+
+func TestClockAgainstModel(t *testing.T) {
+	c := NewClock(128)
+	rng := rand.New(rand.NewSource(7))
+	resident := map[core.PFN]bool{}
+	for i := 0; i < 20000; i++ {
+		pfn := core.PFN(rng.Intn(128))
+		switch {
+		case !resident[pfn]:
+			c.OnFault(pfn)
+			resident[pfn] = true
+		case rng.Intn(5) == 0:
+			c.OnRemove(pfn)
+			delete(resident, pfn)
+		default:
+			c.OnAccess(pfn)
+		}
+		if c.Len() != len(resident) {
+			t.Fatalf("Len = %d, model %d", c.Len(), len(resident))
+		}
+		if len(resident) > 0 && rng.Intn(10) == 0 {
+			v := c.Victim()
+			if !resident[v] {
+				t.Fatalf("victim %d not resident", v)
+			}
+		}
+	}
+}
+
+func TestClockApproximatesLRUOnHotCold(t *testing.T) {
+	// Hot pages (constantly referenced) must survive sweeps; cold pages
+	// must be the victims.
+	c := NewClock(64)
+	for i := 0; i < 16; i++ {
+		c.OnFault(core.PFN(i))
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 8; i++ { // pages 0..7 hot
+			c.OnAccess(core.PFN(i))
+		}
+		v := c.Victim()
+		if v < 8 {
+			t.Fatalf("round %d: hot page %d evicted", round, v)
+		}
+		c.OnRemove(v)
+	}
+}

@@ -1,0 +1,393 @@
+// Package swap implements the page-eviction policies and the swap-device
+// model used by the OS layer.
+//
+// Four policies are provided:
+//
+//   - HorizonLRU (§2.4 of the paper): mosaic's eviction algorithm. It keeps
+//     a horizon — the high-water mark of the access times of all pages it
+//     has evicted. Pages whose last access predates the horizon are ghosts:
+//     still resident, revived for free if touched, but treated as free by
+//     the allocator. On an associativity conflict the policy evicts the
+//     least-recently-used page among the conflicting candidates and raises
+//     the horizon to that page's access time, ghosting everything older —
+//     exactly the set a global LRU would have evicted.
+//
+//   - TwoListLRU: an approximation of Linux's active/inactive list reclaim,
+//     used as the baseline ("Linux" columns of Tables 3 and 4). It inherits
+//     the well-known LRU-approximation weaknesses (e.g. cyclic access
+//     patterns) that §4.3 credits for some of mosaic's wins.
+//
+//   - TrueLRU: exact global LRU, for ablation.
+//
+//   - Clock (clock.go): classic second-chance replacement, for ablation.
+//
+// A Device counts swap I/Os the way sysstat does: one page-out per page
+// written to swap, one page-in per page read back.
+package swap
+
+import (
+	"fmt"
+
+	"mosaic/internal/alloc"
+	"mosaic/internal/core"
+)
+
+// Device models a swap device (the paper uses a 4 GiB ramdisk). It tracks
+// which pages are currently swapped out and counts I/O operations.
+type Device struct {
+	swapped  map[alloc.Owner]bool
+	pageOuts uint64
+	pageIns  uint64
+}
+
+// NewDevice creates an empty swap device.
+func NewDevice() *Device {
+	return &Device{swapped: make(map[alloc.Owner]bool)}
+}
+
+// PageOut records page being written to swap.
+func (d *Device) PageOut(page alloc.Owner) {
+	d.swapped[page] = true
+	d.pageOuts++
+}
+
+// PageIn records page being read back from swap. It reports whether the
+// page was actually swapped out (a demand-zero fault is not a page-in).
+func (d *Device) PageIn(page alloc.Owner) bool {
+	if !d.swapped[page] {
+		return false
+	}
+	delete(d.swapped, page)
+	d.pageIns++
+	return true
+}
+
+// Contains reports whether page is currently swapped out.
+func (d *Device) Contains(page alloc.Owner) bool { return d.swapped[page] }
+
+// Drop removes page from the device without an I/O (e.g. the mapping was
+// destroyed while swapped out).
+func (d *Device) Drop(page alloc.Owner) { delete(d.swapped, page) }
+
+// Clone logically duplicates a swap slot for a new owner without I/O (fork
+// inheriting a swapped-out page). It panics if from is not on the device.
+func (d *Device) Clone(from, to alloc.Owner) {
+	if !d.swapped[from] {
+		panic(fmt.Sprintf("swap: Clone of absent slot %+v", from))
+	}
+	d.swapped[to] = true
+}
+
+// PageOuts is the cumulative number of pages written to swap.
+func (d *Device) PageOuts() uint64 { return d.pageOuts }
+
+// PageIns is the cumulative number of pages read from swap.
+func (d *Device) PageIns() uint64 { return d.pageIns }
+
+// TotalIO is PageOuts + PageIns — the quantity Table 4 reports.
+func (d *Device) TotalIO() uint64 { return d.pageOuts + d.pageIns }
+
+// Resident is the number of pages currently swapped out.
+func (d *Device) Resident() int { return len(d.swapped) }
+
+// HorizonLRU is mosaic's eviction policy. The heavy lifting — ghost
+// detection and reclamation — happens inside the allocator using the
+// horizon this policy maintains; HorizonLRU itself only tracks the horizon
+// and selects conflict victims.
+type HorizonLRU struct {
+	horizon uint64
+}
+
+// NewHorizonLRU creates a policy with a zero horizon (no ghosts).
+func NewHorizonLRU() *HorizonLRU { return &HorizonLRU{} }
+
+// Horizon is the current ghost threshold: resident pages with
+// lastAccess < Horizon() are ghosts.
+func (h *HorizonLRU) Horizon() uint64 { return h.horizon }
+
+// PickVictim chooses the eviction victim for an associativity conflict: the
+// least-recently-used live page among the candidates. It returns false if
+// no candidate is occupied (which would mean the conflict was spurious).
+func (h *HorizonLRU) PickVictim(cands []alloc.Candidate) (alloc.Candidate, bool) {
+	var victim alloc.Candidate
+	found := false
+	for _, c := range cands {
+		if !c.Used {
+			continue
+		}
+		if !found || c.LastAccess < victim.LastAccess {
+			victim, found = c, true
+		}
+	}
+	return victim, found
+}
+
+// NoteEviction raises the horizon to the evicted page's last access time.
+// Every resident page whose last access is older than the new horizon
+// becomes a ghost — the set a global LRU of the same capacity would
+// already have evicted.
+func (h *HorizonLRU) NoteEviction(lastAccess uint64) {
+	if lastAccess > h.horizon {
+		h.horizon = lastAccess
+	}
+}
+
+// Policy is the interface the baseline (fully-associative) OS layer uses to
+// pick reclaim victims. Implementations track residency via OnFault/OnRemove
+// and recency via OnAccess.
+type Policy interface {
+	// OnFault records that pfn became resident.
+	OnFault(pfn core.PFN)
+	// OnAccess records a reference to resident pfn.
+	OnAccess(pfn core.PFN)
+	// OnRemove records that pfn left memory.
+	OnRemove(pfn core.PFN)
+	// Victim selects a resident page to reclaim. It panics if none is
+	// tracked.
+	Victim() core.PFN
+	// Len is the number of tracked resident pages.
+	Len() int
+}
+
+// list node states for the intrusive lists below.
+const (
+	onNone = iota
+	onInactive
+	onActive
+	onLRU
+)
+
+type node struct {
+	prev, next int
+	where      uint8
+	referenced bool
+}
+
+// intrusive doubly-linked list over a shared node arena, identified by a
+// sentinel index.
+type list struct {
+	head int // sentinel node index
+	len  int
+}
+
+func newList(nodes []node, sentinel int) list {
+	nodes[sentinel].prev = sentinel
+	nodes[sentinel].next = sentinel
+	return list{head: sentinel}
+}
+
+func (l *list) pushFront(nodes []node, i int) {
+	n := &nodes[i]
+	h := &nodes[l.head]
+	n.next = h.next
+	n.prev = l.head
+	nodes[h.next].prev = i
+	h.next = i
+	l.len++
+}
+
+func (l *list) remove(nodes []node, i int) {
+	n := &nodes[i]
+	nodes[n.prev].next = n.next
+	nodes[n.next].prev = n.prev
+	n.prev, n.next = i, i
+	l.len--
+}
+
+func (l *list) tail(nodes []node) (int, bool) {
+	if l.len == 0 {
+		return 0, false
+	}
+	return nodes[l.head].prev, true
+}
+
+// TrueLRU is an exact global least-recently-used policy.
+type TrueLRU struct {
+	nodes []node
+	lru   list // front = most recent
+	count int
+}
+
+// NewTrueLRU creates a policy for frames [0, numFrames).
+func NewTrueLRU(numFrames int) *TrueLRU {
+	nodes := make([]node, numFrames+1)
+	t := &TrueLRU{nodes: nodes}
+	t.lru = newList(nodes, numFrames)
+	return t
+}
+
+// OnFault implements Policy.
+func (t *TrueLRU) OnFault(pfn core.PFN) {
+	n := &t.nodes[pfn]
+	if n.where != onNone {
+		panic(fmt.Sprintf("swap: OnFault of tracked frame %d", pfn))
+	}
+	n.where = onLRU
+	t.lru.pushFront(t.nodes, int(pfn))
+	t.count++
+}
+
+// OnAccess implements Policy.
+func (t *TrueLRU) OnAccess(pfn core.PFN) {
+	if t.nodes[pfn].where != onLRU {
+		panic(fmt.Sprintf("swap: OnAccess of untracked frame %d", pfn))
+	}
+	t.lru.remove(t.nodes, int(pfn))
+	t.lru.pushFront(t.nodes, int(pfn))
+}
+
+// OnRemove implements Policy.
+func (t *TrueLRU) OnRemove(pfn core.PFN) {
+	if t.nodes[pfn].where != onLRU {
+		panic(fmt.Sprintf("swap: OnRemove of untracked frame %d", pfn))
+	}
+	t.lru.remove(t.nodes, int(pfn))
+	t.nodes[pfn].where = onNone
+	t.count--
+}
+
+// Victim implements Policy: the globally least-recently-used page.
+func (t *TrueLRU) Victim() core.PFN {
+	i, ok := t.lru.tail(t.nodes)
+	if !ok {
+		panic("swap: Victim with no resident pages")
+	}
+	return core.PFN(i)
+}
+
+// Len implements Policy.
+func (t *TrueLRU) Len() int { return t.count }
+
+// TwoListLRU approximates Linux's split LRU: pages enter the inactive list
+// on fault; a second reference while inactive promotes them to the active
+// list. Reclaim scans the inactive tail with second chances and demotes
+// active pages to keep the lists balanced, mirroring kswapd's
+// shrink_active_list/shrink_inactive_list structure.
+type TwoListLRU struct {
+	nodes    []node
+	active   list
+	inactive list
+	count    int
+}
+
+// NewTwoListLRU creates a policy for frames [0, numFrames).
+func NewTwoListLRU(numFrames int) *TwoListLRU {
+	nodes := make([]node, numFrames+2)
+	p := &TwoListLRU{nodes: nodes}
+	p.active = newList(nodes, numFrames)
+	p.inactive = newList(nodes, numFrames+1)
+	return p
+}
+
+// OnFault implements Policy: new pages start on the inactive list, not yet
+// referenced (matching Linux's treatment of freshly faulted anon pages,
+// which start inactive when there is reclaim pressure).
+func (p *TwoListLRU) OnFault(pfn core.PFN) {
+	n := &p.nodes[pfn]
+	if n.where != onNone {
+		panic(fmt.Sprintf("swap: OnFault of tracked frame %d", pfn))
+	}
+	n.where = onInactive
+	n.referenced = false
+	p.inactive.pushFront(p.nodes, int(pfn))
+	p.count++
+}
+
+// OnAccess implements Policy: the first reference sets the referenced bit
+// (hardware access bit); a reference to an already-referenced inactive page
+// promotes it to the active list.
+func (p *TwoListLRU) OnAccess(pfn core.PFN) {
+	n := &p.nodes[pfn]
+	switch n.where {
+	case onInactive:
+		if n.referenced {
+			p.inactive.remove(p.nodes, int(pfn))
+			n.where = onActive
+			n.referenced = false
+			p.active.pushFront(p.nodes, int(pfn))
+		} else {
+			n.referenced = true
+		}
+	case onActive:
+		n.referenced = true
+	default:
+		panic(fmt.Sprintf("swap: OnAccess of untracked frame %d", pfn))
+	}
+}
+
+// OnRemove implements Policy.
+func (p *TwoListLRU) OnRemove(pfn core.PFN) {
+	n := &p.nodes[pfn]
+	switch n.where {
+	case onInactive:
+		p.inactive.remove(p.nodes, int(pfn))
+	case onActive:
+		p.active.remove(p.nodes, int(pfn))
+	default:
+		panic(fmt.Sprintf("swap: OnRemove of untracked frame %d", pfn))
+	}
+	n.where = onNone
+	n.referenced = false
+	p.count--
+}
+
+// Victim implements Policy. It first rebalances (demoting active-tail pages
+// while the active list outnumbers the inactive list), then scans the
+// inactive tail: referenced pages get a second chance (promotion), the
+// first unreferenced page is the victim.
+func (p *TwoListLRU) Victim() core.PFN {
+	if p.count == 0 {
+		panic("swap: Victim with no resident pages")
+	}
+	// shrink_active_list: demote from the active tail, clearing the
+	// referenced bit, until the lists are balanced.
+	for p.active.len > p.inactive.len {
+		i, _ := p.active.tail(p.nodes)
+		p.active.remove(p.nodes, i)
+		p.nodes[i].where = onInactive
+		p.nodes[i].referenced = false
+		p.inactive.pushFront(p.nodes, i)
+	}
+	// shrink_inactive_list: second-chance scan of the inactive tail. Each
+	// promotion shrinks the inactive list, so this terminates — in the
+	// worst case by draining the inactive list and rebalancing again.
+	for {
+		i, ok := p.inactive.tail(p.nodes)
+		if !ok {
+			for p.active.len > 0 && p.inactive.len < 1 {
+				j, _ := p.active.tail(p.nodes)
+				p.active.remove(p.nodes, j)
+				p.nodes[j].where = onInactive
+				p.nodes[j].referenced = false
+				p.inactive.pushFront(p.nodes, j)
+			}
+			i, ok = p.inactive.tail(p.nodes)
+			if !ok {
+				panic("swap: two-list policy lost all pages")
+			}
+		}
+		n := &p.nodes[i]
+		if n.referenced {
+			p.inactive.remove(p.nodes, i)
+			n.where = onActive
+			n.referenced = false
+			p.active.pushFront(p.nodes, i)
+			continue
+		}
+		return core.PFN(i)
+	}
+}
+
+// Len implements Policy.
+func (p *TwoListLRU) Len() int { return p.count }
+
+// ActiveLen reports the active-list length (diagnostic).
+func (p *TwoListLRU) ActiveLen() int { return p.active.len }
+
+// InactiveLen reports the inactive-list length (diagnostic).
+func (p *TwoListLRU) InactiveLen() int { return p.inactive.len }
+
+var (
+	_ Policy = (*TrueLRU)(nil)
+	_ Policy = (*TwoListLRU)(nil)
+)

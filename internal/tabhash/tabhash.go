@@ -1,0 +1,110 @@
+// Package tabhash implements tabulation hashing with multi-output probing,
+// the hash-function design the paper places on the TLB critical path
+// (§3.1, Figure 4).
+//
+// A tabulation hasher holds one static 256-entry table of 32-bit values per
+// input byte. The hash of an input is the XOR of one entry from each table,
+// indexed by the corresponding input byte. To produce several independent
+// hash outputs from a single set of tables (one per iceberg bucket choice),
+// the hasher probes: output j indexes each table at (byte + j) mod 256.
+// Probing avoids replicating the tables per hash function — in hardware,
+// per Table 5, it costs only wider muxes, not extra latency.
+package tabhash
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mosaic/internal/core"
+)
+
+// Hasher is a tabulation hash with nt tables and support for multi-output
+// probing. It is safe for concurrent use after construction.
+type Hasher struct {
+	tables [][256]uint32
+}
+
+// New constructs a Hasher over inputs of numBytes bytes. The static tables
+// are filled with pseudorandom values derived deterministically from seed —
+// the software analogue of the synthesized lookup tables in the paper's
+// Verilog implementation.
+func New(numBytes int, seed uint64) *Hasher {
+	if numBytes <= 0 {
+		panic(fmt.Sprintf("tabhash: table count %d must be positive", numBytes))
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	h := &Hasher{tables: make([][256]uint32, numBytes)}
+	for t := range h.tables {
+		for i := range h.tables[t] {
+			h.tables[t][i] = rng.Uint32()
+		}
+	}
+	return h
+}
+
+// NumTables is the number of static tables (input width in bytes).
+func (h *Hasher) NumTables() int { return len(h.tables) }
+
+// Hash computes output fn of the tabulation hash of input. Only the low
+// NumTables() bytes of input participate. fn is the probe offset (the hash
+// function id from Figure 4); fn = 0 is the unprobed hash.
+func (h *Hasher) Hash(input uint64, fn int) uint32 {
+	var out uint32
+	for t := range h.tables {
+		b := byte(input >> (8 * t))
+		out ^= h.tables[t][(int(b)+fn)&0xFF]
+	}
+	return out
+}
+
+// HashBytes computes output fn over an explicit byte string; it panics if
+// the input length does not match the table count.
+func (h *Hasher) HashBytes(input []byte, fn int) uint32 {
+	if len(input) != len(h.tables) {
+		panic(fmt.Sprintf("tabhash: input length %d, want %d", len(input), len(h.tables)))
+	}
+	var out uint32
+	for t, b := range input {
+		out ^= h.tables[t][(int(b)+fn)&0xFF]
+	}
+	return out
+}
+
+// HashAll fills dst[j] with output j for j in [0, len(dst)) — the
+// hardware-parallel form: all H outputs computed from one table read pass.
+func (h *Hasher) HashAll(input uint64, dst []uint32) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for t := range h.tables {
+		b := int(byte(input >> (8 * t)))
+		for j := range dst {
+			dst[j] ^= h.tables[t][(b+j)&0xFF]
+		}
+	}
+}
+
+// Placement adapts a Hasher to core.PlacementHash: the hash of (asid, vpn)
+// under placement function fn. The ASID is mixed into the top bytes of the
+// hashed word so that distinct address spaces get independent constraint
+// sets, as in the paper's (ASID, VPN) hashing.
+type Placement struct {
+	h *Hasher
+}
+
+// NewPlacement builds a placement hash over (ASID, VPN) pairs. It hashes a
+// 64-bit word: the VPN in the low 40 bits (36-bit VPNs fit, per Table 1a)
+// XOR-folded with the ASID in the high bits.
+func NewPlacement(seed uint64) *Placement {
+	return &Placement{h: New(8, seed)}
+}
+
+// Hash implements core.PlacementHash.
+func (p *Placement) Hash(asid core.ASID, vpn core.VPN, fn int) uint64 {
+	word := uint64(vpn) ^ uint64(asid)<<40
+	// Widen the 32-bit tabulation output to 64 bits by combining two probe
+	// lanes; placement only needs enough entropy to pick a bucket.
+	lo := uint64(p.h.Hash(word, fn*2))
+	hi := uint64(p.h.Hash(word, fn*2+1))
+	return hi<<32 | lo
+}

@@ -1,0 +1,148 @@
+package tabhash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(8, 1), New(8, 1)
+	for i := uint64(0); i < 100; i++ {
+		for fn := 0; fn < 8; fn++ {
+			if a.Hash(i*0x9E37, fn) != b.Hash(i*0x9E37, fn) {
+				t.Fatalf("hashers with equal seeds disagree at input %d fn %d", i, fn)
+			}
+		}
+	}
+}
+
+func TestSeedSensitivity(t *testing.T) {
+	a, b := New(8, 1), New(8, 2)
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if a.Hash(i, 0) == b.Hash(i, 0) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("hashers with different seeds agree on %d/1000 inputs", same)
+	}
+}
+
+func TestProbedOutputsDiffer(t *testing.T) {
+	h := New(8, 7)
+	for i := uint64(0); i < 256; i++ {
+		seen := make(map[uint32]int)
+		for fn := 0; fn < 8; fn++ {
+			v := h.Hash(i, fn)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("input %d: probes %d and %d collide", i, prev, fn)
+			}
+			seen[v] = fn
+		}
+	}
+}
+
+func TestHashAllMatchesHash(t *testing.T) {
+	h := New(8, 3)
+	dst := make([]uint32, 8)
+	f := func(input uint64) bool {
+		h.HashAll(input, dst)
+		for fn := range dst {
+			if dst[fn] != h.Hash(input, fn) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashBytesMatchesHash(t *testing.T) {
+	h := New(8, 3)
+	f := func(input uint64) bool {
+		var buf [8]byte
+		for i := range buf {
+			buf[i] = byte(input >> (8 * i))
+		}
+		return h.HashBytes(buf[:], 2) == h.Hash(input, 2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashBytesWrongLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HashBytes with wrong length should panic")
+		}
+	}()
+	New(8, 1).HashBytes([]byte{1, 2, 3}, 0)
+}
+
+func TestNewZeroTablesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, …) should panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestOnlyLowBytesParticipate(t *testing.T) {
+	// A 4-table hasher must ignore bytes 4..7 of the input.
+	h := New(4, 9)
+	if h.Hash(0x00000000_11223344, 0) != h.Hash(0xDEADBEEF_11223344, 0) {
+		t.Error("high input bytes changed a 4-table hash")
+	}
+}
+
+func TestUniformBuckets(t *testing.T) {
+	// Sequential VPNs — the adversarial-for-weak-hashes pattern placement
+	// actually sees — must spread evenly over buckets.
+	h := New(8, 11)
+	const n, buckets = 1 << 16, 64
+	counts := make([]int, buckets)
+	for i := uint64(0); i < n; i++ {
+		counts[h.Hash(i, 0)%buckets]++
+	}
+	mean := float64(n) / buckets
+	for b, c := range counts {
+		if ratio := float64(c) / mean; ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("bucket %d has %d entries (%.0f%% of mean)", b, c, 100*ratio)
+		}
+	}
+}
+
+func TestPlacementProperties(t *testing.T) {
+	p := NewPlacement(5)
+	if p.Hash(1, 100, 0) == p.Hash(2, 100, 0) {
+		t.Error("ASID does not influence placement")
+	}
+	if p.Hash(1, 100, 0) == p.Hash(1, 101, 0) {
+		t.Error("VPN does not influence placement")
+	}
+	if p.Hash(1, 100, 0) == p.Hash(1, 100, 1) {
+		t.Error("function index does not influence placement")
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	h := New(8, 1)
+	var acc uint32
+	for i := 0; i < b.N; i++ {
+		acc ^= h.Hash(uint64(i), i&7)
+	}
+	_ = acc
+}
+
+func BenchmarkHashAll8(b *testing.B) {
+	h := New(8, 1)
+	dst := make([]uint32, 8)
+	for i := 0; i < b.N; i++ {
+		h.HashAll(uint64(i), dst)
+	}
+}

@@ -1,0 +1,114 @@
+package tlb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mosaic/internal/core"
+)
+
+// Entry storage accounting (§3.1): current x86 TLBs store 36-bit PFNs; a
+// mosaic ToC of arity 4 with 7-bit CPFNs is 28 bits — *smaller* — while
+// covering 4× the memory. These helpers quantify storage per entry and
+// reach per stored bit across designs, the analysis behind the paper's
+// claim that arity 4 is free and arities up to 64 are plausible with
+// modestly wider entries.
+
+// BitsConfig fixes the address widths for entry accounting. The zero value
+// uses the paper's platform (Table 1a): 36-bit VPNs and PFNs, 12 metadata
+// bits (permissions, accessed/dirty, ASID tag — tracked per entry).
+type BitsConfig struct {
+	VPNBits  int
+	PFNBits  int
+	MetaBits int
+}
+
+func (c *BitsConfig) applyDefaults() {
+	if c.VPNBits == 0 {
+		c.VPNBits = 36
+	}
+	if c.PFNBits == 0 {
+		c.PFNBits = 36
+	}
+	if c.MetaBits == 0 {
+		c.MetaBits = 12
+	}
+}
+
+// log2 of a power-of-two set count.
+func setBits(g Geometry) int {
+	return bits.Len(uint(g.Sets())) - 1
+}
+
+// VanillaEntryBits is the storage of one conventional entry: the VPN tag
+// (minus the set-index bits, which the position encodes), the PFN, a valid
+// bit, and metadata.
+func VanillaEntryBits(g Geometry, cfg BitsConfig) int {
+	cfg.applyDefaults()
+	tag := cfg.VPNBits - setBits(g)
+	return tag + cfg.PFNBits + 1 + cfg.MetaBits
+}
+
+// MosaicEntryBits is the storage of one mosaic entry: the MVPN tag (the
+// arity bits disappear into the ToC index, the set bits into the position),
+// arity CPFNs (sub-page validity is in-band: the all-ones CPFN), a valid
+// bit, and metadata at mosaic-page granularity (§3.1).
+func MosaicEntryBits(g Geometry, arity int, geom core.Geometry, cfg BitsConfig) int {
+	cfg.applyDefaults()
+	if arity <= 0 || arity&(arity-1) != 0 {
+		panic(fmt.Sprintf("tlb: arity %d not a positive power of two", arity))
+	}
+	arityBits := bits.Len(uint(arity)) - 1
+	tag := cfg.VPNBits - arityBits - setBits(g)
+	if tag < 0 {
+		tag = 0
+	}
+	return tag + arity*geom.CPFNBits() + 1 + cfg.MetaBits
+}
+
+// ReachPerBit reports TLB reach (bytes mapped by a full TLB) divided by
+// total entry storage (bits) — the efficiency metric that improves with
+// compression.
+func ReachPerBit(entries, entryBits int, pagesPerEntry int) float64 {
+	total := float64(entries * entryBits)
+	if total == 0 {
+		return 0
+	}
+	return float64(entries*pagesPerEntry) * core.PageSize / total
+}
+
+// BitsRow is one design's storage/reach accounting.
+type BitsRow struct {
+	Design       string
+	EntryBits    int
+	TotalKiB     float64 // total TLB payload storage
+	ReachMiB     float64 // memory covered by a full TLB
+	ReachPerBit  float64 // bytes of reach per stored bit
+	VsVanillaPct float64 // entry size vs the vanilla entry
+}
+
+// BitsTable computes the accounting for a vanilla design plus each mosaic
+// arity at the given TLB geometry and iceberg geometry.
+func BitsTable(g Geometry, arities []int, iceberg core.Geometry, cfg BitsConfig) []BitsRow {
+	cfg.applyDefaults()
+	vb := VanillaEntryBits(g, cfg)
+	rows := []BitsRow{{
+		Design:      "Vanilla",
+		EntryBits:   vb,
+		TotalKiB:    float64(g.Entries*vb) / 8 / 1024,
+		ReachMiB:    float64(g.Entries) * core.PageSize / (1 << 20),
+		ReachPerBit: ReachPerBit(g.Entries, vb, 1),
+	}}
+	for _, a := range arities {
+		mb := MosaicEntryBits(g, a, iceberg, cfg)
+		rows = append(rows, BitsRow{
+			Design:       fmt.Sprintf("Mosaic-%d", a),
+			EntryBits:    mb,
+			TotalKiB:     float64(g.Entries*mb) / 8 / 1024,
+			ReachMiB:     float64(g.Entries*a) * core.PageSize / (1 << 20),
+			ReachPerBit:  ReachPerBit(g.Entries, mb, a),
+			VsVanillaPct: 100 * (float64(mb) - float64(vb)) / float64(vb),
+		})
+	}
+	return rows
+}

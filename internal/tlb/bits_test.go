@@ -1,0 +1,102 @@
+package tlb
+
+import (
+	"testing"
+
+	"mosaic/internal/core"
+)
+
+func TestMosaic4ToCSmallerThanPFN(t *testing.T) {
+	// §3.1: "This yields ToCs of 28 bits, which mean that TLB entries are
+	// smaller than the 36-bit PFNs stored in most current x86 TLBs."
+	g := Geometry{Entries: 1024, Ways: 8}
+	toc := 4 * core.DefaultGeometry.CPFNBits()
+	if toc != 28 {
+		t.Fatalf("arity-4 ToC = %d bits, want 28", toc)
+	}
+	if toc >= 36 {
+		t.Fatal("ToC not smaller than a 36-bit PFN")
+	}
+	// Whole-entry comparison: the mosaic entry saves the PFN-vs-ToC
+	// difference (8 bits) AND two tag bits (the MVPN is 2 bits shorter
+	// than the VPN), so it is 10 bits smaller net.
+	vb := VanillaEntryBits(g, BitsConfig{})
+	mb := MosaicEntryBits(g, 4, core.DefaultGeometry, BitsConfig{})
+	if mb >= vb {
+		t.Errorf("Mosaic-4 entry (%d bits) not smaller than vanilla (%d bits)", mb, vb)
+	}
+	if vb-mb != (36-28)+2 {
+		t.Errorf("entry delta = %d bits, want 10 (8 payload + 2 tag)", vb-mb)
+	}
+}
+
+func TestVanillaEntryBitsComposition(t *testing.T) {
+	// 1024-entry 8-way: 128 sets → 7 index bits off the 36-bit tag.
+	g := Geometry{Entries: 1024, Ways: 8}
+	want := (36 - 7) + 36 + 1 + 12
+	if got := VanillaEntryBits(g, BitsConfig{}); got != want {
+		t.Errorf("VanillaEntryBits = %d, want %d", got, want)
+	}
+	// Fully associative: no index bits.
+	gFull := Geometry{Entries: 1024, Ways: 1024}
+	if got := VanillaEntryBits(gFull, BitsConfig{}); got != 36+36+1+12 {
+		t.Errorf("fully-associative VanillaEntryBits = %d", got)
+	}
+}
+
+func TestMosaicEntryBitsGrowsLinearly(t *testing.T) {
+	g := Geometry{Entries: 1024, Ways: 8}
+	prev := 0
+	for _, a := range []int{4, 8, 16, 32, 64} {
+		b := MosaicEntryBits(g, a, core.DefaultGeometry, BitsConfig{})
+		if b <= prev {
+			t.Errorf("arity %d entry bits %d not increasing", a, b)
+		}
+		prev = b
+	}
+	// Arity 64: 64×7 = 448 payload bits — wide but "plausible without
+	// prohibitive costs" per §1; confirm the number.
+	b64 := MosaicEntryBits(g, 64, core.DefaultGeometry, BitsConfig{})
+	tag := 36 - 6 - 7 // VPN − arity − index
+	if b64 != tag+448+1+12 {
+		t.Errorf("arity-64 entry = %d bits", b64)
+	}
+}
+
+func TestReachPerBitImprovesWithArity(t *testing.T) {
+	g := Geometry{Entries: 1024, Ways: 8}
+	rows := BitsTable(g, []int{4, 16, 64}, core.DefaultGeometry, BitsConfig{})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Design != "Vanilla" {
+		t.Fatalf("first row = %s", rows[0].Design)
+	}
+	prev := rows[0].ReachPerBit
+	for _, r := range rows[1:] {
+		if r.ReachPerBit <= prev {
+			t.Errorf("%s: reach/bit %f not above previous %f", r.Design, r.ReachPerBit, prev)
+		}
+		prev = r.ReachPerBit
+	}
+	// Vanilla 1024-entry reach = 4 MiB.
+	if rows[0].ReachMiB != 4 {
+		t.Errorf("vanilla reach = %f MiB", rows[0].ReachMiB)
+	}
+	if rows[3].ReachMiB != 256 {
+		t.Errorf("mosaic-64 reach = %f MiB", rows[3].ReachMiB)
+	}
+	// Mosaic-4 entries are smaller than vanilla's.
+	if rows[1].VsVanillaPct >= 0 {
+		t.Errorf("Mosaic-4 entry size vs vanilla = %+.1f%%, want negative", rows[1].VsVanillaPct)
+	}
+}
+
+func TestMosaicEntryBitsBadArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad arity should panic")
+		}
+	}()
+	MosaicEntryBits(Geometry{Entries: 16, Ways: 4}, 3, core.DefaultGeometry, BitsConfig{})
+}

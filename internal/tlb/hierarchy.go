@@ -1,0 +1,105 @@
+package tlb
+
+import "mosaic/internal/core"
+
+// Real processors split the TLB into a small, fast L1 and a larger L2
+// (Table 1a's gem5 model uses a single level; Intel's Golden Cove, which
+// the paper's introduction cites, has both). These hierarchies wrap two
+// TLBs of the same kind: an L1 miss falls through to the L2, an L2 hit
+// refills the L1, and an L2 miss goes to the page-table walker, which
+// fills both levels. Misses that reach the walker are the expensive ones,
+// so Stats of the L2 are the figure-of-merit; L1 stats measure the fast
+// path.
+
+// VanillaHierarchy is a two-level conventional TLB.
+type VanillaHierarchy struct {
+	l1, l2 *Vanilla
+}
+
+// NewVanillaHierarchy builds a two-level vanilla TLB.
+func NewVanillaHierarchy(l1, l2 Geometry) *VanillaHierarchy {
+	return &VanillaHierarchy{l1: NewVanilla(l1), l2: NewVanilla(l2)}
+}
+
+// L1Stats returns the first-level counters.
+func (h *VanillaHierarchy) L1Stats() Stats { return h.l1.Stats() }
+
+// L2Stats returns the second-level counters; its misses are page-table
+// walks.
+func (h *VanillaHierarchy) L2Stats() Stats { return h.l2.Stats() }
+
+// Lookup translates vpn through both levels. It reports whether any level
+// hit; a false return means a walk is required, after which the caller
+// must Insert.
+func (h *VanillaHierarchy) Lookup(vpn core.VPN) (core.PFN, bool) {
+	if pfn, ok := h.l1.Lookup(vpn); ok {
+		return pfn, true
+	}
+	if pfn, ok := h.l2.Lookup(vpn); ok {
+		h.l1.Insert(vpn, pfn) // refill the fast level
+		return pfn, true
+	}
+	return 0, false
+}
+
+// Insert fills both levels after a walk.
+func (h *VanillaHierarchy) Insert(vpn core.VPN, pfn core.PFN) {
+	h.l2.Insert(vpn, pfn)
+	h.l1.Insert(vpn, pfn)
+}
+
+// Invalidate shoots vpn down from both levels.
+func (h *VanillaHierarchy) Invalidate(vpn core.VPN) bool {
+	a := h.l1.Invalidate(vpn)
+	b := h.l2.Invalidate(vpn)
+	return a || b
+}
+
+// MosaicHierarchy is a two-level mosaic TLB; both levels share one arity.
+type MosaicHierarchy struct {
+	l1, l2 *Mosaic
+}
+
+// NewMosaicHierarchy builds a two-level mosaic TLB.
+func NewMosaicHierarchy(l1, l2 Geometry, arity int) *MosaicHierarchy {
+	return &MosaicHierarchy{l1: NewMosaic(l1, arity), l2: NewMosaic(l2, arity)}
+}
+
+// Arity is the sub-pages per entry.
+func (h *MosaicHierarchy) Arity() int { return h.l1.Arity() }
+
+// L1Stats returns the first-level counters.
+func (h *MosaicHierarchy) L1Stats() Stats { return h.l1.Stats() }
+
+// L2Stats returns the second-level counters; its misses are walks.
+func (h *MosaicHierarchy) L2Stats() Stats { return h.l2.Stats() }
+
+// Lookup translates vpn through both levels. An L2 hit refills the L1 by
+// copying the whole ToC from the L2 entry (the hardware moves the entry,
+// not one sub-page).
+func (h *MosaicHierarchy) Lookup(vpn core.VPN) (core.CPFN, bool) {
+	if c, ok := h.l1.Lookup(vpn); ok {
+		return c, true
+	}
+	if c, ok := h.l2.Lookup(vpn); ok {
+		mvpn, _ := core.MosaicPage(vpn, h.l2.arity)
+		if toc, found := h.l2.set(mvpn).peek(uint64(mvpn)); found {
+			h.l1.Insert(vpn, *toc)
+		}
+		return c, true
+	}
+	return core.CPFNInvalid, false
+}
+
+// Insert fills both levels after a walk.
+func (h *MosaicHierarchy) Insert(vpn core.VPN, toc ToC) {
+	h.l2.Insert(vpn, toc)
+	h.l1.Insert(vpn, toc)
+}
+
+// InvalidateSub clears vpn's sub-entry in both levels.
+func (h *MosaicHierarchy) InvalidateSub(vpn core.VPN) bool {
+	a := h.l1.InvalidateSub(vpn)
+	b := h.l2.InvalidateSub(vpn)
+	return a || b
+}

@@ -1,0 +1,97 @@
+package tlb
+
+import (
+	"testing"
+
+	"mosaic/internal/core"
+)
+
+func TestVanillaHierarchyFlow(t *testing.T) {
+	h := NewVanillaHierarchy(Geometry{Entries: 4, Ways: 4}, Geometry{Entries: 64, Ways: 8})
+	if _, ok := h.Lookup(10); ok {
+		t.Fatal("hit in empty hierarchy")
+	}
+	h.Insert(10, 100)
+	// L1 hit.
+	if pfn, ok := h.Lookup(10); !ok || pfn != 100 {
+		t.Fatalf("Lookup = %d,%v", pfn, ok)
+	}
+	if h.L1Stats().Hits != 1 {
+		t.Fatalf("L1 stats %+v", h.L1Stats())
+	}
+	// Push 10 out of the tiny L1 with 4 other entries (same set coverage).
+	for v := core.VPN(20); v < 24; v++ {
+		h.Insert(v, core.PFN(v))
+	}
+	// 10 must still hit via L2 (and be refilled to L1).
+	l2Hits := h.L2Stats().Hits
+	if pfn, ok := h.Lookup(10); !ok || pfn != 100 {
+		t.Fatalf("post-L1-eviction Lookup = %d,%v", pfn, ok)
+	}
+	if h.L2Stats().Hits != l2Hits+1 {
+		t.Fatal("L2 did not serve the refill")
+	}
+	// Refilled: next lookup hits L1 (L2 hit count unchanged).
+	if _, ok := h.Lookup(10); !ok {
+		t.Fatal("refilled entry missed")
+	}
+	if h.L2Stats().Hits != l2Hits+1 {
+		t.Fatal("refill did not land in L1")
+	}
+}
+
+func TestVanillaHierarchyInvalidate(t *testing.T) {
+	h := NewVanillaHierarchy(Geometry{Entries: 4, Ways: 4}, Geometry{Entries: 64, Ways: 8})
+	h.Insert(5, 50)
+	if !h.Invalidate(5) {
+		t.Fatal("Invalidate = false")
+	}
+	if _, ok := h.Lookup(5); ok {
+		t.Fatal("hit after invalidate (stale in one level?)")
+	}
+	if h.Invalidate(5) {
+		t.Fatal("double Invalidate = true")
+	}
+}
+
+func TestMosaicHierarchyFlow(t *testing.T) {
+	h := NewMosaicHierarchy(Geometry{Entries: 2, Ways: 2}, Geometry{Entries: 64, Ways: 8}, 4)
+	if h.Arity() != 4 {
+		t.Fatalf("Arity = %d", h.Arity())
+	}
+	h.Insert(0, ToC{1, 2, 3, 4})
+	if c, ok := h.Lookup(2); !ok || c != 3 {
+		t.Fatalf("Lookup = %d,%v", c, ok)
+	}
+	// Evict MVPN 0 from the 2-entry L1.
+	h.Insert(4, ToC{5, 5, 5, 5})
+	h.Insert(8, ToC{6, 6, 6, 6})
+	l2Hits := h.L2Stats().Hits
+	if c, ok := h.Lookup(1); !ok || c != 2 {
+		t.Fatalf("L2-served Lookup = %d,%v", c, ok)
+	}
+	if h.L2Stats().Hits != l2Hits+1 {
+		t.Fatal("L2 did not serve after L1 eviction")
+	}
+	// Whole ToC refilled into L1: sibling sub-page now hits without L2.
+	if c, ok := h.Lookup(3); !ok || c != 4 {
+		t.Fatalf("sibling after refill = %d,%v", c, ok)
+	}
+	if h.L2Stats().Hits != l2Hits+1 {
+		t.Fatal("ToC refill incomplete: sibling went to L2")
+	}
+}
+
+func TestMosaicHierarchyInvalidateSub(t *testing.T) {
+	h := NewMosaicHierarchy(Geometry{Entries: 4, Ways: 4}, Geometry{Entries: 64, Ways: 8}, 4)
+	h.Insert(0, ToC{1, 2, 3, 4})
+	if !h.InvalidateSub(2) {
+		t.Fatal("InvalidateSub = false")
+	}
+	if _, ok := h.Lookup(2); ok {
+		t.Fatal("invalidated sub-page hits")
+	}
+	if _, ok := h.Lookup(1); !ok {
+		t.Fatal("sibling sub-page lost")
+	}
+}

@@ -1,0 +1,215 @@
+// Package tlb implements the set-associative TLB models of §3.1: a
+// conventional ("vanilla") TLB mapping VPNs to PFNs, and a mosaic TLB
+// mapping MVPNs to tables of contents (ToCs) of compressed physical frame
+// numbers. Both share the same cache geometry machinery so that, as in the
+// paper's gem5 model, the two designs differ only in what an entry stores.
+package tlb
+
+import "fmt"
+
+// set is one associativity set with O(1) lookup and true-LRU replacement,
+// generic over the entry payload. Slot 0..ways-1 are chained into an LRU
+// list; a map provides tag lookup so fully-associative configurations stay
+// O(1).
+type set[P any] struct {
+	index   map[uint64]int32
+	tags    []uint64
+	payload []P
+	prev    []int32
+	next    []int32
+	free    []int32
+	head    int32 // most recently used
+	tail    int32 // least recently used
+}
+
+func newSet[P any](ways int) *set[P] {
+	s := &set[P]{
+		index:   make(map[uint64]int32, ways),
+		tags:    make([]uint64, ways),
+		payload: make([]P, ways),
+		prev:    make([]int32, ways),
+		next:    make([]int32, ways),
+		free:    make([]int32, 0, ways),
+		head:    -1,
+		tail:    -1,
+	}
+	for i := ways - 1; i >= 0; i-- {
+		s.free = append(s.free, int32(i))
+	}
+	return s
+}
+
+// get returns a pointer to the payload for tag, promoting it to MRU.
+func (s *set[P]) get(tag uint64) (*P, bool) {
+	i, ok := s.index[tag]
+	if !ok {
+		return nil, false
+	}
+	s.promote(i)
+	return &s.payload[i], true
+}
+
+// peek returns the payload without touching recency.
+func (s *set[P]) peek(tag uint64) (*P, bool) {
+	i, ok := s.index[tag]
+	if !ok {
+		return nil, false
+	}
+	return &s.payload[i], true
+}
+
+func (s *set[P]) unlink(i int32) {
+	if s.prev[i] >= 0 {
+		s.next[s.prev[i]] = s.next[i]
+	} else {
+		s.head = s.next[i]
+	}
+	if s.next[i] >= 0 {
+		s.prev[s.next[i]] = s.prev[i]
+	} else {
+		s.tail = s.prev[i]
+	}
+}
+
+func (s *set[P]) pushFront(i int32) {
+	s.prev[i] = -1
+	s.next[i] = s.head
+	if s.head >= 0 {
+		s.prev[s.head] = i
+	}
+	s.head = i
+	if s.tail < 0 {
+		s.tail = i
+	}
+}
+
+func (s *set[P]) promote(i int32) {
+	if s.head == i {
+		return
+	}
+	s.unlink(i)
+	s.pushFront(i)
+}
+
+// insert adds tag with payload, evicting the LRU entry if the set is full.
+// It returns the evicted tag and whether an eviction happened. Inserting an
+// existing tag replaces its payload and promotes it.
+func (s *set[P]) insert(tag uint64, p P) (evictedTag uint64, evicted bool) {
+	if i, ok := s.index[tag]; ok {
+		s.payload[i] = p
+		s.promote(i)
+		return 0, false
+	}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		slot = s.tail
+		evictedTag, evicted = s.tags[slot], true
+		delete(s.index, evictedTag)
+		s.unlink(slot)
+	}
+	s.tags[slot] = tag
+	s.payload[slot] = p
+	s.index[tag] = slot
+	s.pushFront(slot)
+	return evictedTag, evicted
+}
+
+// invalidate removes tag from the set, reporting whether it was present.
+// The recency order of the remaining entries is unaffected.
+func (s *set[P]) invalidate(tag uint64) bool {
+	i, ok := s.index[tag]
+	if !ok {
+		return false
+	}
+	delete(s.index, tag)
+	s.unlink(i)
+	var zero P
+	s.payload[i] = zero
+	s.free = append(s.free, i)
+	return true
+}
+
+// len is the number of valid entries in the set.
+func (s *set[P]) len() int { return len(s.tags) - len(s.free) }
+
+// clear invalidates every entry in the set.
+func (s *set[P]) clear() {
+	for tag := range s.index {
+		delete(s.index, tag)
+	}
+	var zero P
+	for i := range s.payload {
+		s.payload[i] = zero
+	}
+	s.free = s.free[:0]
+	for i := len(s.tags) - 1; i >= 0; i-- {
+		s.free = append(s.free, int32(i))
+	}
+	s.head, s.tail = -1, -1
+}
+
+// Geometry describes a TLB's size and associativity.
+type Geometry struct {
+	// Entries is the total entry count (1024 in Table 1a).
+	Entries int
+	// Ways is the set associativity; Ways == Entries means fully
+	// associative, 1 means direct-mapped.
+	Ways int
+}
+
+// Validate checks size/associativity consistency; Sets() must be a power of
+// two because the index is taken from the low tag bits.
+func (g Geometry) Validate() error {
+	if g.Entries <= 0 || g.Ways <= 0 {
+		return fmt.Errorf("tlb: entries %d and ways %d must be positive", g.Entries, g.Ways)
+	}
+	if g.Entries%g.Ways != 0 {
+		return fmt.Errorf("tlb: entries %d not divisible by ways %d", g.Entries, g.Ways)
+	}
+	sets := g.Entries / g.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("tlb: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets is the number of associativity sets.
+func (g Geometry) Sets() int { return g.Entries / g.Ways }
+
+// String renders the geometry like the paper's figure labels.
+func (g Geometry) String() string {
+	switch {
+	case g.Ways == 1:
+		return fmt.Sprintf("%d-entry direct-mapped", g.Entries)
+	case g.Ways == g.Entries:
+		return fmt.Sprintf("%d-entry fully-associative", g.Entries)
+	default:
+		return fmt.Sprintf("%d-entry %d-way", g.Entries, g.Ways)
+	}
+}
+
+// Stats counts TLB events.
+type Stats struct {
+	// Hits and Misses partition lookups.
+	Hits, Misses uint64
+	// EntryMisses are misses where no entry matched the tag; SubMisses
+	// (mosaic only) are misses where the entry was present but the
+	// sub-page's CPFN was invalid. EntryMisses + SubMisses == Misses.
+	EntryMisses, SubMisses uint64
+	// Evictions counts capacity replacements.
+	Evictions uint64
+}
+
+// Lookups is Hits + Misses.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Misses }
+
+// MissRate is Misses / Lookups (zero when idle).
+func (s Stats) MissRate() float64 {
+	if l := s.Lookups(); l > 0 {
+		return float64(s.Misses) / float64(l)
+	}
+	return 0
+}

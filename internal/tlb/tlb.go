@@ -1,0 +1,221 @@
+package tlb
+
+import (
+	"fmt"
+
+	"mosaic/internal/core"
+)
+
+// Vanilla is a conventional TLB: each entry maps one VPN to one PFN, as in
+// the paper's baseline x86 configuration.
+type Vanilla struct {
+	geom  Geometry
+	sets  []*set[core.PFN]
+	mask  uint64
+	stats Stats
+}
+
+// NewVanilla builds a vanilla TLB.
+func NewVanilla(geom Geometry) *Vanilla {
+	if err := geom.Validate(); err != nil {
+		panic(err)
+	}
+	t := &Vanilla{geom: geom, mask: uint64(geom.Sets() - 1)}
+	t.sets = make([]*set[core.PFN], geom.Sets())
+	for i := range t.sets {
+		t.sets[i] = newSet[core.PFN](geom.Ways)
+	}
+	return t
+}
+
+// Geometry returns the TLB geometry.
+func (t *Vanilla) Geometry() Geometry { return t.geom }
+
+// Stats returns the event counters accumulated so far.
+func (t *Vanilla) Stats() Stats { return t.stats }
+
+func (t *Vanilla) set(vpn core.VPN) *set[core.PFN] {
+	return t.sets[uint64(vpn)&t.mask]
+}
+
+// Lookup translates vpn, counting a hit or a miss.
+func (t *Vanilla) Lookup(vpn core.VPN) (core.PFN, bool) {
+	if p, ok := t.set(vpn).get(uint64(vpn)); ok {
+		t.stats.Hits++
+		return *p, true
+	}
+	t.stats.Misses++
+	t.stats.EntryMisses++
+	return 0, false
+}
+
+// Insert fills the translation after a page-table walk, evicting LRU within
+// the set if needed.
+func (t *Vanilla) Insert(vpn core.VPN, pfn core.PFN) {
+	if _, evicted := t.set(vpn).insert(uint64(vpn), pfn); evicted {
+		t.stats.Evictions++
+	}
+}
+
+// Invalidate drops the entry for vpn (TLB shootdown), reporting whether it
+// was present.
+func (t *Vanilla) Invalidate(vpn core.VPN) bool {
+	return t.set(vpn).invalidate(uint64(vpn))
+}
+
+// Len is the number of valid entries.
+func (t *Vanilla) Len() int {
+	n := 0
+	for _, s := range t.sets {
+		n += s.len()
+	}
+	return n
+}
+
+// Reach is the memory covered by a full TLB, in bytes.
+func (t *Vanilla) Reach() uint64 { return uint64(t.geom.Entries) * core.PageSize }
+
+// Flush invalidates every entry (a full TLB flush, as on a non-PCID
+// context switch).
+func (t *Vanilla) Flush() {
+	for _, s := range t.sets {
+		s.clear()
+	}
+}
+
+// ToC is a mosaic TLB entry payload: the table of contents of one mosaic
+// page — one CPFN per sub-page (Figure 2).
+type ToC []core.CPFN
+
+// Mosaic is a mosaic TLB: entries are indexed by MVPN and hold a ToC of
+// arity CPFNs with per-sub-page validity. Replacement evicts whole mosaic
+// entries (the paper's model manages "its own space using LRU to evict TLB
+// entries for an entire mosaic page"); invalidation of a sub-page clears
+// only that CPFN.
+type Mosaic struct {
+	geom  Geometry
+	arity int
+	sets  []*set[ToC]
+	mask  uint64
+	stats Stats
+}
+
+// NewMosaic builds a mosaic TLB with the given entry geometry and arity
+// (sub-pages per entry). The paper varies arity over powers of two from 4
+// to 64.
+func NewMosaic(geom Geometry, arity int) *Mosaic {
+	if err := geom.Validate(); err != nil {
+		panic(err)
+	}
+	if arity <= 0 || arity&(arity-1) != 0 {
+		panic(fmt.Sprintf("tlb: arity %d is not a positive power of two", arity))
+	}
+	t := &Mosaic{geom: geom, arity: arity, mask: uint64(geom.Sets() - 1)}
+	t.sets = make([]*set[ToC], geom.Sets())
+	for i := range t.sets {
+		t.sets[i] = newSet[ToC](geom.Ways)
+	}
+	return t
+}
+
+// Geometry returns the TLB geometry.
+func (t *Mosaic) Geometry() Geometry { return t.geom }
+
+// Arity is the number of sub-pages per entry.
+func (t *Mosaic) Arity() int { return t.arity }
+
+// Stats returns the event counters accumulated so far.
+func (t *Mosaic) Stats() Stats { return t.stats }
+
+func (t *Mosaic) set(m core.MVPN) *set[ToC] {
+	return t.sets[uint64(m)&t.mask]
+}
+
+// Lookup translates vpn. A hit requires both the mosaic entry to be present
+// and the sub-page's CPFN to be valid; the two miss flavours are counted
+// separately (Stats.EntryMisses vs Stats.SubMisses).
+func (t *Mosaic) Lookup(vpn core.VPN) (core.CPFN, bool) {
+	mvpn, off := core.MosaicPage(vpn, t.arity)
+	toc, ok := t.set(mvpn).get(uint64(mvpn))
+	if !ok {
+		t.stats.Misses++
+		t.stats.EntryMisses++
+		return core.CPFNInvalid, false
+	}
+	if c := (*toc)[off]; c != core.CPFNInvalid {
+		t.stats.Hits++
+		return c, true
+	}
+	t.stats.Misses++
+	t.stats.SubMisses++
+	return core.CPFNInvalid, false
+}
+
+// Insert fills the whole ToC for vpn's mosaic page after a walk. The walker
+// obtains the full leaf ToC, so all currently-mapped sub-pages become
+// valid at once. The ToC is copied.
+func (t *Mosaic) Insert(vpn core.VPN, toc ToC) {
+	if len(toc) != t.arity {
+		panic(fmt.Sprintf("tlb: ToC length %d, want arity %d", len(toc), t.arity))
+	}
+	mvpn, _ := core.MosaicPage(vpn, t.arity)
+	cp := make(ToC, t.arity)
+	copy(cp, toc)
+	if _, evicted := t.set(mvpn).insert(uint64(mvpn), cp); evicted {
+		t.stats.Evictions++
+	}
+}
+
+// InvalidateSub clears only vpn's CPFN within its mosaic entry, if present
+// (§3.1: "our TLB model only invalidates the sub-page's entry within the
+// larger mosaic page's ToC"). It reports whether a valid sub-entry was
+// cleared.
+func (t *Mosaic) InvalidateSub(vpn core.VPN) bool {
+	mvpn, off := core.MosaicPage(vpn, t.arity)
+	toc, ok := t.set(mvpn).peek(uint64(mvpn))
+	if !ok {
+		return false
+	}
+	if (*toc)[off] == core.CPFNInvalid {
+		return false
+	}
+	(*toc)[off] = core.CPFNInvalid
+	return true
+}
+
+// InvalidateEntry drops the whole mosaic entry containing vpn.
+func (t *Mosaic) InvalidateEntry(vpn core.VPN) bool {
+	mvpn, _ := core.MosaicPage(vpn, t.arity)
+	return t.set(mvpn).invalidate(uint64(mvpn))
+}
+
+// Len is the number of valid entries (whole mosaic pages).
+func (t *Mosaic) Len() int {
+	n := 0
+	for _, s := range t.sets {
+		n += s.len()
+	}
+	return n
+}
+
+// Reach is the memory covered by a full TLB with fully-populated ToCs: a
+// factor of arity more than a vanilla TLB of equal entry count.
+func (t *Mosaic) Reach() uint64 {
+	return uint64(t.geom.Entries) * uint64(t.arity) * core.PageSize
+}
+
+// Flush invalidates every entry.
+func (t *Mosaic) Flush() {
+	for _, s := range t.sets {
+		s.clear()
+	}
+}
+
+// InvalidToC returns a fresh all-invalid ToC of the TLB's arity.
+func (t *Mosaic) InvalidToC() ToC {
+	toc := make(ToC, t.arity)
+	for i := range toc {
+		toc[i] = core.CPFNInvalid
+	}
+	return toc
+}

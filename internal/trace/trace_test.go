@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSinkHelpers(t *testing.T) {
+	var c Counter
+	Tee(&c, Discard).Access(100, false)
+	Tee(&c, Discard).Access(200, true)
+	if c.Reads != 1 || c.Writes != 1 || c.Total() != 2 {
+		t.Errorf("counter = %+v", c)
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	var c Counter
+	l := &Limiter{Next: &c, N: 3}
+	for i := 0; i < 10; i++ {
+		l.Access(uint64(i), false)
+	}
+	if c.Total() != 3 || !l.Saturated() || l.Seen() != 3 {
+		t.Errorf("limiter forwarded %d (saturated=%v)", c.Total(), l.Saturated())
+	}
+}
+
+func TestRecorderReplay(t *testing.T) {
+	var r Recorder
+	r.Access(10, false)
+	r.Access(20, true)
+	var c Counter
+	r.Replay(&c)
+	if c.Reads != 1 || c.Writes != 1 {
+		t.Errorf("replay = %+v", c)
+	}
+	if len(r.Accesses) != 2 || r.Accesses[1] != (Access{VA: 20, Write: true}) {
+		t.Errorf("recorded = %+v", r.Accesses)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var want []Access
+	va := uint64(0x10000000)
+	for i := 0; i < 10000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			va += 8 // sequential
+		case 1:
+			va -= 16
+		case 2:
+			va = uint64(rng.Int63()) & (1<<57 - 1) // canonical VA range
+		}
+		a := Access{VA: va, Write: rng.Intn(4) == 0}
+		want = append(want, a)
+		w.Access(a.VA, a.Write)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(want)) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wa := range want {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != wa {
+			t.Fatalf("record %d = %+v, want %+v", i, got, wa)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReplayAll(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		w.Access(uint64(i)*4096, i%2 == 0)
+	}
+	_ = w.Flush()
+	r, _ := NewReader(&buf)
+	var c Counter
+	n, err := r.ReplayAll(&c)
+	if err != nil || n != 100 {
+		t.Fatalf("ReplayAll = %d, %v", n, err)
+	}
+	if c.Reads != 50 || c.Writes != 50 {
+		t.Errorf("counter = %+v", c)
+	}
+}
+
+func TestSequentialTraceIsCompact(t *testing.T) {
+	// Delta encoding: a sequential scan must cost ~1 byte per record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 10000; i++ {
+		w.Access(0x10000000+uint64(i)*8, false)
+	}
+	_ = w.Flush()
+	if perRec := float64(buf.Len()) / 10000; perRec > 1.5 {
+		t.Errorf("sequential trace costs %.2f bytes/record", perRec)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("XXXX123"))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad magic: %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("MT"))); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("short header: %v", err)
+	}
+}
+
+func TestZigzagProperty(t *testing.T) {
+	f := func(d int64) bool { return unzigzag(zigzag(d)) == d }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVARoundTripProperty(t *testing.T) {
+	f := func(vas []uint64) bool {
+		for i := range vas {
+			vas[i] &= 1<<57 - 1 // canonical VA range
+		}
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for _, va := range vas {
+			w.Access(va, va%3 == 0)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, va := range vas {
+			a, err := r.Next()
+			if err != nil || a.VA != va || a.Write != (va%3 == 0) {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return errors.Is(err, io.EOF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,639 @@
+// Package vm implements the operating-system layer of the mosaic prototype
+// (§3.2 of the paper): per-ASID address spaces, demand paging, and the
+// interplay between the page allocator, the eviction policy, and the swap
+// device.
+//
+// A System runs in one of two modes:
+//
+//   - ModeMosaic: allocation is iceberg-constrained (internal/alloc.Memory)
+//     and eviction uses Horizon LRU (§2.4). Pages older than the horizon are
+//     ghosts: resident and revivable for free, but reclaimable by the
+//     allocator. Real evictions — and hence swap I/Os — happen only when a
+//     ghost's frame is claimed or an associativity conflict forces a victim.
+//
+//   - ModeVanilla: allocation is fully associative and reclaim approximates
+//     Linux: a two-list active/inactive LRU plus zone watermarks (reclaim
+//     begins when free memory falls below LowWatermark, and proceeds until
+//     HighWatermark is free), matching the paper's observation that stock
+//     Linux starts swapping at ≈99.2% utilization.
+//
+// Unlike the paper's Linux prototype — which emulates access timestamps
+// with a scan daemon because x86 only maintains access bits — this layer
+// keeps exact per-frame timestamps from a logical access clock, the design
+// point the paper says a real mosaic system would implement.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"mosaic/internal/alloc"
+	"mosaic/internal/core"
+	"mosaic/internal/stats"
+	"mosaic/internal/swap"
+	"mosaic/internal/xxhash"
+)
+
+// Mode selects the allocation/eviction regime.
+type Mode int
+
+const (
+	// ModeMosaic uses iceberg-constrained allocation with Horizon LRU.
+	ModeMosaic Mode = iota
+	// ModeVanilla uses fully-associative allocation with a Linux-like
+	// two-list LRU and zone watermarks.
+	ModeVanilla
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeMosaic:
+		return "mosaic"
+	case ModeVanilla:
+		return "vanilla"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// BaselinePolicy selects the vanilla-mode eviction policy.
+type BaselinePolicy int
+
+const (
+	// PolicyTwoList approximates Linux's active/inactive reclaim (default).
+	PolicyTwoList BaselinePolicy = iota
+	// PolicyTrueLRU is exact global LRU (for ablation).
+	PolicyTrueLRU
+	// PolicyClock is classic second-chance CLOCK (for ablation).
+	PolicyClock
+)
+
+// sharedASID is the reserved namespace for pages placed via location IDs
+// (§2.5); user address spaces must not use it.
+const sharedASID core.ASID = 0xFFFFFFFF
+
+// Config parameterizes a System.
+type Config struct {
+	// Frames is the number of physical frames. Required.
+	Frames int
+	// Mode selects mosaic or vanilla behaviour.
+	Mode Mode
+	// Geometry is the iceberg geometry (mosaic mode). Defaults to
+	// core.DefaultGeometry.
+	Geometry core.Geometry
+	// Hash is the placement hash (mosaic mode). Defaults to xxHash with
+	// Seed, mirroring the paper's Linux prototype.
+	Hash core.PlacementHash
+	// Seed seeds the default placement hash.
+	Seed uint64
+	// Policy selects the vanilla eviction policy.
+	Policy BaselinePolicy
+	// LowWatermark is the free-frame fraction below which vanilla reclaim
+	// kicks in. Defaults to 0.008 (Linux begins swapping at ≈99.2%
+	// utilization, per §4.2).
+	LowWatermark float64
+	// HighWatermark is the free-frame fraction reclaim restores. Defaults
+	// to 1.25 × LowWatermark.
+	HighWatermark float64
+	// DisableHorizon turns off the Horizon LRU ghost mechanism (mosaic
+	// mode), leaving the naive scheme §2.4 argues against: evict the LRU
+	// page of the conflicting candidates, with no ghosts. For the eviction
+	// ablation.
+	DisableHorizon bool
+	// ScanInterval, when nonzero, replaces exact access timestamps with
+	// the paper's prototype emulation (§3.2): Touch only sets an accessed
+	// bit, and a daemon scan every ScanInterval accesses converts bits to
+	// timestamps (with the prototype's hot-page 20% sampling). Mosaic mode
+	// only. Zero (default) keeps exact timestamps.
+	ScanInterval uint64
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Frames <= 0 {
+		return fmt.Errorf("vm: config needs a positive frame count, got %d", c.Frames)
+	}
+	if c.Geometry == (core.Geometry{}) {
+		c.Geometry = core.DefaultGeometry
+	}
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.Hash == nil {
+		c.Hash = xxhash.NewPlacement(c.Seed)
+	}
+	if c.LowWatermark == 0 {
+		c.LowWatermark = 0.008
+	}
+	if c.LowWatermark < 0 || c.LowWatermark >= 1 {
+		return fmt.Errorf("vm: low watermark %v out of range (0,1)", c.LowWatermark)
+	}
+	if c.HighWatermark == 0 {
+		c.HighWatermark = 1.25 * c.LowWatermark
+	}
+	if c.HighWatermark < c.LowWatermark || c.HighWatermark >= 1 {
+		return fmt.Errorf("vm: high watermark %v must be in [low, 1)", c.HighWatermark)
+	}
+	return nil
+}
+
+// AccessResult classifies what a Touch had to do.
+type AccessResult uint8
+
+const (
+	// Hit: the page was resident (possibly a ghost, revived for free).
+	Hit AccessResult = iota
+	// MinorFault: first touch of an unmapped page (demand-zero fill).
+	MinorFault
+	// MajorFault: the page was on the swap device and was paged in.
+	MajorFault
+)
+
+// String implements fmt.Stringer.
+func (r AccessResult) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case MinorFault:
+		return "minor-fault"
+	case MajorFault:
+		return "major-fault"
+	default:
+		return fmt.Sprintf("AccessResult(%d)", int(r))
+	}
+}
+
+type pageState uint8
+
+const (
+	// pageNone: mapped but never faulted in (shared-region pages start
+	// here; private pages are created and filled in the same fault).
+	pageNone pageState = iota
+	pageResident
+	pageSwapped
+)
+
+type page struct {
+	state pageState
+	pfn   core.PFN
+	cpfn  core.CPFN
+}
+
+type sharedRef struct {
+	region *SharedRegion
+	index  int
+}
+
+// AddressSpace is one process's view of virtual memory.
+type AddressSpace struct {
+	asid    core.ASID
+	private map[core.VPN]*page
+	shared  map[core.VPN]sharedRef
+}
+
+// SharedRegion is a run of pages shared through the location-ID mechanism
+// of §2.5: placement hashes (locationID, index) rather than (ASID, VPN), so
+// the same frames back every mapping of the region.
+type SharedRegion struct {
+	id    uint32
+	pages []page
+	maps  int
+}
+
+// ID is the region's location ID.
+func (r *SharedRegion) ID() uint32 { return r.id }
+
+// Len is the region's length in pages.
+func (r *SharedRegion) Len() int { return len(r.pages) }
+
+// System is a simulated virtual-memory subsystem. It is not safe for
+// concurrent use.
+type System struct {
+	cfg  Config
+	mode Mode
+
+	mem  *alloc.Memory        // mosaic mode
+	umem *alloc.Unconstrained // vanilla mode
+
+	hlru   *swap.HorizonLRU
+	policy swap.Policy
+	dev    *swap.Device
+
+	spaces  map[core.ASID]*AddressSpace
+	regions map[uint32]*SharedRegion
+	nextRID uint32
+
+	clock    uint64
+	counters *stats.Counters
+
+	firstConflictUtil float64
+	sawConflict       bool
+
+	lowFrames, highFrames int
+	candScratch           []alloc.Candidate
+	scan                  *scanState
+
+	evictHook func(asid core.ASID, vpn core.VPN)
+}
+
+// New creates a System from cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:      cfg,
+		mode:     cfg.Mode,
+		dev:      swap.NewDevice(),
+		spaces:   make(map[core.ASID]*AddressSpace),
+		regions:  make(map[uint32]*SharedRegion),
+		counters: stats.NewCounters(),
+	}
+	switch cfg.Mode {
+	case ModeMosaic:
+		s.mem = alloc.NewMemory(cfg.Frames, cfg.Geometry, cfg.Hash)
+		s.hlru = swap.NewHorizonLRU()
+		s.candScratch = make([]alloc.Candidate, cfg.Geometry.Associativity())
+		if cfg.ScanInterval > 0 {
+			s.scan = newScanState(s.mem.NumFrames(), cfg.ScanInterval)
+		}
+	case ModeVanilla:
+		if cfg.ScanInterval > 0 {
+			return nil, fmt.Errorf("vm: ScanInterval applies to mosaic mode only")
+		}
+		s.umem = alloc.NewUnconstrained(cfg.Frames)
+		switch cfg.Policy {
+		case PolicyTwoList:
+			s.policy = swap.NewTwoListLRU(cfg.Frames)
+		case PolicyTrueLRU:
+			s.policy = swap.NewTrueLRU(cfg.Frames)
+		case PolicyClock:
+			s.policy = swap.NewClock(cfg.Frames)
+		default:
+			return nil, fmt.Errorf("vm: unknown baseline policy %d", cfg.Policy)
+		}
+		s.lowFrames = int(cfg.LowWatermark * float64(cfg.Frames))
+		s.highFrames = int(cfg.HighWatermark * float64(cfg.Frames))
+		if s.lowFrames < 1 {
+			s.lowFrames = 1
+		}
+		if s.highFrames < s.lowFrames {
+			s.highFrames = s.lowFrames
+		}
+	default:
+		return nil, fmt.Errorf("vm: unknown mode %d", cfg.Mode)
+	}
+	return s, nil
+}
+
+// Mode reports the system's mode.
+func (s *System) Mode() Mode { return s.mode }
+
+// NumFrames is the physical memory size in frames.
+func (s *System) NumFrames() int {
+	if s.mode == ModeMosaic {
+		return s.mem.NumFrames()
+	}
+	return s.umem.NumFrames()
+}
+
+// Used is the number of resident pages (mosaic: live + ghost).
+func (s *System) Used() int {
+	if s.mode == ModeMosaic {
+		return s.mem.Used()
+	}
+	return s.umem.Used()
+}
+
+// Utilization is Used over NumFrames.
+func (s *System) Utilization() float64 { return float64(s.Used()) / float64(s.NumFrames()) }
+
+// Clock is the logical access clock (one tick per Touch).
+func (s *System) Clock() uint64 { return s.clock }
+
+// Device exposes the swap device for I/O accounting.
+func (s *System) Device() *swap.Device { return s.dev }
+
+// Counters exposes the event counters: accesses, minor-faults, major-faults,
+// conflicts, ghost-reclaims, evictions.
+func (s *System) Counters() *stats.Counters { return s.counters }
+
+// Horizon reports the Horizon LRU ghost threshold (mosaic mode; zero
+// otherwise).
+func (s *System) Horizon() uint64 {
+	if s.hlru == nil {
+		return 0
+	}
+	return s.hlru.Horizon()
+}
+
+// GhostCount counts resident ghost pages (mosaic mode). It scans memory.
+func (s *System) GhostCount() int {
+	if s.mode != ModeMosaic {
+		return 0
+	}
+	return s.mem.Used() - s.mem.LiveCount(s.hlru.Horizon())
+}
+
+// FirstConflictUtilization reports the memory utilization at the moment of
+// the first associativity conflict, and whether one has occurred. This is
+// the 1−δ column of Table 3.
+func (s *System) FirstConflictUtilization() (float64, bool) {
+	return s.firstConflictUtil, s.sawConflict
+}
+
+// Space returns (creating if needed) the address space for asid.
+func (s *System) Space(asid core.ASID) *AddressSpace {
+	if asid == sharedASID {
+		panic("vm: ASID 0xFFFFFFFF is reserved for shared mappings")
+	}
+	as, ok := s.spaces[asid]
+	if !ok {
+		as = &AddressSpace{
+			asid:    asid,
+			private: make(map[core.VPN]*page),
+			shared:  make(map[core.VPN]sharedRef),
+		}
+		s.spaces[asid] = as
+	}
+	return as
+}
+
+// Touch performs one memory access: demand paging, swap-in, recency update.
+func (s *System) Touch(asid core.ASID, vpn core.VPN, write bool) AccessResult {
+	s.clock++
+	s.counters.Inc("accesses")
+	if s.scan != nil && s.clock%s.scan.interval == 0 {
+		s.runScan()
+	}
+	as := s.Space(asid)
+
+	if ref, ok := as.shared[vpn]; ok {
+		return s.touchShared(ref, write)
+	}
+
+	pg, ok := as.private[vpn]
+	if !ok {
+		pg = &page{}
+		as.private[vpn] = pg
+		s.counters.Inc("minor-faults")
+		s.fillPage(asid, vpn, pg, write)
+		return MinorFault
+	}
+	switch pg.state {
+	case pageResident:
+		s.touchFrame(pg.pfn, write)
+		return Hit
+	case pageSwapped:
+		s.counters.Inc("major-faults")
+		if !s.dev.PageIn(alloc.Owner{ASID: asid, VPN: vpn}) {
+			panic("vm: swapped page missing from swap device")
+		}
+		s.fillPage(asid, vpn, pg, write)
+		return MajorFault
+	default:
+		panic("vm: invalid page state")
+	}
+}
+
+// TouchVA is Touch keyed by virtual address rather than VPN.
+func (s *System) TouchVA(asid core.ASID, va uint64, write bool) AccessResult {
+	return s.Touch(asid, core.VPNOf(va), write)
+}
+
+func (s *System) touchFrame(pfn core.PFN, write bool) {
+	if s.mode == ModeMosaic {
+		if s.scan != nil {
+			// Access-bit emulation: hardware sets only the bit; the scan
+			// daemon converts it to a timestamp later.
+			s.scan.accessed[pfn] = true
+			if write {
+				s.mem.MarkDirty(pfn)
+			}
+			return
+		}
+		s.mem.Touch(pfn, s.clock, write)
+		return
+	}
+	s.umem.Touch(pfn, s.clock, write)
+	s.policy.OnAccess(pfn)
+}
+
+// fillPage allocates a frame for (asid, vpn) and installs it in pg.
+func (s *System) fillPage(asid core.ASID, vpn core.VPN, pg *page, write bool) {
+	pfn, cpfn := s.allocate(asid, vpn)
+	pg.state = pageResident
+	pg.pfn = pfn
+	pg.cpfn = cpfn
+	if write {
+		s.touchDirty(pfn)
+	}
+}
+
+func (s *System) touchDirty(pfn core.PFN) {
+	if s.mode == ModeMosaic {
+		s.mem.Touch(pfn, s.clock, true)
+	} else {
+		s.umem.Touch(pfn, s.clock, true)
+	}
+}
+
+// allocate places (asid, vpn), evicting as required by the mode's policy.
+func (s *System) allocate(asid core.ASID, vpn core.VPN) (core.PFN, core.CPFN) {
+	if s.mode == ModeMosaic {
+		return s.allocateMosaic(asid, vpn)
+	}
+	return s.allocateVanilla(asid, vpn), core.CPFNInvalid
+}
+
+func (s *System) allocateMosaic(asid core.ASID, vpn core.VPN) (core.PFN, core.CPFN) {
+	p, err := s.mem.Place(asid, vpn, s.clock, s.hlru.Horizon())
+	if err == nil {
+		if p.Evicted != nil {
+			// A ghost's frame was reclaimed: the ghost now really leaves
+			// memory, which is when its swap-out happens.
+			s.counters.Inc("ghost-reclaims")
+			s.recordEviction(*p.Evicted)
+		}
+		return p.PFN, p.CPFN
+	}
+	if !errors.Is(err, alloc.ErrConflict) {
+		panic(fmt.Sprintf("vm: unexpected placement error: %v", err))
+	}
+	// Associativity conflict (§2.4): evict the LRU page among the
+	// candidates, raise the horizon to its access time (ghosting every
+	// older page globally), and take over the victim's slot.
+	s.counters.Inc("conflicts")
+	if !s.sawConflict {
+		s.sawConflict = true
+		s.firstConflictUtil = s.mem.Utilization()
+	}
+	cands := s.mem.Candidates(asid, vpn, s.candScratch)
+	victim, ok := s.hlru.PickVictim(cands)
+	if !ok {
+		panic("vm: conflict with no occupied candidates")
+	}
+	if !s.cfg.DisableHorizon {
+		s.hlru.NoteEviction(victim.LastAccess)
+	}
+	owner := s.mem.Evict(victim.PFN)
+	s.counters.Inc("conflict-evictions")
+	s.recordEviction(owner)
+	p = s.mem.PlaceAt(asid, vpn, victim.CPFN, s.clock)
+	return p.PFN, p.CPFN
+}
+
+func (s *System) allocateVanilla(asid core.ASID, vpn core.VPN) core.PFN {
+	// kswapd emulation: once free memory dips below the low watermark,
+	// reclaim until the high watermark is restored.
+	if s.umem.FreeFrames() <= s.lowFrames {
+		for s.umem.FreeFrames() < s.highFrames && s.policy.Len() > 0 {
+			s.reclaimOneVanilla()
+		}
+	}
+	for {
+		pfn, err := s.umem.Place(asid, vpn, s.clock)
+		if err == nil {
+			s.policy.OnFault(pfn)
+			return pfn
+		}
+		if !errors.Is(err, alloc.ErrNoMemory) {
+			panic(fmt.Sprintf("vm: unexpected placement error: %v", err))
+		}
+		// Direct reclaim.
+		s.reclaimOneVanilla()
+	}
+}
+
+func (s *System) reclaimOneVanilla() {
+	victim := s.policy.Victim()
+	s.policy.OnRemove(victim)
+	owner := s.umem.Evict(victim)
+	s.counters.Inc("reclaims")
+	s.recordEviction(owner)
+}
+
+// OnEvict registers fn to run whenever a page leaves memory for swap —
+// the hook the memory-system simulator uses for page-table invalidation
+// and TLB shootdown. Shared-region pages report the reserved shared ASID
+// (0xFFFFFFFF) with a synthetic VPN.
+func (s *System) OnEvict(fn func(asid core.ASID, vpn core.VPN)) { s.evictHook = fn }
+
+// recordEviction pushes an evicted page to the swap device and updates the
+// owning address space (or shared region).
+func (s *System) recordEviction(owner alloc.Owner) {
+	s.counters.Inc("evictions")
+	if s.evictHook != nil {
+		s.evictHook(owner.ASID, owner.VPN)
+	}
+	s.dev.PageOut(owner)
+	if owner.ASID == sharedASID {
+		rid, idx := splitSharedVPN(owner.VPN)
+		r, ok := s.regions[rid]
+		if !ok {
+			panic(fmt.Sprintf("vm: evicted page of unknown shared region %d", rid))
+		}
+		r.pages[idx].state = pageSwapped
+		return
+	}
+	as, ok := s.spaces[owner.ASID]
+	if !ok {
+		panic(fmt.Sprintf("vm: evicted page of unknown ASID %d", owner.ASID))
+	}
+	pg, ok := as.private[owner.VPN]
+	if !ok || pg.state != pageResident {
+		panic(fmt.Sprintf("vm: evicted page (asid %d, vpn %#x) not resident in its space", owner.ASID, owner.VPN))
+	}
+	pg.state = pageSwapped
+}
+
+// Translate returns the physical frame of (asid, vpn) if resident.
+func (s *System) Translate(asid core.ASID, vpn core.VPN) (core.PFN, bool) {
+	as, ok := s.spaces[asid]
+	if !ok {
+		return 0, false
+	}
+	if ref, ok := as.shared[vpn]; ok {
+		pg := &ref.region.pages[ref.index]
+		if pg.state != pageResident {
+			return 0, false
+		}
+		return pg.pfn, true
+	}
+	pg, ok := as.private[vpn]
+	if !ok || pg.state != pageResident {
+		return 0, false
+	}
+	return pg.pfn, true
+}
+
+// CPFNFor returns the compressed frame number of (asid, vpn) if resident
+// (mosaic mode only) — what a mosaic page-table leaf stores.
+func (s *System) CPFNFor(asid core.ASID, vpn core.VPN) (core.CPFN, bool) {
+	if s.mode != ModeMosaic {
+		return core.CPFNInvalid, false
+	}
+	as, ok := s.spaces[asid]
+	if !ok {
+		return core.CPFNInvalid, false
+	}
+	if ref, ok := as.shared[vpn]; ok {
+		pg := &ref.region.pages[ref.index]
+		if pg.state != pageResident {
+			return core.CPFNInvalid, false
+		}
+		return pg.cpfn, true
+	}
+	pg, ok := as.private[vpn]
+	if !ok || pg.state != pageResident {
+		return core.CPFNInvalid, false
+	}
+	return pg.cpfn, true
+}
+
+// Resident reports whether (asid, vpn) is currently in memory.
+func (s *System) Resident(asid core.ASID, vpn core.VPN) bool {
+	_, ok := s.Translate(asid, vpn)
+	return ok
+}
+
+// Unmap destroys the mapping of (asid, vpn), freeing its frame or dropping
+// its swap slot. It reports whether a mapping existed.
+func (s *System) Unmap(asid core.ASID, vpn core.VPN) bool {
+	as, ok := s.spaces[asid]
+	if !ok {
+		return false
+	}
+	if ref, ok := as.shared[vpn]; ok {
+		delete(as.shared, vpn)
+		s.releaseSharedMapping(ref.region)
+		return true
+	}
+	pg, ok := as.private[vpn]
+	if !ok {
+		return false
+	}
+	delete(as.private, vpn)
+	switch pg.state {
+	case pageResident:
+		if s.mode == ModeMosaic {
+			s.mem.Free(pg.pfn)
+		} else {
+			s.policy.OnRemove(pg.pfn)
+			s.umem.Free(pg.pfn)
+		}
+	case pageSwapped:
+		s.dev.Drop(alloc.Owner{ASID: asid, VPN: vpn})
+	}
+	return true
+}
+
+// MappedPages reports the number of mapped pages (resident or swapped) in
+// asid's space, excluding shared mappings.
+func (s *System) MappedPages(asid core.ASID) int {
+	as, ok := s.spaces[asid]
+	if !ok {
+		return 0
+	}
+	return len(as.private)
+}

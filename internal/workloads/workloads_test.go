@@ -1,0 +1,285 @@
+package workloads
+
+import (
+	"testing"
+
+	"mosaic/internal/core"
+	"mosaic/internal/trace"
+)
+
+func TestArenaAlloc(t *testing.T) {
+	a := NewArena(0)
+	v1 := a.Alloc(100, 0)
+	if v1 != DefaultHeapBase {
+		t.Fatalf("first alloc at %#x", v1)
+	}
+	v2 := a.Alloc(8, 0)
+	if v2 != DefaultHeapBase+104 { // 100 rounded to 8
+		t.Fatalf("second alloc at %#x", v2)
+	}
+	v3 := a.Alloc(10, 4096)
+	if v3%4096 != 0 {
+		t.Fatalf("page-aligned alloc at %#x", v3)
+	}
+	if a.Size() != v3+10-DefaultHeapBase {
+		t.Fatalf("Size = %d", a.Size())
+	}
+}
+
+func TestArenaBadAlignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad alignment should panic")
+		}
+	}()
+	NewArena(0).Alloc(8, 3)
+}
+
+func TestU64ArrayEmitsAccesses(t *testing.T) {
+	a := NewArena(0)
+	arr := NewU64Array(a, 10)
+	var rec trace.Recorder
+	arr.Set(&rec, 3, 42)
+	if got := arr.Get(&rec, 3); got != 42 {
+		t.Fatalf("Get = %d", got)
+	}
+	if len(rec.Accesses) != 2 {
+		t.Fatalf("%d accesses", len(rec.Accesses))
+	}
+	want := arr.VA + 24
+	if rec.Accesses[0] != (trace.Access{VA: want, Write: true}) {
+		t.Errorf("write access = %+v", rec.Accesses[0])
+	}
+	if rec.Accesses[1] != (trace.Access{VA: want, Write: false}) {
+		t.Errorf("read access = %+v", rec.Accesses[1])
+	}
+}
+
+func TestRegistryAndByName(t *testing.T) {
+	ws := Registry(4<<20, 1)
+	if len(ws) != 4 {
+		t.Fatalf("registry has %d workloads", len(ws))
+	}
+	wantNames := Names()
+	for i, w := range ws {
+		if w.Name() != wantNames[i] {
+			t.Errorf("workload %d = %q, want %q", i, w.Name(), wantNames[i])
+		}
+		byName, err := ByName(w.Name(), 4<<20, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byName.Name() != w.Name() {
+			t.Errorf("ByName(%q) mismatch", w.Name())
+		}
+	}
+	if _, err := ByName("nope", 1<<20, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFootprintsNearTarget(t *testing.T) {
+	const target = 8 << 20
+	for _, w := range Registry(target, 7) {
+		fp := w.FootprintBytes()
+		if fp < target/4 || fp > target*2 {
+			t.Errorf("%s: footprint %d MiB not near target %d MiB",
+				w.Name(), fp>>20, target>>20)
+		}
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func() []trace.Access {
+				w, err := ByName(name, 1<<20, 99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var rec trace.Recorder
+				w.Run(&rec)
+				return rec.Accesses
+			}
+			a, b := run(), run()
+			if len(a) != len(b) {
+				t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("access %d differs: %+v vs %+v", i, a[i], b[i])
+				}
+			}
+			if len(a) == 0 {
+				t.Fatal("workload emitted nothing")
+			}
+		})
+	}
+}
+
+func TestAccessesWithinFootprint(t *testing.T) {
+	for _, w := range Registry(1<<20, 3) {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			lo := uint64(DefaultHeapBase)
+			maxVA := uint64(0)
+			w.Run(trace.SinkFunc(func(va uint64, write bool) {
+				if va < lo {
+					t.Fatalf("access %#x below heap base", va)
+				}
+				if va > maxVA {
+					maxVA = va
+				}
+			}))
+			// FootprintBytes is exact after Run; every access must fall
+			// inside the reserved heap.
+			if hi := lo + w.FootprintBytes(); maxVA >= hi {
+				t.Errorf("max access %#x beyond heap end %#x", maxVA, hi)
+			}
+		})
+	}
+}
+
+func TestGraph500BFSCorrect(t *testing.T) {
+	g := NewGraph500(Graph500Config{Scale: 10, Seed: 5})
+	g.Run(trace.Discard)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Vertices() != 1024 {
+		t.Fatalf("Vertices = %d", g.Vertices())
+	}
+}
+
+func TestGraph500TouchesManyPages(t *testing.T) {
+	g := NewGraph500(Graph500Config{Scale: 12, Seed: 5})
+	pages := map[core.VPN]bool{}
+	g.Run(trace.SinkFunc(func(va uint64, _ bool) { pages[core.VPNOf(va)] = true }))
+	// The CSR arrays alone span hundreds of pages at scale 12.
+	if len(pages) < 256 {
+		t.Errorf("graph500 touched only %d pages", len(pages))
+	}
+}
+
+func TestBTreeLookupsFindKeys(t *testing.T) {
+	bt := NewBTree(BTreeConfig{Keys: 10000, Lookups: 100, Seed: 3})
+	bt.Run(trace.Discard) // panics internally if any lookup misses
+	if bt.Depth() < 2 {
+		t.Errorf("depth = %d, want a multi-level tree", bt.Depth())
+	}
+	// A lookup of an absent key must miss.
+	if _, ok := bt.Lookup(trace.Discard, 0xDEADBEEF00000001); ok {
+		// Astronomically unlikely to be a real key with seed 3.
+		t.Error("lookup of absent key succeeded")
+	}
+}
+
+func TestBTreeRangeScan(t *testing.T) {
+	bt := NewBTree(BTreeConfig{Keys: 5000, Lookups: 1, Seed: 3})
+	bt.Run(trace.Discard)
+	got := bt.RangeScan(trace.Discard, 0, 1000)
+	if len(got) != 1000 {
+		t.Fatalf("RangeScan returned %d values", len(got))
+	}
+	// Values correspond to sorted keys.
+	for i, v := range got {
+		if v != bt.keys[i]^0xABCD {
+			t.Fatalf("value %d = %#x, want %#x", i, v, bt.keys[i]^0xABCD)
+		}
+	}
+	// Scan from the middle.
+	mid := bt.keys[2500]
+	got = bt.RangeScan(trace.Discard, mid, 10)
+	if len(got) != 10 || got[0] != mid^0xABCD {
+		t.Fatalf("mid scan = %v", got[:min(len(got), 3)])
+	}
+}
+
+func TestBTreeNodesPageAligned(t *testing.T) {
+	bt := NewBTree(BTreeConfig{Keys: 5000, Lookups: 1, Seed: 3})
+	bt.Run(trace.Discard)
+	var walk func(n *bnode)
+	walk = func(n *bnode) {
+		if n.va%core.PageSize != 0 {
+			t.Fatalf("node at unaligned VA %#x", n.va)
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(bt.root)
+}
+
+func TestGUPSUpdatesLand(t *testing.T) {
+	g := NewGUPS(GUPSConfig{TableWords: 1 << 12, Updates: 1 << 14, Seed: 1})
+	if g.TableWords() != 1<<12 {
+		t.Fatalf("TableWords = %d", g.TableWords())
+	}
+	var c trace.Counter
+	g.Run(&c)
+	if c.Reads != 1<<14 || c.Writes != 1<<14 {
+		t.Errorf("reads=%d writes=%d, want %d each", c.Reads, c.Writes, 1<<14)
+	}
+	if g.Checksum() == 0 {
+		t.Error("table unchanged after updates")
+	}
+}
+
+func TestGUPSPowerOfTwoRounding(t *testing.T) {
+	g := NewGUPS(GUPSConfig{TableWords: 1000, Updates: 1, Seed: 1})
+	if g.TableWords() != 512 {
+		t.Errorf("TableWords = %d, want 512", g.TableWords())
+	}
+}
+
+func TestXSBenchEmitsGatherPattern(t *testing.T) {
+	x := NewXSBench(XSBenchConfig{GridPoints: 200, Nuclides: 16, Lookups: 50, Seed: 2})
+	var rec trace.Recorder
+	x.Run(&rec)
+	if len(rec.Accesses) == 0 {
+		t.Fatal("no accesses")
+	}
+	// Every access is a read (the lookup kernel is read-only).
+	for _, a := range rec.Accesses {
+		if a.Write {
+			t.Fatal("XSBench lookup kernel should not write")
+		}
+	}
+	// Each lookup costs at least log2(unionized) probes + per-nuclide reads.
+	perLookup := float64(len(rec.Accesses)) / 50
+	if perLookup < 20 {
+		t.Errorf("only %.1f accesses per lookup", perLookup)
+	}
+}
+
+func TestXSBenchEnergyGridSorted(t *testing.T) {
+	x := NewXSBench(XSBenchConfig{GridPoints: 100, Nuclides: 8, Lookups: 1, Seed: 2})
+	for i := 1; i < len(x.egrid.Data); i++ {
+		if x.egrid.Data[i] < x.egrid.Data[i-1] {
+			t.Fatalf("unionized grid unsorted at %d", i)
+		}
+	}
+	// Index grid entries must be valid gridpoint indices.
+	for _, v := range x.index.Data {
+		if int(v) >= x.cfg.GridPoints {
+			t.Fatalf("index entry %d out of range", v)
+		}
+	}
+}
+
+func BenchmarkGraph500Run(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := NewGraph500(Graph500Config{Scale: 12, Seed: uint64(i)})
+		g.Run(trace.Discard)
+	}
+}
+
+func BenchmarkBTreeLookup(b *testing.B) {
+	bt := NewBTree(BTreeConfig{Keys: 100000, Lookups: 1, Seed: 1})
+	bt.Run(trace.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Lookup(trace.Discard, bt.keys[i%len(bt.keys)])
+	}
+}

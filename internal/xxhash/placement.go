@@ -1,0 +1,19 @@
+package xxhash
+
+import "mosaic/internal/core"
+
+// Placement adapts XXH64 to core.PlacementHash, mirroring the paper's Linux
+// prototype, which uses xxHash to map (ASID, VPN) pairs to iceberg buckets.
+// Each placement function fn gets an independent seed derived from the
+// construction seed.
+type Placement struct {
+	seed uint64
+}
+
+// NewPlacement builds an xxHash-based placement hash.
+func NewPlacement(seed uint64) *Placement { return &Placement{seed: seed} }
+
+// Hash implements core.PlacementHash.
+func (p *Placement) Hash(asid core.ASID, vpn core.VPN, fn int) uint64 {
+	return Sum64Pair(uint64(asid), uint64(vpn), p.seed+uint64(fn)*0x9E3779B97F4A7C15)
+}

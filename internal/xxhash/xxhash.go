@@ -1,0 +1,118 @@
+// Package xxhash implements the 64-bit variant of the xxHash algorithm
+// (XXH64). The paper's Linux prototype uses xxHash — "a fast hash algorithm
+// available in the mainline Linux kernel" — to map (ASID, VPN) pairs to
+// iceberg buckets; this package is a from-scratch, stdlib-only port of the
+// same algorithm so placement decisions can mirror the prototype's.
+package xxhash
+
+import "math/bits"
+
+const (
+	prime1 uint64 = 0x9E3779B185EBCA87
+	prime2 uint64 = 0xC2B2AE3D27D4EB4F
+	prime3 uint64 = 0x165667B19E3779F9
+	prime4 uint64 = 0x85EBCA77C2B2AE63
+	prime5 uint64 = 0x27D4EB2F165667C5
+)
+
+// Sum64 computes the XXH64 hash of b with the given seed.
+func Sum64(b []byte, seed uint64) uint64 {
+	n := len(b)
+	var h uint64
+
+	if n >= 32 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(b) >= 32 {
+			v1 = round(v1, le64(b[0:8]))
+			v2 = round(v2, le64(b[8:16]))
+			v3 = round(v3, le64(b[16:24]))
+			v4 = round(v4, le64(b[24:32]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = mergeRound(h, v1)
+		h = mergeRound(h, v2)
+		h = mergeRound(h, v3)
+		h = mergeRound(h, v4)
+	} else {
+		h = seed + prime5
+	}
+
+	h += uint64(n)
+
+	for len(b) >= 8 {
+		h ^= round(0, le64(b[0:8]))
+		h = bits.RotateLeft64(h, 27)*prime1 + prime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(le32(b[0:4])) * prime1
+		h = bits.RotateLeft64(h, 23)*prime2 + prime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * prime5
+		h = bits.RotateLeft64(h, 11) * prime1
+	}
+
+	return avalanche(h)
+}
+
+// Sum64Uint64 hashes a single 64-bit word. It is equivalent to Sum64 of the
+// word's little-endian byte encoding but avoids the buffer round trip; the
+// placement path hashes one word per lookup, so this is the hot entry point.
+func Sum64Uint64(x, seed uint64) uint64 {
+	h := seed + prime5 + 8
+	h ^= round(0, x)
+	h = bits.RotateLeft64(h, 27)*prime1 + prime4
+	return avalanche(h)
+}
+
+// Sum64Pair hashes two 64-bit words, equivalent to Sum64 of their
+// concatenated little-endian encodings.
+func Sum64Pair(x, y, seed uint64) uint64 {
+	h := seed + prime5 + 16
+	h ^= round(0, x)
+	h = bits.RotateLeft64(h, 27)*prime1 + prime4
+	h ^= round(0, y)
+	h = bits.RotateLeft64(h, 27)*prime1 + prime4
+	return avalanche(h)
+}
+
+func avalanche(h uint64) uint64 {
+	h ^= h >> 33
+	h *= prime2
+	h ^= h >> 29
+	h *= prime3
+	h ^= h >> 32
+	return h
+}
+
+func round(acc, input uint64) uint64 {
+	acc += input * prime2
+	acc = bits.RotateLeft64(acc, 31)
+	acc *= prime1
+	return acc
+}
+
+func mergeRound(acc, val uint64) uint64 {
+	val = round(0, val)
+	acc ^= val
+	acc = acc*prime1 + prime4
+	return acc
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,135 @@
+package xxhash
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors computed with the canonical xxHash implementation.
+var vectors = []struct {
+	input string
+	seed  uint64
+	want  uint64
+}{
+	{"", 0, 0xef46db3751d8e999},
+	{"a", 0, 0xd24ec4f1a98c6e5b},
+	{"as", 0, 0x1c330fb2d66be179},
+	{"asd", 0, 0x631c37ce72a97393},
+	{"asdf", 0, 0x415872f599cea71e},
+	{"Call me Ishmael. Some years ago--never mind how long precisely-", 0, 0x02a2e85470d6fd96},
+}
+
+func TestSum64Vectors(t *testing.T) {
+	for _, v := range vectors {
+		if got := Sum64([]byte(v.input), v.seed); got != v.want {
+			t.Errorf("Sum64(%q, %d) = %#016x, want %#016x", v.input, v.seed, got, v.want)
+		}
+	}
+}
+
+func TestSum64SeedSensitivity(t *testing.T) {
+	b := []byte("mosaic pages")
+	if Sum64(b, 1) == Sum64(b, 2) {
+		t.Error("different seeds produced identical hashes")
+	}
+}
+
+func TestSum64AllLengths(t *testing.T) {
+	// Exercise every length-dependent code path (tail handling, 32-byte
+	// stripes) and check hashes are distinct across lengths.
+	base := strings.Repeat("0123456789abcdef", 8)
+	seen := make(map[uint64]int)
+	for n := 0; n <= len(base); n++ {
+		h := Sum64([]byte(base[:n]), 42)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("lengths %d and %d collide", prev, n)
+		}
+		seen[h] = n
+	}
+}
+
+func TestSum64Uint64MatchesSum64(t *testing.T) {
+	f := func(x, seed uint64) bool {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], x)
+		return Sum64Uint64(x, seed) == Sum64(buf[:], seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSum64PairMatchesSum64(t *testing.T) {
+	f := func(x, y, seed uint64) bool {
+		var buf [16]byte
+		binary.LittleEndian.PutUint64(buf[:8], x)
+		binary.LittleEndian.PutUint64(buf[8:], y)
+		return Sum64Pair(x, y, seed) == Sum64(buf[:], seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSum64UniformBuckets(t *testing.T) {
+	// Hash sequential integers (the VPN pattern placement sees) into 64
+	// buckets; no bucket should deviate wildly from the mean.
+	const n, buckets = 1 << 16, 64
+	counts := make([]int, buckets)
+	for i := uint64(0); i < n; i++ {
+		counts[Sum64Uint64(i, 7)%buckets]++
+	}
+	mean := float64(n) / buckets
+	for b, c := range counts {
+		if ratio := float64(c) / mean; ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("bucket %d has %d entries (%.0f%% of mean)", b, c, 100*ratio)
+		}
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	p := NewPlacement(99)
+	q := NewPlacement(99)
+	for fn := 0; fn < 7; fn++ {
+		if p.Hash(1, 0x1234, fn) != q.Hash(1, 0x1234, fn) {
+			t.Fatalf("placement hash not deterministic for fn=%d", fn)
+		}
+	}
+}
+
+func TestPlacementFunctionIndependence(t *testing.T) {
+	p := NewPlacement(99)
+	seen := make(map[uint64]int)
+	for fn := 0; fn < 7; fn++ {
+		h := p.Hash(1, 0x1234, fn)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("functions %d and %d collide on the same key", prev, fn)
+		}
+		seen[h] = fn
+	}
+}
+
+func TestPlacementASIDSensitivity(t *testing.T) {
+	p := NewPlacement(99)
+	if p.Hash(1, 0x1234, 0) == p.Hash(2, 0x1234, 0) {
+		t.Error("distinct ASIDs hash identically; address spaces would share constraints")
+	}
+}
+
+func BenchmarkSum64Uint64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += Sum64Uint64(uint64(i), 1)
+	}
+	_ = acc
+}
+
+func BenchmarkSum64_64B(b *testing.B) {
+	buf := make([]byte, 64)
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		Sum64(buf, 1)
+	}
+}

@@ -1,0 +1,379 @@
+package mosaic
+
+import (
+	"testing"
+
+	"mosaic/internal/trace"
+)
+
+func TestRunLimited(t *testing.T) {
+	w, err := NewWorkload("gups", 1<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c trace.Counter
+	if got := RunLimited(w, &c, 1000); got != 1000 {
+		t.Fatalf("RunLimited returned %d", got)
+	}
+	if c.Total() != 1000 {
+		t.Fatalf("sink saw %d refs", c.Total())
+	}
+	// Unlimited run reports the workload's own total.
+	var c2 trace.Counter
+	n := RunLimited(w, &c2, 0)
+	if n == 0 || n != c2.Total() {
+		t.Fatalf("unlimited run: n=%d sink=%d", n, c2.Total())
+	}
+}
+
+func TestRunLimitedPropagatesPanics(t *testing.T) {
+	w, _ := NewWorkload("gups", 1<<20, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+	}()
+	RunLimited(w, SinkFunc(func(uint64, bool) { panic("boom") }), 100)
+}
+
+func TestWorkloadNames(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 4 {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		if _, err := NewWorkload(n, 1<<20, 1); err != nil {
+			t.Errorf("NewWorkload(%q): %v", n, err)
+		}
+	}
+	if _, err := NewWorkload("bogus", 1<<20, 1); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	res, err := Figure6(Figure6Options{
+		Workload:       "gups",
+		FootprintBytes: 8 << 20,
+		MaxRefs:        400_000,
+		TLBEntries:     256,
+		Ways:           []int{1, 8, 256},
+		Arities:        []int{4, 16},
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Refs != 400_000 {
+		t.Fatalf("refs = %d", res.Refs)
+	}
+	if len(res.Cells) != 3*3 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	// Every cell saw the identical stream.
+	for _, c := range res.Cells {
+		if c.Stats.Lookups() != res.Refs {
+			t.Fatalf("%s@%d-way saw %d lookups", c.Label, c.Ways, c.Stats.Lookups())
+		}
+	}
+	vDirect, _ := res.MissesFor(1, "Vanilla")
+	vFull, _ := res.MissesFor(256, "Vanilla")
+	m4Full, _ := res.MissesFor(256, "Mosaic-4")
+	m16Full, _ := res.MissesFor(256, "Mosaic-16")
+	// On a uniform random stream, associativity barely matters; full
+	// associativity must not be meaningfully worse than direct-mapped.
+	if vFull > vDirect+vDirect/50 {
+		t.Errorf("vanilla full-assoc misses %d ≫ direct %d", vFull, vDirect)
+	}
+	if m4Full >= vFull {
+		t.Errorf("Mosaic-4 misses %d ≥ vanilla %d at full associativity", m4Full, vFull)
+	}
+	if m16Full > m4Full {
+		t.Errorf("Mosaic-16 misses %d > Mosaic-4 %d", m16Full, m4Full)
+	}
+	// Mosaic's associativity insensitivity (§4.1): direct-mapped mosaic
+	// within 2× of fully-associative mosaic.
+	m4Direct, _ := res.MissesFor(1, "Mosaic-4")
+	if m4Direct > 2*m4Full {
+		t.Errorf("Mosaic-4 direct %d ≫ full %d: associativity sensitivity too high", m4Direct, m4Full)
+	}
+	if _, ok := res.MissesFor(2, "Vanilla"); ok {
+		t.Error("MissesFor found a ways value that was not simulated")
+	}
+}
+
+func TestFigure6DirectMappedMosaicBeatsFullVanilla(t *testing.T) {
+	// §4.1: "a direct-mapped Mosaic-8 TLB outperforms a fully associative
+	// vanilla TLB" on the TLB-bound workloads.
+	res, err := Figure6(Figure6Options{
+		Workload:       "btree",
+		FootprintBytes: 8 << 20,
+		MaxRefs:        1_500_000,
+		TLBEntries:     128,
+		Ways:           []int{1, 128},
+		Arities:        []int{8},
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8Direct, _ := res.MissesFor(1, "Mosaic-8")
+	vFull, _ := res.MissesFor(128, "Vanilla")
+	if m8Direct >= vFull {
+		t.Errorf("direct-mapped Mosaic-8 (%d) did not beat fully-associative vanilla (%d)", m8Direct, vFull)
+	}
+}
+
+func TestFigure6NeedsWorkload(t *testing.T) {
+	if _, err := Figure6(Figure6Options{}); err == nil {
+		t.Error("empty options accepted")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3(Table3Options{
+		Workloads:      []string{"btree"},
+		MemoryMiB:      8,
+		FootprintFracs: []float64{1.05, 1.20},
+		Runs:           2,
+		MaxRefs:        6_000_000,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FirstConflict < 0.95 || r.FirstConflict > 1.0 {
+			t.Errorf("%s@%.0fMiB: first conflict %.4f outside [0.95, 1]", r.Workload, r.FootprintMiB, r.FirstConflict)
+		}
+		if r.Steady < r.FirstConflict-0.02 {
+			t.Errorf("%s@%.0fMiB: steady state %.4f below first conflict %.4f", r.Workload, r.FootprintMiB, r.Steady, r.FirstConflict)
+		}
+		if r.Steady > 1.0 {
+			t.Errorf("steady state %.4f above 1", r.Steady)
+		}
+	}
+	// Steady-state utilization grows with footprint (paper: 99.22% → 99.99%).
+	if rows[1].Steady < rows[0].Steady-0.005 {
+		t.Errorf("steady state fell with footprint: %.4f → %.4f", rows[0].Steady, rows[1].Steady)
+	}
+}
+
+func TestLinuxSwapOnset(t *testing.T) {
+	onset, err := LinuxSwapOnset(8, "gups", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onset < 0.98 || onset > 1.0 {
+		t.Errorf("Linux swap onset %.4f, want ≈0.992", onset)
+	}
+	t.Logf("Linux swap onset at %.4f utilization (paper: ≈0.992)", onset)
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows, err := Table4(Table4Options{
+		Workloads:      []string{"btree"},
+		MemoryMiB:      8,
+		FootprintFracs: []float64{1.10, 1.40},
+		MaxRefs:        6_000_000,
+		Runs:           1,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LinuxKPages == 0 || r.MosaicKPages == 0 {
+			t.Errorf("no swapping at footprint %.1f MiB: %+v", r.FootprintMiB, r)
+		}
+	}
+	// Past the edge, mosaic matches or beats Linux (§4.3).
+	if rows[0].DiffPercent < -20 {
+		t.Errorf("mosaic swaps %.1f%% more than Linux well past the edge", -rows[0].DiffPercent)
+	}
+	// Swapping grows with footprint.
+	if rows[1].LinuxKPages <= rows[0].LinuxKPages {
+		t.Errorf("Linux swapping did not grow with footprint: %v → %v", rows[0].LinuxKPages, rows[1].LinuxKPages)
+	}
+}
+
+func TestTable5Facade(t *testing.T) {
+	rows := Table5()
+	if len(rows) != 4 || rows[3].LUTs != 6208 {
+		t.Fatalf("Table5 = %+v", rows)
+	}
+	asic := Table5ASIC()
+	if len(asic) != 4 {
+		t.Fatalf("Table5ASIC rows = %d", len(asic))
+	}
+	if asic[3].AreaKGE < 13.7 || asic[3].AreaKGE > 13.9 {
+		t.Errorf("H=8 area = %.3f KGE, want ≈13.806", asic[3].AreaKGE)
+	}
+}
+
+func TestIcebergDelta(t *testing.T) {
+	res, err := IcebergDelta(IcebergDeltaOptions{Slots: 1 << 13, Trials: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean < 0.95 || res.Mean > 0.999 {
+		t.Errorf("δ measurement: mean first-conflict load %.4f", res.Mean)
+	}
+	if res.Min > res.Mean || res.Max < res.Mean {
+		t.Errorf("min/mean/max inconsistent: %+v", res)
+	}
+	t.Logf("1−δ = %.4f ± %.4f (paper: ≈0.9803)", res.Mean, res.SD)
+}
+
+func TestAblateChoices(t *testing.T) {
+	rows, err := AblateChoices([]int{1, 6}, 1<<13, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Associativity != 64 || rows[1].Associativity != 104 {
+		t.Errorf("associativities = %d, %d", rows[0].Associativity, rows[1].Associativity)
+	}
+	// More backyard choices must reach higher utilization before
+	// conflicting.
+	if rows[1].FirstConflict <= rows[0].FirstConflict {
+		t.Errorf("d=6 (%.4f) not better than d=1 (%.4f)", rows[1].FirstConflict, rows[0].FirstConflict)
+	}
+}
+
+func TestAblateSplit(t *testing.T) {
+	rows, err := AblateSplit(nil, 1<<13, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FirstConflict < 0.80 || r.FirstConflict > 1.0 {
+			t.Errorf("%s: first conflict %.4f implausible", r.Label, r.FirstConflict)
+		}
+	}
+}
+
+func TestAblateHash(t *testing.T) {
+	rows, err := AblateHash(1<<13, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]AblateRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	// Real hashes approach 98%; the weak hash conflicts earlier.
+	for _, good := range []string{"xxhash", "tabulation"} {
+		if byLabel[good].FirstConflict < 0.95 {
+			t.Errorf("%s first conflict %.4f < 0.95", good, byLabel[good].FirstConflict)
+		}
+	}
+	if byLabel["weak-clustering"].FirstConflict >= byLabel["xxhash"].FirstConflict {
+		t.Errorf("weak hash (%.4f) not worse than xxhash (%.4f)",
+			byLabel["weak-clustering"].FirstConflict, byLabel["xxhash"].FirstConflict)
+	}
+	t.Logf("hash ablation: xxhash=%.4f tabulation=%.4f weak=%.4f",
+		byLabel["xxhash"].FirstConflict, byLabel["tabulation"].FirstConflict,
+		byLabel["weak-clustering"].FirstConflict)
+}
+
+func TestAblateEviction(t *testing.T) {
+	rows, err := AblateEviction("btree", 8, []float64{1.15}, 4_000_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.HorizonKIO == 0 || r.NaiveKIO == 0 || r.LinuxKIO == 0 {
+		t.Fatalf("missing swapping in some regime: %+v", r)
+	}
+	// The ghost mechanism must not be worse than naive candidate-LRU.
+	if r.HorizonKIO > r.NaiveKIO*1.05 {
+		t.Errorf("Horizon LRU (%.1fK) worse than naive (%.1fK)", r.HorizonKIO, r.NaiveKIO)
+	}
+	t.Logf("eviction ablation @1.15×: horizon=%.1fK naive=%.1fK linux=%.1fK (horizon vs naive: %+.1f%%)",
+		r.HorizonKIO, r.NaiveKIO, r.LinuxKIO, r.HorizonVsNaive)
+}
+
+func TestSharedMemoryFacade(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Frames: 1024, Mode: ModeMosaic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := sys.CreateSharedRegion(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.MapShared(1, 0x100, region); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.MapShared(2, 0x200, region); err != nil {
+		t.Fatal(err)
+	}
+	sys.Touch(1, 0x101, true)
+	p1, _ := sys.Translate(1, 0x101)
+	p2, ok := sys.Translate(2, 0x201)
+	if !ok || p1 != p2 {
+		t.Fatalf("shared translation mismatch: %d vs %d", p1, p2)
+	}
+}
+
+func TestAblateTimestamps(t *testing.T) {
+	rows, err := AblateTimestamps("btree", 8, 1.15, []uint64{0, 2048}, 3_000_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Label != "exact" || rows[1].Label != "scan@2048" {
+		t.Fatalf("labels = %q, %q", rows[0].Label, rows[1].Label)
+	}
+	for _, r := range rows {
+		if r.MosaicKIO == 0 {
+			t.Errorf("%s: no swapping", r.Label)
+		}
+	}
+	// Emulated timestamps must stay within a sane band of exact ones (the
+	// prototype worked, per the paper; a catastrophic gap would mean the
+	// emulation is broken).
+	ratio := rows[1].MosaicKIO / rows[0].MosaicKIO
+	if ratio > 2 || ratio < 0.5 {
+		t.Errorf("scan emulation IO %.2f× exact — implausible", ratio)
+	}
+	t.Logf("exact=%.2fK scan=%.2fK (ratio %.3f)", rows[0].MosaicKIO, rows[1].MosaicKIO, ratio)
+}
+
+func TestFigure6WithCoalescedBaseline(t *testing.T) {
+	res, err := Figure6(Figure6Options{
+		Workload:       "gups",
+		FootprintBytes: 4 << 20,
+		MaxRefs:        200_000,
+		TLBEntries:     128,
+		Ways:           []int{8},
+		Arities:        []int{4},
+		Coalesce:       []int{4},
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colt, ok := res.MissesFor(8, "CoLT-4")
+	if !ok {
+		t.Fatal("CoLT-4 cell missing")
+	}
+	m4, _ := res.MissesFor(8, "Mosaic-4")
+	if m4 >= colt {
+		t.Errorf("Mosaic-4 (%d) not below CoLT-4 (%d) under hashed placement", m4, colt)
+	}
+}

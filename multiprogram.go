@@ -1,0 +1,229 @@
+package mosaic
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"mosaic/internal/trace"
+)
+
+// The multiprogramming experiment (an extension beyond the paper's
+// single-process evaluation): several processes time-share one TLB. Each
+// process's reference stream is captured once, then the streams are
+// replayed in round-robin quanta through the simulator under two regimes —
+// ASID-tagged entries (PCID-style, entries survive switches) and full TLB
+// flushes on every switch. Because mosaic entries each carry more reach,
+// fewer entries per process survive competition and refills after flushes
+// are cheaper, so compression pays twice under multiprogramming.
+
+// MultiprogramOptions parameterizes the experiment.
+type MultiprogramOptions struct {
+	// Workloads are the co-scheduled processes (≥ 2). Defaults to
+	// graph500 + kvstore (a batch job against a latency service).
+	Workloads []string
+	// FootprintBytes sizes each workload (default 16 MiB each).
+	FootprintBytes uint64
+	// QuantumRefs is the context-switch quantum in references
+	// (default 50,000).
+	QuantumRefs uint64
+	// MaxRefsPerProc caps each captured stream (default 3,000,000).
+	MaxRefsPerProc uint64
+	// TLBEntries and Ways fix the shared TLB (default 256, 8-way).
+	TLBEntries int
+	Ways       int
+	// Arities are the mosaic design points (default 4, 16).
+	Arities []int
+	// FlushOnSwitch disables ASID tagging: every context switch flushes
+	// the TLBs.
+	FlushOnSwitch bool
+	// Seed drives the workloads.
+	Seed uint64
+}
+
+func (o *MultiprogramOptions) applyDefaults() error {
+	if len(o.Workloads) == 0 {
+		o.Workloads = []string{"graph500", "kvstore"}
+	}
+	if len(o.Workloads) < 2 {
+		return fmt.Errorf("mosaic: multiprogramming needs ≥ 2 workloads")
+	}
+	if o.FootprintBytes == 0 {
+		o.FootprintBytes = 16 << 20
+	}
+	if o.QuantumRefs == 0 {
+		o.QuantumRefs = 50_000
+	}
+	if o.MaxRefsPerProc == 0 {
+		o.MaxRefsPerProc = 3_000_000
+	}
+	if o.TLBEntries == 0 {
+		o.TLBEntries = 256
+	}
+	if o.Ways == 0 {
+		o.Ways = 8
+	}
+	if len(o.Arities) == 0 {
+		o.Arities = []int{4, 16}
+	}
+	return nil
+}
+
+// MultiprogramResult is the outcome per TLB design.
+type MultiprogramResult struct {
+	// Label is "Vanilla" or "Mosaic-<arity>".
+	Label string
+	// SharedMisses is the miss count with all processes time-sharing the
+	// TLB.
+	SharedMisses uint64
+	// SoloMisses is the summed miss count of each process running alone
+	// on an identical TLB (same total references).
+	SoloMisses uint64
+	// InterferencePct is the extra misses multiprogramming causes:
+	// 100 × (shared − solo) / solo.
+	InterferencePct float64
+}
+
+// Multiprogram runs the experiment and reports, per design, how much TLB
+// interference time-sharing adds over solo execution.
+func Multiprogram(opt MultiprogramOptions) ([]MultiprogramResult, uint64, error) {
+	if err := opt.applyDefaults(); err != nil {
+		return nil, 0, err
+	}
+	specs := []TLBSpec{{Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: opt.Ways}}}
+	for _, a := range opt.Arities {
+		specs = append(specs, TLBSpec{
+			Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: opt.Ways},
+			Arity:    a,
+		})
+	}
+
+	// Capture each process's stream once, in the compact binary format.
+	streams := make([]*bytes.Buffer, len(opt.Workloads))
+	var refs []uint64
+	for i, name := range opt.Workloads {
+		w, err := NewWorkload(name, opt.FootprintBytes, opt.Seed+uint64(i)*977)
+		if err != nil {
+			return nil, 0, err
+		}
+		var buf bytes.Buffer
+		tw, err := trace.NewWriter(&buf)
+		if err != nil {
+			return nil, 0, err
+		}
+		n := RunLimited(w, tw, opt.MaxRefsPerProc)
+		if err := tw.Flush(); err != nil {
+			return nil, 0, err
+		}
+		streams[i] = &buf
+		refs = append(refs, n)
+	}
+
+	// Solo baselines: each process alone on a fresh simulator.
+	solo := make(map[string]uint64)
+	for i := range streams {
+		sim, err := NewSimulator(SimConfig{Frames: framesFor(opt), Specs: specs, Seed: opt.Seed})
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := replayStream(streams[i].Bytes(), sim, ASID(i+1)); err != nil {
+			return nil, 0, err
+		}
+		for _, r := range sim.Results() {
+			solo[r.Spec.Label()] += r.TLB.Misses
+		}
+	}
+
+	// Shared run: round-robin quanta over all streams on one simulator.
+	sim, err := NewSimulator(SimConfig{Frames: framesFor(opt), Specs: specs, Seed: opt.Seed})
+	if err != nil {
+		return nil, 0, err
+	}
+	readers := make([]*trace.Reader, len(streams))
+	for i, b := range streams {
+		r, err := trace.NewReader(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			return nil, 0, err
+		}
+		readers[i] = r
+	}
+	live := len(readers)
+	for live > 0 {
+		live = 0
+		for i, r := range readers {
+			if r == nil {
+				continue
+			}
+			if opt.FlushOnSwitch {
+				sim.FlushTLBs()
+			}
+			done, err := replayQuantum(r, sim, ASID(i+1), opt.QuantumRefs)
+			if err != nil {
+				return nil, 0, err
+			}
+			if done {
+				readers[i] = nil
+				continue
+			}
+			live++
+		}
+	}
+
+	var out []MultiprogramResult
+	for _, r := range sim.Results() {
+		label := r.Spec.Label()
+		res := MultiprogramResult{
+			Label:        label,
+			SharedMisses: r.TLB.Misses,
+			SoloMisses:   solo[label],
+		}
+		if res.SoloMisses > 0 {
+			res.InterferencePct = 100 * (float64(res.SharedMisses) - float64(res.SoloMisses)) / float64(res.SoloMisses)
+		}
+		out = append(out, res)
+	}
+	total := uint64(0)
+	for _, n := range refs {
+		total += n
+	}
+	return out, total, nil
+}
+
+func framesFor(opt MultiprogramOptions) int {
+	// All processes resident simultaneously with headroom.
+	return int(4 * opt.FootprintBytes / PageSize * uint64(len(opt.Workloads)))
+}
+
+// replayStream replays a whole captured stream into the simulator.
+func replayStream(data []byte, sim *Simulator, asid ASID) error {
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	for {
+		done, err := replayQuantum(r, sim, asid, 1<<62)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// replayQuantum feeds up to n records from r into the simulator, reporting
+// whether the stream ended.
+func replayQuantum(r *trace.Reader, sim *Simulator, asid ASID, n uint64) (done bool, err error) {
+	for i := uint64(0); i < n; i++ {
+		a, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		sim.AccessFrom(asid, a.VA, a.Write)
+	}
+	return false, nil
+}

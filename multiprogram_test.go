@@ -1,0 +1,130 @@
+package mosaic
+
+import "testing"
+
+func TestMultiprogramShape(t *testing.T) {
+	opts := MultiprogramOptions{
+		Workloads:      []string{"gups", "kvstore"},
+		FootprintBytes: 4 << 20,
+		MaxRefsPerProc: 400_000,
+		Seed:           2,
+	}
+	tagged, refs, err := Multiprogram(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each stream is capped at 400k but may end sooner (kvstore's op count
+	// is footprint-proportional).
+	if refs == 0 || refs > 2*400_000 {
+		t.Fatalf("total refs = %d", refs)
+	}
+	if len(tagged) != 3 { // vanilla + 2 arities
+		t.Fatalf("results = %d", len(tagged))
+	}
+	byLabel := map[string]MultiprogramResult{}
+	for _, r := range tagged {
+		if r.SharedMisses == 0 || r.SoloMisses == 0 {
+			t.Fatalf("%s: zero misses (%+v)", r.Label, r)
+		}
+		// Sharing a TLB can only hurt (or leave unchanged): interference
+		// must not be meaningfully negative.
+		if r.InterferencePct < -1 {
+			t.Errorf("%s: negative interference %.2f%%", r.Label, r.InterferencePct)
+		}
+		byLabel[r.Label] = r
+	}
+	// Mosaic still wins under multiprogramming.
+	if byLabel["Mosaic-4"].SharedMisses >= byLabel["Vanilla"].SharedMisses {
+		t.Errorf("Mosaic-4 shared misses %d ≥ vanilla %d",
+			byLabel["Mosaic-4"].SharedMisses, byLabel["Vanilla"].SharedMisses)
+	}
+
+	flushOpts := opts
+	flushOpts.FlushOnSwitch = true
+	flushed, _, err := Multiprogram(flushOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range flushed {
+		// Flushing on every switch can only increase misses vs tagging.
+		if r.SharedMisses < tagged[i].SharedMisses {
+			t.Errorf("%s: flushed run has fewer misses (%d) than tagged (%d)",
+				r.Label, r.SharedMisses, tagged[i].SharedMisses)
+		}
+	}
+	t.Logf("tagged: %+v", tagged)
+	t.Logf("flushed: %+v", flushed)
+}
+
+func TestMultiprogramValidation(t *testing.T) {
+	if _, _, err := Multiprogram(MultiprogramOptions{Workloads: []string{"gups"}}); err == nil {
+		t.Error("single workload accepted")
+	}
+	if _, _, err := Multiprogram(MultiprogramOptions{Workloads: []string{"gups", "nope"}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestMultiprogramASIDIsolationInTLB(t *testing.T) {
+	// Two processes touching the same virtual pages must not alias in the
+	// tagged TLB: build a simulator directly and interleave identical VAs
+	// from two ASIDs; translations must differ.
+	sim, err := NewSimulator(SimConfig{
+		Frames: 1 << 14,
+		Specs:  []TLBSpec{{Geometry: TLBGeometry{Entries: 64, Ways: 8}}},
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const va = 0x10000000
+	sim.AccessFrom(1, va, true)
+	sim.AccessFrom(2, va, true)
+	p1, ok1 := sim.OS().Translate(1, 0x10000)
+	p2, ok2 := sim.OS().Translate(2, 0x10000)
+	if !ok1 || !ok2 {
+		t.Fatal("pages not resident")
+	}
+	if p1 == p2 {
+		t.Fatal("ASIDs share a frame without sharing")
+	}
+	// Re-touch both: each must hit its own tagged entry (no cross-ASID
+	// eviction of a 2-entry working set in a 64-entry TLB, and no stale
+	// translation reuse).
+	sim.AccessFrom(1, va, false)
+	sim.AccessFrom(2, va, false)
+	r := sim.Results()[0]
+	if r.TLB.Hits != 2 || r.TLB.Misses != 2 {
+		t.Fatalf("tagged TLB stats = %+v, want 2 hits / 2 misses", r.TLB)
+	}
+}
+
+func TestFlushTLBs(t *testing.T) {
+	sim, err := NewSimulator(SimConfig{
+		Frames: 1 << 14,
+		Specs: []TLBSpec{
+			{Geometry: TLBGeometry{Entries: 64, Ways: 8}},
+			{Geometry: TLBGeometry{Entries: 64, Ways: 8}, Arity: 4},
+			{Geometry: TLBGeometry{Entries: 64, Ways: 8}, Coalesce: 4},
+		},
+		Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Access(0x10000000, false)
+	sim.Access(0x10000000, false) // hits
+	sim.FlushTLBs()
+	sim.Access(0x10000000, false) // must miss again everywhere
+	for _, r := range sim.Results() {
+		if r.TLB.Misses != 2 {
+			t.Errorf("%s: misses = %d, want 2 (cold + post-flush)", r.Spec.Label(), r.TLB.Misses)
+		}
+		if r.TLB.Hits != 1 {
+			t.Errorf("%s: hits = %d, want 1", r.Spec.Label(), r.TLB.Hits)
+		}
+	}
+	if sim.Counters().Get("flushes") != 1 {
+		t.Errorf("flush counter = %d", sim.Counters().Get("flushes"))
+	}
+}

@@ -1,0 +1,208 @@
+package mosaic
+
+import (
+	"fmt"
+
+	"mosaic/internal/stats"
+	"mosaic/internal/trace"
+	"mosaic/internal/vm"
+)
+
+// PaperFootprintFracs are Table 3/4's workload footprints expressed as
+// fractions of the 4096 MiB mosaic pool (4158/4096 … 6459/4096).
+var PaperFootprintFracs = []float64{
+	4158.0 / 4096, 4413.0 / 4096, 4669.0 / 4096, 4924.0 / 4096, 5180.0 / 4096,
+	5436.0 / 4096, 5691.0 / 4096, 5947.0 / 4096, 6203.0 / 4096, 6459.0 / 4096,
+}
+
+// Table3Options parameterizes the memory-utilization experiment (§4.2).
+type Table3Options struct {
+	// Workloads defaults to the paper's three (graph500, xsbench, btree —
+	// Table 3 omits GUPS).
+	Workloads []string
+	// MemoryMiB is the mosaic memory pool size (the paper reserves
+	// 4096 MiB; default 16 MiB, preserving footprint/memory ratios).
+	MemoryMiB int
+	// FootprintFracs are workload footprints as fractions of the pool
+	// (default: the paper's first four points, ≈1.015 … 1.202).
+	FootprintFracs []float64
+	// Runs averages over this many seeds (the paper uses ten; default 3).
+	Runs int
+	// MaxRefs caps each run (0 = run to completion).
+	MaxRefs uint64
+	// Seed is the base seed; run r uses Seed+r.
+	Seed uint64
+}
+
+func (o *Table3Options) applyDefaults() {
+	if len(o.Workloads) == 0 {
+		o.Workloads = []string{"graph500", "xsbench", "btree"}
+	}
+	if o.MemoryMiB == 0 {
+		o.MemoryMiB = 16
+	}
+	if len(o.FootprintFracs) == 0 {
+		o.FootprintFracs = PaperFootprintFracs[:4]
+	}
+	if o.Runs == 0 {
+		o.Runs = 3
+	}
+	if o.MaxRefs == 0 {
+		o.MaxRefs = 20_000_000
+	}
+}
+
+// Table3Row is one row of Table 3: utilization at the first associativity
+// conflict (1−δ) and steady-state utilization, mean ± stddev over runs.
+type Table3Row struct {
+	Workload        string
+	FootprintMiB    float64
+	FirstConflict   float64
+	FirstConflictSD float64
+	Steady          float64
+	SteadySD        float64
+}
+
+// vmSink adapts a vm.System to trace.Sink for one ASID.
+type vmSink struct {
+	sys  *vm.System
+	asid ASID
+}
+
+func (s vmSink) Access(va uint64, write bool) { s.sys.TouchVA(s.asid, va, write) }
+
+// Table3 reproduces Table 3: for each workload × footprint it runs the
+// mosaic allocator under memory pressure and reports when the first
+// associativity conflict appears and how full memory stays afterwards.
+func Table3(opt Table3Options) ([]Table3Row, error) {
+	opt.applyDefaults()
+	frames := opt.MemoryMiB << 20 / PageSize
+	var rows []Table3Row
+	for _, frac := range opt.FootprintFracs {
+		footprint := uint64(frac * float64(opt.MemoryMiB) * (1 << 20))
+		for _, name := range opt.Workloads {
+			var first, steady stats.Running
+			for run := 0; run < opt.Runs; run++ {
+				seed := opt.Seed + uint64(run)*1009
+				sys, err := NewSystem(SystemConfig{Frames: frames, Mode: ModeMosaic, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				w, err := NewWorkload(name, footprint, seed)
+				if err != nil {
+					return nil, err
+				}
+				var samples stats.Running
+				sink := trace.Tee(vmSink{sys, 1}, trace.SinkFunc(func(uint64, bool) {
+					// Sample utilization every 4096 references once the
+					// first conflict has occurred (the steady state).
+					if sys.Clock()%4096 == 0 {
+						if _, saw := sys.FirstConflictUtilization(); saw {
+							samples.Observe(sys.Utilization())
+						}
+					}
+				}))
+				RunLimited(w, sink, opt.MaxRefs)
+				u, saw := sys.FirstConflictUtilization()
+				if !saw {
+					return nil, fmt.Errorf("mosaic: %s at %.0f MiB never conflicted — footprint too small for the pool", name, float64(footprint)/(1<<20))
+				}
+				first.Observe(u)
+				if samples.N() == 0 {
+					samples.Observe(sys.Utilization())
+				}
+				steady.Observe(samples.Mean())
+			}
+			rows = append(rows, Table3Row{
+				Workload:        name,
+				FootprintMiB:    float64(footprint) / (1 << 20),
+				FirstConflict:   first.Mean(),
+				FirstConflictSD: first.Stddev(),
+				Steady:          steady.Mean(),
+				SteadySD:        steady.Stddev(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// LinuxSwapOnset measures the utilization at which the vanilla (Linux-like)
+// system performs its first swap under the same pressure — the §4.2
+// comparison point (the paper observes ≈99.2%, set by zone watermarks).
+func LinuxSwapOnset(memoryMiB int, workload string, seed uint64) (float64, error) {
+	frames := memoryMiB << 20 / PageSize
+	sys, err := NewSystem(SystemConfig{Frames: frames, Mode: ModeVanilla})
+	if err != nil {
+		return 0, err
+	}
+	w, err := NewWorkload(workload, uint64(float64(memoryMiB)*(1<<20)*1.1), seed)
+	if err != nil {
+		return 0, err
+	}
+	onset := -1.0
+	RunLimited(w, trace.Tee(vmSink{sys, 1}, trace.SinkFunc(func(uint64, bool) {
+		if onset < 0 && sys.Device().PageOuts() > 0 {
+			onset = sys.Utilization()
+		}
+	})), 30_000_000)
+	if onset < 0 {
+		return 0, fmt.Errorf("mosaic: vanilla system never swapped")
+	}
+	return onset, nil
+}
+
+// IcebergDeltaOptions parameterizes the standalone δ measurement.
+type IcebergDeltaOptions struct {
+	// Slots is the table capacity (default 1<<15).
+	Slots int
+	// Trials averages over this many random fills (default 10).
+	Trials int
+	// Geometry defaults to DefaultGeometry.
+	Geometry Geometry
+	// Seed is the base seed.
+	Seed uint64
+}
+
+// IcebergDeltaResult reports the load factor at the first conflict.
+type IcebergDeltaResult struct {
+	Mean, SD, Min, Max float64
+	Trials             int
+}
+
+// IcebergDelta measures δ for the iceberg allocator in isolation: fill
+// memory with distinct pages until the first associativity conflict and
+// report the load factor, averaged over trials (§4.2's "δ is roughly 2%").
+func IcebergDelta(opt IcebergDeltaOptions) (IcebergDeltaResult, error) {
+	if opt.Slots == 0 {
+		opt.Slots = 1 << 15
+	}
+	if opt.Trials == 0 {
+		opt.Trials = 10
+	}
+	if opt.Geometry == (Geometry{}) {
+		opt.Geometry = DefaultGeometry
+	}
+	var r stats.Running
+	for trial := 0; trial < opt.Trials; trial++ {
+		sys, err := NewSystem(SystemConfig{
+			Frames:   opt.Slots,
+			Mode:     ModeMosaic,
+			Geometry: opt.Geometry,
+			Seed:     opt.Seed + uint64(trial)*7919,
+		})
+		if err != nil {
+			return IcebergDeltaResult{}, err
+		}
+		for vpn := VPN(0); ; vpn++ {
+			sys.Touch(1, vpn, true)
+			if u, saw := sys.FirstConflictUtilization(); saw {
+				r.Observe(u)
+				break
+			}
+			if int(vpn) > 2*opt.Slots {
+				return IcebergDeltaResult{}, fmt.Errorf("mosaic: no conflict after 2× capacity")
+			}
+		}
+	}
+	return IcebergDeltaResult{Mean: r.Mean(), SD: r.Stddev(), Min: r.Min(), Max: r.Max(), Trials: opt.Trials}, nil
+}
