@@ -175,10 +175,10 @@ func rebuildFragmented(frames int, freeRuns []core.PFN, chunk int) *buddy.Alloca
 			break
 		}
 	}
-	runFrames := core.PFN(1 << chunk)
+	runFrames := uint64(1) << chunk
 	for _, base := range freeRuns {
-		for p := core.PFN(0); p < runFrames; p++ {
-			bd.Free(base + p)
+		for p := uint64(0); p < runFrames; p++ {
+			bd.Free(base.Add(p))
 		}
 	}
 	return bd

@@ -201,6 +201,7 @@ func (m *Memory) Place(asid core.ASID, vpn core.VPN, now, horizon uint64) (Place
 	}
 	slot, ok := m.oldestGhost(bucket, f, bs, horizon)
 	if !ok {
+		//lint:ignore nopanic bestLive < b proved a dead slot exists in this bucket; not finding one means the occupancy bitmap is corrupt
 		panic("alloc: backyard live count promised a reclaimable slot but none found")
 	}
 	evicted := m.reclaim(m.frameIndex(bucket, slot))
@@ -227,6 +228,7 @@ func (m *Memory) oldestGhost(bucket uint64, lo, hi int, horizon uint64) (int, bo
 func (m *Memory) reclaim(idx int) Owner {
 	fr := &m.frames[idx]
 	if !fr.used {
+		//lint:ignore nopanic reclaim indexes come from the occupancy bitmap, which recorded this frame as live
 		panic("alloc: reclaim of free frame")
 	}
 	owner := fr.owner
@@ -251,6 +253,7 @@ func (m *Memory) install(bk []uint64, asid core.ASID, vpn core.VPN, now uint64, 
 	idx := m.frameIndex(bucket, slot)
 	fr := &m.frames[idx]
 	if fr.used {
+		//lint:ignore nopanic install slots are chosen from the free bits of the occupancy bitmap
 		panic("alloc: installing into occupied frame")
 	}
 	fr.used = true
@@ -311,7 +314,8 @@ func (m *Memory) Evict(pfn core.PFN) Owner {
 	return m.reclaim(int(pfn))
 }
 
-// Free releases pfn on unmap (no swap-out implied).
+// Free releases pfn on unmap (no swap-out implied). It panics if pfn is
+// not an allocated frame.
 func (m *Memory) Free(pfn core.PFN) {
 	if !m.frames[pfn].used {
 		panic(fmt.Sprintf("alloc: Free of free frame %d", pfn))
@@ -319,7 +323,8 @@ func (m *Memory) Free(pfn core.PFN) {
 	m.clear(int(pfn))
 }
 
-// Touch records an access to pfn at time now, optionally dirtying it.
+// Touch records an access to pfn at time now, optionally dirtying it. It
+// panics if pfn is not an allocated frame.
 func (m *Memory) Touch(pfn core.PFN, now uint64, write bool) {
 	fr := &m.frames[pfn]
 	if !fr.used {
@@ -333,7 +338,7 @@ func (m *Memory) Touch(pfn core.PFN, now uint64, write bool) {
 
 // MarkDirty records a store to pfn without touching recency — used by the
 // access-bit emulation mode, where recency is updated only by the scan
-// daemon.
+// daemon. It panics if pfn is not an allocated frame.
 func (m *Memory) MarkDirty(pfn core.PFN) {
 	fr := &m.frames[pfn]
 	if !fr.used {

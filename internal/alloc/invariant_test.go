@@ -1,0 +1,135 @@
+package alloc
+
+import (
+	"testing"
+
+	"mosaic/internal/core"
+	"mosaic/internal/invariant"
+	"mosaic/internal/xxhash"
+)
+
+func hasRule(r *invariant.Report, rule string) bool {
+	for _, v := range r.Violations() {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// filledMemory places n pages deterministically for the corruption tests.
+func filledMemory(t *testing.T, n int) *Memory {
+	t.Helper()
+	m := NewMemory(4*core.DefaultGeometry.BucketSize(), core.DefaultGeometry, xxhash.NewPlacement(1))
+	for vpn := core.VPN(0); m.Used() < n; vpn++ {
+		if _, err := m.Place(1, vpn, 10, 0); err != nil {
+			t.Fatalf("Place(%d): %v", vpn, err)
+		}
+	}
+	return m
+}
+
+func TestMemoryCheckInvariantsClean(t *testing.T) {
+	m := filledMemory(t, 150)
+	var r invariant.Report
+	m.CheckInvariants(&r)
+	if err := r.Err(); err != nil {
+		t.Fatalf("clean memory reported violations: %v", err)
+	}
+}
+
+func TestMemoryCheckInvariantsDetectsCorruption(t *testing.T) {
+	firstUsed := func(m *Memory) int {
+		for i := range m.frames {
+			if m.frames[i].used {
+				return i
+			}
+		}
+		t.Fatal("no used frame")
+		return -1
+	}
+	tests := []struct {
+		name    string
+		corrupt func(m *Memory)
+		rule    string
+	}{
+		{"bitmap-bit-cleared", func(m *Memory) {
+			i := firstUsed(m)
+			bs := m.geom.BucketSize()
+			m.occupied[i/bs] &^= 1 << uint(i%bs)
+		}, "alloc.occupancy-bitmap"},
+		{"used-count", func(m *Memory) {
+			m.used--
+		}, "alloc.used-count"},
+		{"foreign-owner", func(m *Memory) {
+			// Swap the owners of two used frontyard frames in different
+			// buckets: each owner now sits in a frontyard its page does
+			// not hash to.
+			bs := m.geom.BucketSize()
+			var picks []int
+			for bkt := 0; bkt < 2; bkt++ {
+				for s := 0; s < m.geom.FrontyardSize; s++ {
+					if idx := bkt*bs + s; m.frames[idx].used {
+						picks = append(picks, idx)
+						break
+					}
+				}
+			}
+			if len(picks) != 2 {
+				t.Fatal("need a used frontyard frame in buckets 0 and 1")
+			}
+			i, j := picks[0], picks[1]
+			m.frames[i].owner, m.frames[j].owner = m.frames[j].owner, m.frames[i].owner
+		}, "alloc.owner-location"},
+		{"duplicate-owner", func(m *Memory) {
+			i := firstUsed(m)
+			m.frames[i+1].owner = m.frames[i].owner
+		}, "alloc.duplicate-owner"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := filledMemory(t, 200)
+			tc.corrupt(m)
+			var r invariant.Report
+			m.CheckInvariants(&r)
+			if r.OK() {
+				t.Fatalf("corruption %q went undetected", tc.name)
+			}
+			if !hasRule(&r, tc.rule) {
+				t.Fatalf("corruption %q reported %v, want rule %s", tc.name, r.Violations(), tc.rule)
+			}
+		})
+	}
+}
+
+func TestUnconstrainedCheckInvariants(t *testing.T) {
+	u := NewUnconstrained(64)
+	for vpn := core.VPN(0); vpn < 40; vpn++ {
+		if _, err := u.Place(1, vpn, 5); err != nil {
+			t.Fatalf("Place(%d): %v", vpn, err)
+		}
+	}
+	var r invariant.Report
+	u.CheckInvariants(&r)
+	if err := r.Err(); err != nil {
+		t.Fatalf("clean allocator reported violations: %v", err)
+	}
+
+	// Corrupt: drop a frame from the free list without allocating it.
+	leaked := NewUnconstrained(8)
+	leaked.free = leaked.free[:len(leaked.free)-1]
+	r = invariant.Report{}
+	leaked.CheckInvariants(&r)
+	if !hasRule(&r, "alloc.leaked-frame") {
+		t.Fatalf("leaked frame reported %v, want alloc.leaked-frame", r.Violations())
+	}
+
+	// Corrupt: mark a free-listed frame used.
+	busy := NewUnconstrained(8)
+	busy.frames[int(busy.free[0])].used = true
+	r = invariant.Report{}
+	busy.CheckInvariants(&r)
+	if !hasRule(&r, "alloc.free-used") {
+		t.Fatalf("free/used disagreement reported %v, want alloc.free-used", r.Violations())
+	}
+}

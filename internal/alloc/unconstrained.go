@@ -57,6 +57,7 @@ func (u *Unconstrained) Place(asid core.ASID, vpn core.VPN, now uint64) (core.PF
 	u.free = u.free[:len(u.free)-1]
 	fr := &u.frames[pfn]
 	if fr.used {
+		//lint:ignore nopanic every frame on the free list was cleared when it was pushed
 		panic("alloc: free list handed out an occupied frame")
 	}
 	fr.used = true
@@ -66,7 +67,8 @@ func (u *Unconstrained) Place(asid core.ASID, vpn core.VPN, now uint64) (core.PF
 	return pfn, nil
 }
 
-// Evict frees pfn and returns its former owner.
+// Evict frees pfn and returns its former owner. It panics if pfn is not an
+// allocated frame.
 func (u *Unconstrained) Evict(pfn core.PFN) Owner {
 	fr := &u.frames[pfn]
 	if !fr.used {
@@ -81,7 +83,8 @@ func (u *Unconstrained) Evict(pfn core.PFN) Owner {
 // Free releases pfn on unmap.
 func (u *Unconstrained) Free(pfn core.PFN) { u.Evict(pfn) }
 
-// Touch records an access to pfn at time now.
+// Touch records an access to pfn at time now. It panics if pfn is not an
+// allocated frame.
 func (u *Unconstrained) Touch(pfn core.PFN, now uint64, write bool) {
 	fr := &u.frames[pfn]
 	if !fr.used {

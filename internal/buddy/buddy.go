@@ -24,12 +24,17 @@ import (
 const MaxOrder = 9
 
 // Allocator is a binary buddy allocator. It is not safe for concurrent use.
+//
+// Internally blocks are tracked as plain uint64 frame indexes — the
+// split/coalesce address math stays on untyped integers, and core.PFN
+// appears only at the API boundary (the cpfnbounds discipline: frame-number
+// arithmetic lives in internal/core and internal/alloc).
 type Allocator struct {
 	frames int
-	// freeLists[o] holds the base PFNs of free blocks of order o.
-	freeLists [MaxOrder + 1]map[core.PFN]bool
+	// freeLists[o] holds the base frame indexes of free blocks of order o.
+	freeLists [MaxOrder + 1]map[uint64]bool
 	// blockOrder records the order of every allocated block, keyed by base.
-	blockOrder map[core.PFN]int
+	blockOrder map[uint64]int
 	freeFrames int
 }
 
@@ -41,12 +46,12 @@ func New(frames int) *Allocator {
 	if frames == 0 {
 		panic(fmt.Sprintf("buddy: need at least %d frames", blockFrames))
 	}
-	a := &Allocator{frames: frames, blockOrder: make(map[core.PFN]int)}
+	a := &Allocator{frames: frames, blockOrder: make(map[uint64]int)}
 	for o := range a.freeLists {
-		a.freeLists[o] = make(map[core.PFN]bool)
+		a.freeLists[o] = make(map[uint64]bool)
 	}
-	for base := 0; base < frames; base += blockFrames {
-		a.freeLists[MaxOrder][core.PFN(base)] = true
+	for base := uint64(0); base < uint64(frames); base += uint64(blockFrames) {
+		a.freeLists[MaxOrder][base] = true
 	}
 	a.freeFrames = frames
 	return a
@@ -61,7 +66,8 @@ func (a *Allocator) FreeFrames() int { return a.freeFrames }
 // Alloc allocates a block of 2^order contiguous frames, returning its base
 // PFN. It fails (ok = false) when no block of that order can be made by
 // splitting — the huge-page allocation failure fragmentation causes, even
-// with plenty of free memory.
+// with plenty of free memory. Alloc panics if order is outside
+// [0, MaxOrder].
 func (a *Allocator) Alloc(order int) (core.PFN, bool) {
 	if order < 0 || order > MaxOrder {
 		panic(fmt.Sprintf("buddy: order %d out of range [0,%d]", order, MaxOrder))
@@ -74,7 +80,7 @@ func (a *Allocator) Alloc(order int) (core.PFN, bool) {
 	if o > MaxOrder {
 		return 0, false
 	}
-	var base core.PFN
+	var base uint64
 	for b := range a.freeLists[o] {
 		base = b
 		break
@@ -83,17 +89,18 @@ func (a *Allocator) Alloc(order int) (core.PFN, bool) {
 	// Split down to the requested order, returning the upper halves.
 	for o > order {
 		o--
-		buddy := base + core.PFN(1<<o)
+		buddy := base + 1<<o
 		a.freeLists[o][buddy] = true
 	}
 	a.blockOrder[base] = order
 	a.freeFrames -= 1 << order
-	return base, true
+	return core.PFN(base), true
 }
 
-// Free releases the block at base (which must have been returned by Alloc),
-// coalescing with free buddies as far as possible.
-func (a *Allocator) Free(base core.PFN) {
+// Free releases the block at base (which must have been returned by Alloc;
+// Free panics otherwise), coalescing with free buddies as far as possible.
+func (a *Allocator) Free(pfn core.PFN) {
+	base := uint64(pfn)
 	order, ok := a.blockOrder[base]
 	if !ok {
 		panic(fmt.Sprintf("buddy: Free of unallocated base %d", base))
@@ -101,7 +108,7 @@ func (a *Allocator) Free(base core.PFN) {
 	delete(a.blockOrder, base)
 	a.freeFrames += 1 << order
 	for order < MaxOrder {
-		buddy := base ^ core.PFN(1<<order)
+		buddy := base ^ 1<<order
 		if !a.freeLists[order][buddy] {
 			break
 		}
@@ -156,7 +163,8 @@ func (a *Allocator) UnusableIndex(order int) float64 {
 // huge-page benefit. The model mirrors Linux's compaction: for each needed
 // block, pick the 2^order-aligned region with the fewest allocated frames
 // and migrate them elsewhere (possible only if enough free frames exist
-// outside the chosen regions).
+// outside the chosen regions). CompactionCost panics if order is out of
+// range.
 func (a *Allocator) CompactionCost(order, want int) (copies int, feasible bool) {
 	if order < 0 || order > MaxOrder {
 		panic(fmt.Sprintf("buddy: order %d out of range", order))
@@ -175,10 +183,10 @@ func (a *Allocator) CompactionCost(order, want int) (copies int, feasible bool) 
 	// wholly free were counted above; regions partially free are the
 	// compaction targets).
 	var regions []region
-	for base := 0; base < a.frames; base += blockFrames {
-		alloc := a.allocatedIn(core.PFN(base), blockFrames)
+	for base := uint64(0); base < uint64(a.frames); base += uint64(blockFrames) {
+		alloc := a.allocatedIn(base, blockFrames)
 		if alloc > 0 && alloc < blockFrames {
-			regions = append(regions, region{core.PFN(base), alloc})
+			regions = append(regions, region{base, alloc})
 		}
 	}
 	// Cheapest regions first.
@@ -201,7 +209,7 @@ func (a *Allocator) CompactionCost(order, want int) (copies int, feasible bool) 
 }
 
 // allocatedIn counts allocated frames within [base, base+n).
-func (a *Allocator) allocatedIn(base core.PFN, n int) int {
+func (a *Allocator) allocatedIn(base uint64, n int) int {
 	free := 0
 	// Count free frames by scanning free blocks that overlap the region.
 	// Free blocks are aligned, so any free block of order ≤ region order
@@ -235,11 +243,12 @@ func sortRegions(rs []region) {
 // region is a compaction candidate: an aligned block-sized area and the
 // number of allocated frames that would have to migrate out of it.
 type region struct {
-	base      core.PFN
+	base      uint64
 	allocated int
 }
 
-// OrderFor returns the smallest order whose block covers n frames.
+// OrderFor returns the smallest order whose block covers n frames. It
+// panics if n is not positive.
 func OrderFor(n int) int {
 	if n <= 0 {
 		panic(fmt.Sprintf("buddy: OrderFor(%d)", n))

@@ -1,0 +1,103 @@
+package buddy
+
+import (
+	"testing"
+
+	"mosaic/internal/core"
+	"mosaic/internal/invariant"
+)
+
+func hasRule(r *invariant.Report, rule string) bool {
+	for _, v := range r.Violations() {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// churnedAllocator allocates and frees a deterministic mix of orders so the
+// free lists hold blocks at several sizes.
+func churnedAllocator(t *testing.T) *Allocator {
+	t.Helper()
+	a := New(4 << MaxOrder)
+	var blocks []struct {
+		pfn   uint64
+		order int
+	}
+	for i := 0; i < 40; i++ {
+		order := []int{0, 0, 1, 3, 0, 2, 5, 0}[i%8]
+		pfn, ok := a.Alloc(order)
+		if !ok {
+			break
+		}
+		blocks = append(blocks, struct {
+			pfn   uint64
+			order int
+		}{uint64(pfn), order})
+	}
+	for i := 0; i < len(blocks); i += 2 {
+		a.Free(core.PFN(blocks[i].pfn))
+	}
+	return a
+}
+
+func TestCheckInvariantsClean(t *testing.T) {
+	a := churnedAllocator(t)
+	var r invariant.Report
+	a.CheckInvariants(&r)
+	if err := r.Err(); err != nil {
+		t.Fatalf("clean allocator reported violations: %v", err)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	tests := []struct {
+		name    string
+		corrupt func(a *Allocator)
+		rule    string
+	}{
+		{"free-count", func(a *Allocator) {
+			a.freeFrames++
+		}, "buddy.free-count"},
+		{"misaligned-free-block", func(a *Allocator) {
+			a.freeLists[3][1] = true // order-3 block must be 8-aligned
+		}, "buddy.alignment"},
+		{"out-of-range-block", func(a *Allocator) {
+			a.freeLists[0][uint64(a.frames)] = true
+		}, "buddy.range"},
+		{"double-booked-frame", func(a *Allocator) {
+			// Claim an allocated block's base as an order-0 free block:
+			// the frame is now covered twice and the counts drift.
+			for base := range a.blockOrder {
+				a.freeLists[0][base] = true
+				return
+			}
+			panic("no allocated block to double-book")
+		}, "buddy.tiling"},
+		{"missed-coalesce", func(a *Allocator) {
+			// Split a max-order free block into its two halves by hand.
+			for base := range a.freeLists[MaxOrder] {
+				delete(a.freeLists[MaxOrder], base)
+				a.freeLists[MaxOrder-1][base] = true
+				a.freeLists[MaxOrder-1][base+1<<(MaxOrder-1)] = true
+				return
+			}
+			panic("no max-order free block to split")
+		}, "buddy.uncoalesced"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			a := churnedAllocator(t)
+			tc.corrupt(a)
+			var r invariant.Report
+			a.CheckInvariants(&r)
+			if r.OK() {
+				t.Fatalf("corruption %q went undetected", tc.name)
+			}
+			if !hasRule(&r, tc.rule) {
+				t.Fatalf("corruption %q reported %v, want rule %s", tc.name, r.Violations(), tc.rule)
+			}
+		})
+	}
+}

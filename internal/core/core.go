@@ -26,6 +26,15 @@ type VPN uint64
 // PFN is a physical frame number (physical address >> PageShift).
 type PFN uint64
 
+// Add returns the PFN delta frames above p. Callers outside internal/core
+// and internal/alloc must use Add/Sub instead of raw PFN arithmetic, so that
+// every frame-number computation the mosaiclint cpfnbounds analyzer cannot
+// see is funneled through these two audited helpers.
+func (p PFN) Add(delta uint64) PFN { return p + PFN(delta) }
+
+// Sub returns the PFN delta frames below p. See Add.
+func (p PFN) Sub(delta uint64) PFN { return p - PFN(delta) }
+
 // MVPN is a mosaic virtual page number: the VPN of the mosaic page a base
 // page belongs to, i.e. VPN / arity for a power-of-two arity.
 type MVPN uint64
@@ -109,7 +118,8 @@ func (g Geometry) CPFNBits() int {
 // one frontyard bucket plus Choices backyard buckets.
 func (g Geometry) HashCount() int { return 1 + g.Choices }
 
-// FrontyardCPFN returns the canonical CPFN for frontyard slot s.
+// FrontyardCPFN returns the canonical CPFN for frontyard slot s. It panics
+// if the slot is out of range.
 func (g Geometry) FrontyardCPFN(slot int) CPFN {
 	if slot < 0 || slot >= g.FrontyardSize {
 		panic(fmt.Sprintf("core: frontyard slot %d out of range [0,%d)", slot, g.FrontyardSize))
@@ -118,6 +128,7 @@ func (g Geometry) FrontyardCPFN(slot int) CPFN {
 }
 
 // BackyardCPFN returns the canonical CPFN for slot s of backyard choice j.
+// It panics if the choice or slot is out of range.
 func (g Geometry) BackyardCPFN(choice, slot int) CPFN {
 	if choice < 0 || choice >= g.Choices {
 		panic(fmt.Sprintf("core: backyard choice %d out of range [0,%d)", choice, g.Choices))
@@ -158,7 +169,8 @@ func (g Geometry) Split(c CPFN) (choice, slot int) {
 // (§3.1): all-ones means unmapped; otherwise the leading bit selects
 // frontyard (0) or backyard (1); a frontyard value carries a 6-bit slot
 // offset; a backyard value carries a 3-bit choice and a 3-bit slot.
-// EncodeHW is only defined for the default geometry (f=56, b=8, d=6).
+// EncodeHW is only defined for the default geometry (f=56, b=8, d=6) and
+// panics for any other.
 func (g Geometry) EncodeHW(c CPFN) uint8 {
 	if g != DefaultGeometry {
 		panic("core: hardware CPFN layout is defined for the default geometry only")
@@ -173,7 +185,8 @@ func (g Geometry) EncodeHW(c CPFN) uint8 {
 	return 0x40 | uint8(choice)<<3 | uint8(slot) // 0b1_ccc_sss
 }
 
-// DecodeHW is the inverse of EncodeHW.
+// DecodeHW is the inverse of EncodeHW. It panics for a non-default
+// geometry or a raw value that does not encode a valid slot.
 func (g Geometry) DecodeHW(raw uint8) CPFN {
 	if g != DefaultGeometry {
 		panic("core: hardware CPFN layout is defined for the default geometry only")
@@ -214,7 +227,8 @@ func (f PlacementHashFunc) Hash(asid ASID, vpn VPN, fn int) uint64 { return f(as
 
 // Buckets fills dst[0] with the frontyard bucket index and dst[1..d] with
 // the backyard bucket indices for (asid, vpn), all in [0, numBuckets).
-// dst must have length g.HashCount(). It returns dst for convenience.
+// dst must have length g.HashCount() (Buckets panics otherwise, or if
+// numBuckets is zero). It returns dst for convenience.
 func (g Geometry) Buckets(h PlacementHash, asid ASID, vpn VPN, numBuckets uint64, dst []uint64) []uint64 {
 	if len(dst) != g.HashCount() {
 		panic(fmt.Sprintf("core: Buckets dst length %d, want %d", len(dst), g.HashCount()))
@@ -242,7 +256,8 @@ func (g Geometry) FrameFor(c CPFN, buckets []uint64) PFN {
 }
 
 // MosaicPage computes the mosaic virtual page number and the sub-page
-// offset of vpn for a power-of-two arity.
+// offset of vpn for a power-of-two arity. It panics if arity is not a
+// positive power of two.
 func MosaicPage(vpn VPN, arity int) (MVPN, int) {
 	if arity&(arity-1) != 0 || arity <= 0 {
 		panic(fmt.Sprintf("core: arity %d is not a positive power of two", arity))
@@ -251,6 +266,7 @@ func MosaicPage(vpn VPN, arity int) (MVPN, int) {
 }
 
 // BaseVPN is the inverse of MosaicPage: the VPN of sub-page off within m.
+// It panics if off is out of range for the arity.
 func BaseVPN(m MVPN, arity, off int) VPN {
 	if off < 0 || off >= arity {
 		panic(fmt.Sprintf("core: mosaic offset %d out of range [0,%d)", off, arity))

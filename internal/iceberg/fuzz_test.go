@@ -1,0 +1,104 @@
+package iceberg
+
+import (
+	"errors"
+	"testing"
+
+	"mosaic/internal/core"
+	"mosaic/internal/invariant"
+)
+
+// FuzzIcebergPutGetDelete drives a small table through an arbitrary
+// put/get/delete sequence against a Go map oracle. The key space is kept
+// tiny (64 keys over 4 buckets of the paper's geometry) so the fuzzer
+// reaches full frontyards, backyard spills, and genuine conflicts. After
+// every batch of operations it runs the deep checker and verifies iceberg's
+// stability guarantee: a key's slot never changes while the key is present.
+func FuzzIcebergPutGetDelete(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte("put-heavy: \x00\x00\x00\x01\x01\x01\x02\x02"))
+	seq := make([]byte, 0, 192)
+	for i := 0; i < 64; i++ {
+		seq = append(seq, byte(3*i), byte(3*i+1), byte(3*i+2))
+	}
+	f.Add(seq)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl := NewWithHash[uint64, uint64](4*core.DefaultGeometry.BucketSize(), core.DefaultGeometry, testHash(7))
+		oracle := make(map[uint64]uint64)
+		// homes records where each present key was first placed. Stability
+		// demands the key stay there until deleted; a delete + re-insert
+		// may legitimately land elsewhere, so homes entries die with the
+		// key.
+		homes := make(map[uint64]core.CPFN)
+
+		audit := func() {
+			var r invariant.Report
+			tbl.CheckInvariants(&r)
+			if tbl.Len() != len(oracle) {
+				r.Violatef("iceberg.oracle-len", "table has %d items, oracle %d", tbl.Len(), len(oracle))
+			}
+			for k := range oracle {
+				slot, ok := tbl.Slot(k)
+				if !ok {
+					r.Violatef("iceberg.oracle-membership", "key %d in oracle but has no slot", k)
+					continue
+				}
+				if slot != homes[k] {
+					r.Violatef("iceberg.stability", "key %d placed at slot %d, now reports %d", k, homes[k], slot)
+				}
+			}
+			if err := r.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		val := uint64(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			key := uint64(data[i+1] % 64)
+			switch data[i] % 3 {
+			case 0:
+				val++
+				slot, err := tbl.PutSlot(key, val)
+				switch {
+				case err == nil:
+					if home, present := homes[key]; present && home != slot {
+						t.Fatalf("update of key %d moved it from slot %d to %d", key, home, slot)
+					}
+					oracle[key] = val
+					homes[key] = slot
+				case errors.Is(err, ErrConflict):
+					if _, present := oracle[key]; present {
+						t.Fatalf("Put(%d) conflicted on a present key: %v", key, err)
+					}
+				default:
+					t.Fatalf("Put(%d): %v", key, err)
+				}
+			case 1:
+				got, ok := tbl.Get(key)
+				want, present := oracle[key]
+				if ok != present || (ok && got != want) {
+					t.Fatalf("Get(%d) = (%d, %v), oracle (%d, %v)", key, got, ok, want, present)
+				}
+			case 2:
+				ok := tbl.Delete(key)
+				if _, present := oracle[key]; ok != present {
+					t.Fatalf("Delete(%d) = %v, oracle presence %v", key, ok, present)
+				}
+				delete(oracle, key)
+				delete(homes, key)
+			}
+			if i%32 == 30 {
+				audit()
+			}
+		}
+		audit()
+		// Final cross-check: every oracle entry is retrievable with its
+		// latest value.
+		for k, want := range oracle {
+			if got, ok := tbl.Get(k); !ok || got != want {
+				t.Fatalf("final Get(%d) = (%d, %v), want (%d, true)", k, got, ok, want)
+			}
+		}
+	})
+}

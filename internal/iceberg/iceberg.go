@@ -235,6 +235,7 @@ func (t *Table[K, V]) PutSlot(key K, val V) (core.CPFN, error) {
 			return t.geom.BackyardCPFN(best, s), nil
 		}
 	}
+	//lint:ignore nopanic backLen promised a free slot in the chosen bucket; not finding one means the occupancy counters are corrupt
 	panic("iceberg: backyard occupancy count inconsistent with slot bitmap")
 }
 

@@ -1,0 +1,87 @@
+package iceberg
+
+import (
+	"mosaic/internal/invariant"
+)
+
+// CheckInvariants performs a deep consistency check of the table, recording
+// any violation on r:
+//
+//   - the per-bucket occupancy counters (frontLen, backLen) match the slot
+//     bitmaps they summarize, as do the len and backTot totals — PutSlot's
+//     power-of-d-choices trusts these counters to promise a free slot;
+//   - every used slot holds a key that actually hashes to that bucket (its
+//     single frontyard bucket, or one of its d backyard choices), i.e. Get
+//     can find every stored item;
+//   - no key occupies two slots.
+//
+// It runs in O(slots) plus one hash evaluation per stored item; call it
+// from tests and fuzzers, not per operation.
+func (t *Table[K, V]) CheckInvariants(r *invariant.Report) {
+	f := t.geom.FrontyardSize
+	b := t.geom.BackyardSize
+
+	frontTot := 0
+	for i := 0; i < t.numBuckets; i++ {
+		n := 0
+		for s := 0; s < f; s++ {
+			if t.frontUsed[i*f+s] {
+				n++
+			}
+		}
+		r.Checkf(n == t.frontLen[i], "iceberg.frontyard-occupancy",
+			"bucket %d: frontLen %d, bitmap count %d", i, t.frontLen[i], n)
+		frontTot += n
+	}
+	backTot := 0
+	for i := 0; i < t.numBuckets; i++ {
+		n := 0
+		for s := 0; s < b; s++ {
+			if t.backUsed[i*b+s] {
+				n++
+			}
+		}
+		r.Checkf(n == t.backLen[i], "iceberg.backyard-occupancy",
+			"bucket %d: backLen %d, bitmap count %d", i, t.backLen[i], n)
+		backTot += n
+	}
+	r.Checkf(backTot == t.backTot, "iceberg.backyard-total",
+		"backTot %d, bitmap count %d", t.backTot, backTot)
+	r.Checkf(frontTot+backTot == t.len, "iceberg.len",
+		"len %d, bitmap count %d", t.len, frontTot+backTot)
+
+	// Every stored key must live in one of its own candidate buckets, and
+	// in only one slot table-wide.
+	seen := make(map[K]bool, t.len)
+	check := func(key K, where string, bucket int, backyard bool) {
+		if !r.Checkf(!seen[key], "iceberg.duplicate-key",
+			"key %v stored twice (second at %s bucket %d)", key, where, bucket) {
+			return
+		}
+		seen[key] = true
+		bk := t.buckets(key)
+		if backyard {
+			ok := false
+			for j := 0; j < t.geom.Choices; j++ {
+				if int(bk[1+j]) == bucket {
+					ok = true
+				}
+			}
+			r.Checkf(ok, "iceberg.key-location",
+				"key %v in backyard bucket %d, not among its choices %v", key, bucket, bk[1:])
+		} else {
+			r.Checkf(int(bk[0]) == bucket, "iceberg.key-location",
+				"key %v in frontyard bucket %d, hashes to %d", key, bucket, bk[0])
+		}
+	}
+	for i, used := range t.frontUsed {
+		if used {
+			check(t.frontKeys[i], "frontyard", i/f, false)
+		}
+	}
+	for i, used := range t.backUsed {
+		if used {
+			check(t.backKeys[i], "backyard", i/b, true)
+		}
+	}
+}

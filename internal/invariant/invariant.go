@@ -1,0 +1,120 @@
+// Package invariant is the runtime half of the repository's correctness
+// tooling (the static half is internal/lint). It provides a tiny reporting
+// API plus reusable trackers for the properties the mosaic stack leans on:
+//
+//   - Report collects violations instead of panicking, so one deep check
+//     can surface every broken invariant at once and tests can assert that
+//     a deliberately corrupted structure is in fact caught.
+//   - Monotone checks a sequence never decreases — the Horizon LRU's ghost
+//     threshold and the vm access clock are both monotone by construction.
+//   - Stability checks that keys never relocate between snapshots — the
+//     iceberg property (§2.3) that lets mapped pages stay put for life.
+//
+// The deep checkers themselves (CheckInvariants methods) live inside the
+// data-structure packages, where unexported state is visible: see
+// iceberg.Table, alloc.Memory, buddy.Allocator, vm.System, and
+// memsim.Simulator. Tests call them directly; memsim can also run them
+// periodically during a simulation via Config.CheckEvery.
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Violation is one broken invariant.
+type Violation struct {
+	// Rule names the invariant, e.g. "iceberg.backyard-occupancy".
+	Rule string
+	// Detail describes the observed inconsistency.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Rule + ": " + v.Detail }
+
+// Report accumulates violations from one or more checkers.
+type Report struct {
+	violations []Violation
+}
+
+// Violatef records a violation of rule.
+func (r *Report) Violatef(rule, format string, args ...any) {
+	r.violations = append(r.violations, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Checkf records a violation of rule unless cond holds, and reports cond.
+func (r *Report) Checkf(cond bool, rule, format string, args ...any) bool {
+	if !cond {
+		r.Violatef(rule, format, args...)
+	}
+	return cond
+}
+
+// OK reports whether no violation has been recorded.
+func (r *Report) OK() bool { return len(r.violations) == 0 }
+
+// Violations returns the recorded violations in order.
+func (r *Report) Violations() []Violation { return r.violations }
+
+// Err returns nil if the report is clean, and otherwise an error listing
+// every violation, one per line.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d invariant violation(s):", len(r.violations))
+	for _, v := range r.violations {
+		b.WriteString("\n\t")
+		b.WriteString(v.String())
+	}
+	return errors.New(b.String())
+}
+
+// Monotone tracks a value that must never decrease across observations.
+type Monotone struct {
+	rule string
+	seen bool
+	last uint64
+}
+
+// NewMonotone creates a tracker reporting under the given rule name.
+func NewMonotone(rule string) *Monotone { return &Monotone{rule: rule} }
+
+// Observe records v, reporting a violation if it is below the previous
+// observation.
+func (m *Monotone) Observe(r *Report, v uint64) {
+	if m.seen && v < m.last {
+		r.Violatef(m.rule, "value decreased from %d to %d", m.last, v)
+	}
+	m.seen, m.last = true, v
+}
+
+// Stability tracks that keys never change position between snapshots:
+// a key present in two consecutive snapshots must map to the same position
+// in both. Keys may appear and disappear freely (insertions and deletions);
+// only relocation of a surviving key is a violation.
+type Stability[K comparable, P comparable] struct {
+	rule string
+	prev map[K]P
+}
+
+// NewStability creates a tracker reporting under the given rule name.
+func NewStability[K comparable, P comparable](rule string) *Stability[K, P] {
+	return &Stability[K, P]{rule: rule}
+}
+
+// Observe compares cur against the previous snapshot and retains a copy of
+// cur for the next call.
+func (s *Stability[K, P]) Observe(r *Report, cur map[K]P) {
+	for k, p := range cur {
+		if old, ok := s.prev[k]; ok && old != p {
+			r.Violatef(s.rule, "key %v relocated from %v to %v", k, old, p)
+		}
+	}
+	s.prev = make(map[K]P, len(cur))
+	for k, p := range cur {
+		s.prev[k] = p
+	}
+}

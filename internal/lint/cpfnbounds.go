@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CPFNBounds confines compressed-frame-number tricks to the two packages
+// that define their semantics. A CPFN is a 7-bit index into a page's
+// candidate slot set — not a number — so minting one from a raw integer
+// outside internal/core bypasses the geometry's validity rules
+// (Geometry.ValidCPFN, the frontyard/backyard split), and arithmetic on
+// PFNs or CPFNs outside internal/core and internal/alloc invents frame
+// layouts the allocator never granted. Outside those packages:
+//
+//   - conversions to core.CPFN are flagged (conversions to PFN are fine —
+//     a PFN is an ordinary frame number; it is offset arithmetic that
+//     must go through PFN.Add/PFN.Sub);
+//   - binary arithmetic, arithmetic assignment, and ++/-- on values of
+//     type core.PFN or core.CPFN are flagged. Comparisons are always
+//     allowed.
+var CPFNBounds = &Analyzer{
+	Name: "cpfnbounds",
+	Doc:  "raw integer→CPFN conversions and PFN arithmetic are confined to internal/core and internal/alloc",
+	Run:  runCPFNBounds,
+}
+
+const corePkg = "mosaic/internal/core"
+
+// cpfnExempt lists the packages where frame-number arithmetic is the point.
+var cpfnExempt = map[string]bool{
+	corePkg:                 true,
+	"mosaic/internal/alloc": true,
+}
+
+// frameNumber reports whether e has type core.PFN or core.CPFN, naming
+// which.
+func (p *Pass) frameNumber(e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return "", false
+	}
+	for _, name := range []string{"PFN", "CPFN"} {
+		if namedFrom(tv.Type, corePkg, name) {
+			return "core." + name, true
+		}
+	}
+	return "", false
+}
+
+// arithmeticOp reports whether the token is an arithmetic (not comparison
+// or logical) binary operator or its assignment form.
+func arithmeticOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.SHL, token.SHR, token.AND_NOT,
+		token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN, token.AND_NOT_ASSIGN:
+		return true
+	}
+	return false
+}
+
+func runCPFNBounds(p *Pass) []Diagnostic {
+	if cpfnExempt[p.ImportPath] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// Conversion T(x) with T = core.CPFN.
+				tv, ok := p.Info.Types[n.Fun]
+				if !ok || !tv.IsType() || !namedFrom(tv.Type, corePkg, "CPFN") {
+					return true
+				}
+				if len(n.Args) == 1 {
+					if name, ok := p.frameNumber(n.Args[0]); ok && name == "core.CPFN" {
+						return true // CPFN→CPFN identity, harmless
+					}
+				}
+				out = append(out, p.diag("cpfnbounds", n.Pos(),
+					"raw conversion to core.CPFN outside internal/core: use the Geometry encode helpers"))
+			case *ast.BinaryExpr:
+				if !arithmeticOp(n.Op) {
+					return true
+				}
+				if name, ok := p.frameNumber(n.X); ok {
+					out = append(out, p.diag("cpfnbounds", n.OpPos,
+						"%s arithmetic outside internal/core and internal/alloc: use PFN.Add/PFN.Sub or keep the computation on plain integers", name))
+				} else if name, ok := p.frameNumber(n.Y); ok {
+					out = append(out, p.diag("cpfnbounds", n.OpPos,
+						"%s arithmetic outside internal/core and internal/alloc: use PFN.Add/PFN.Sub or keep the computation on plain integers", name))
+				}
+			case *ast.AssignStmt:
+				if !arithmeticOp(n.Tok) {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if name, ok := p.frameNumber(lhs); ok {
+						out = append(out, p.diag("cpfnbounds", n.TokPos,
+							"%s arithmetic outside internal/core and internal/alloc: use PFN.Add/PFN.Sub or keep the computation on plain integers", name))
+					}
+				}
+			case *ast.IncDecStmt:
+				if name, ok := p.frameNumber(n.X); ok {
+					out = append(out, p.diag("cpfnbounds", n.TokPos,
+						"%s arithmetic outside internal/core and internal/alloc: use PFN.Add/PFN.Sub or keep the computation on plain integers", name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package lint
+
+import "testing"
+
+func TestCPFNBounds(t *testing.T) {
+	checkFixture(t, CPFNBounds, "cpfnbounds", "mosaic/internal/fixture")
+}
+
+// TestCPFNBoundsExemptsAlloc: the allocator owns frame-number arithmetic.
+func TestCPFNBoundsExemptsAlloc(t *testing.T) {
+	checkFixtureClean(t, CPFNBounds, "cpfnbounds", "mosaic/internal/alloc")
+}

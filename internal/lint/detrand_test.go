@@ -1,0 +1,19 @@
+package lint
+
+import "testing"
+
+func TestDetRand(t *testing.T) {
+	checkFixture(t, DetRand, "detrand", "mosaic/internal/fixture")
+}
+
+// TestDetRandExemptsRNG: internal/rng is the one package allowed to build
+// generators.
+func TestDetRandExemptsRNG(t *testing.T) {
+	checkFixtureClean(t, DetRand, "detrand", "mosaic/internal/rng")
+}
+
+// TestDetRandScopedToInternal: the rule governs the internal library tree
+// only.
+func TestDetRandScopedToInternal(t *testing.T) {
+	checkFixtureClean(t, DetRand, "detrand", "mosaic/cmd/fixture")
+}

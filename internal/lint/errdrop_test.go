@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestErrDrop(t *testing.T) {
+	checkFixture(t, ErrDrop, "errdrop", "mosaic/internal/fixture")
+}

@@ -1,0 +1,198 @@
+// Package lint implements mosaiclint, the repository's static-analysis
+// suite. It is built on the standard library only (go/ast, go/parser,
+// go/types plus `go list` for export data) so it runs in the same
+// dependency-free environment as the rest of the module.
+//
+// The analyzers encode repo-specific invariants that ordinary vet checks
+// cannot know about:
+//
+//   - detrand:    internal packages must not call math/rand package
+//     functions; randomness is injected as a seeded *rand.Rand
+//     built by internal/rng (seed-reproducibility of results).
+//   - nopanic:    library code panics only in constructors and config
+//     validation, never on steady-state paths.
+//   - cpfnbounds: raw integer→CPFN conversions and PFN arithmetic are
+//     confined to internal/core and internal/alloc.
+//   - errdrop:    error returns from the alloc, iceberg, and swap APIs
+//     must not be silently discarded.
+//
+// A finding can be suppressed with a directive comment on the same line or
+// the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in output and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the pass and returns its findings. Suppression by
+	// directive is applied by the driver, not by Run.
+	Run func(*Pass) []Diagnostic
+}
+
+// All returns the full analyzer suite in output order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, NoPanic, CPFNBounds, ErrDrop}
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass is one type-checked package presented to the analyzers.
+type Pass struct {
+	// ImportPath is the package's import path ("mosaic/internal/tlb").
+	// Several rules scope themselves by path prefix.
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+
+	ignores       map[ignoreKey]bool
+	badDirectives []Diagnostic
+}
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+var directiveRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+// scanDirectives indexes every //lint:ignore comment in the pass and
+// records malformed ones (missing reason) as findings.
+func (p *Pass) scanDirectives() {
+	p.ignores = make(map[ignoreKey]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					p.badDirectives = append(p.badDirectives, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  fmt.Sprintf("//lint:ignore %s directive needs a reason", m[1]),
+					})
+					continue
+				}
+				p.ignores[ignoreKey{pos.Filename, pos.Line, m[1]}] = true
+			}
+		}
+	}
+}
+
+// suppressed reports whether a directive covers the diagnostic: an ignore
+// for its analyzer on the same line or the line above.
+func (p *Pass) suppressed(d Diagnostic) bool {
+	return p.ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
+		p.ignores[ignoreKey{d.Pos.Filename, d.Pos.Line - 1, d.Analyzer}]
+}
+
+// diag builds a Diagnostic for an analyzer at a position in the pass.
+func (p *Pass) diag(analyzer string, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// Run applies one analyzer to the pass and filters directive-suppressed
+// findings.
+func (p *Pass) Run(an *Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range an.Run(p) {
+		if !p.suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunAll applies every analyzer to every pass, appends malformed-directive
+// findings, and returns the result sorted by position.
+func RunAll(passes []*Pass, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range passes {
+		out = append(out, p.badDirectives...)
+		for _, an := range analyzers {
+			out = append(out, p.Run(an)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// internalPkg reports whether the pass is part of the module's internal
+// library tree, where the library-discipline rules apply.
+func (p *Pass) internalPkg() bool {
+	return strings.HasPrefix(p.ImportPath, "mosaic/internal/")
+}
+
+// callee resolves the object a call expression invokes: a package function,
+// a method, or nil for builtins, conversions, and indirect calls through
+// function values.
+func callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// namedFrom reports whether t (after unwrapping aliases) is the named type
+// pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Fixture harness: each analyzer has a directory under testdata/src holding
+// one package of fixture files (the go tool ignores testdata, so fixtures
+// never trip the real mosaiclint run). Files mark expected findings with
+//
+//	// want "substring"
+//
+// comments on the offending line. loadFixture type-checks the fixture under
+// a synthetic import path — the path, not the on-disk location, is what the
+// path-scoped rules see, so the same fixture can be loaded as an ordinary
+// internal package or as an exempted one.
+
+// loadFixture parses and type-checks testdata/src/<name> as one package
+// with the given import path. Imports are resolved from real export data
+// via go list, exactly as the production loader does.
+func loadFixture(t *testing.T, name, importPath string) *Pass {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	if len(importSet) > 0 {
+		var patterns []string
+		for p := range importSet {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		pkgs, err := goList(patterns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lookup = exportLookup(pkgs)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	pass := &Pass{ImportPath: importPath, Fset: fset, Files: files, Pkg: pkg, Info: info}
+	pass.scanDirectives()
+	return pass
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+type expectation struct {
+	file   string
+	line   int
+	substr string
+}
+
+// collectWants extracts the // want expectations from the fixture comments.
+func collectWants(pass *Pass) []expectation {
+	var out []expectation
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pass.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					out = append(out, expectation{pos.Filename, pos.Line, m[1]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkFixture runs one analyzer over a fixture (with directive suppression
+// applied, as the driver would) and verifies the findings match the want
+// comments exactly.
+func checkFixture(t *testing.T, an *Analyzer, name, importPath string) {
+	t.Helper()
+	pass := loadFixture(t, name, importPath)
+	got := pass.Run(an)
+	wants := collectWants(pass)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments; a fixture must contain at least one true positive", name)
+	}
+	used := make([]bool, len(wants))
+	for _, d := range got {
+		matched := false
+		for i, w := range wants {
+			if !used[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !used[i] {
+			t.Errorf("missing diagnostic at %s:%d containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+// checkFixtureClean asserts the analyzer reports nothing for the fixture
+// under the given import path (used for path-based exemptions).
+func checkFixtureClean(t *testing.T, an *Analyzer, name, importPath string) {
+	t.Helper()
+	pass := loadFixture(t, name, importPath)
+	for _, d := range pass.Run(an) {
+		t.Errorf("unexpected diagnostic under %s: %s", importPath, d)
+	}
+}
+
+// TestLoad exercises the production loader end to end on a real package.
+func TestLoad(t *testing.T) {
+	passes, err := Load([]string{"mosaic/internal/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 1 {
+		t.Fatalf("got %d passes, want 1", len(passes))
+	}
+	p := passes[0]
+	if p.ImportPath != "mosaic/internal/core" || p.Pkg.Name() != "core" {
+		t.Fatalf("unexpected pass: %s (%s)", p.ImportPath, p.Pkg.Name())
+	}
+	if len(p.Files) == 0 {
+		t.Fatal("pass has no files")
+	}
+}
+
+// TestRunAllSorted checks diagnostics come out in position order.
+func TestRunAllSorted(t *testing.T) {
+	pass := loadFixture(t, "cpfnbounds", "mosaic/internal/fixture")
+	diags := RunAll([]*Pass{pass}, All())
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Fatalf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic enforces the library panic discipline: a package under internal/
+// may panic while constructing or validating configuration — where a panic
+// is a programming error at the call site, caught by the first test run —
+// but never on a steady-state path, where the simulator may be hours into a
+// trace. Steady-state failures must return errors.
+//
+// A panic call is accepted when any of the following holds:
+//
+//   - the enclosing function is a constructor or validator by name: the
+//     name starts with "new" or "must" (case-insensitive), is "init", or
+//     contains "validate";
+//   - the enclosing function's doc comment mentions "panic", documenting
+//     the panic as part of the function's contract;
+//   - a //lint:ignore nopanic <reason> directive covers the call, marking
+//     an internal invariant check whose failure means the data structure
+//     itself is corrupt.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "library packages panic only in constructors and validation, never on steady-state paths",
+	Run:  runNoPanic,
+}
+
+// panicAllowedByName reports whether a function name marks construction or
+// validation.
+func panicAllowedByName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.HasPrefix(l, "new") || strings.HasPrefix(l, "must") ||
+		l == "init" || strings.Contains(l, "validate")
+}
+
+func runNoPanic(p *Pass) []Diagnostic {
+	if !p.internalPkg() {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if panicAllowedByName(fd.Name.Name) {
+				continue
+			}
+			docMentions := fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "panic")
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if obj, ok := p.Info.Uses[id]; !ok || obj != types.Universe.Lookup("panic") {
+					return true // shadowed identifier, not the builtin
+				}
+				if docMentions {
+					return true
+				}
+				out = append(out, p.diag("nopanic", call.Pos(),
+					"steady-state panic in %s: return an error, document the panic in the doc comment, or mark an invariant check with //lint:ignore nopanic <reason>",
+					fd.Name.Name))
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNoPanic(t *testing.T) {
+	checkFixture(t, NoPanic, "nopanic", "mosaic/internal/fixture")
+}
+
+// TestNoPanicScopedToInternal: main packages are outside the library
+// discipline.
+func TestNoPanicScopedToInternal(t *testing.T) {
+	checkFixtureClean(t, NoPanic, "nopanic", "mosaic/cmd/fixture")
+}
+
+// TestMalformedDirective: an ignore directive without a reason is reported
+// and does not suppress the finding it covers.
+func TestMalformedDirective(t *testing.T) {
+	checkFixture(t, NoPanic, "directive", "mosaic/internal/fixture")
+	pass := loadFixture(t, "directive", "mosaic/internal/fixture")
+	if len(pass.badDirectives) != 1 {
+		t.Fatalf("got %d bad-directive findings, want 1", len(pass.badDirectives))
+	}
+	if msg := pass.badDirectives[0].Message; !strings.Contains(msg, "needs a reason") {
+		t.Errorf("bad-directive message %q", msg)
+	}
+}

@@ -1,0 +1,35 @@
+package fixture
+
+import "mosaic/internal/core"
+
+// succ uses the audited offset helper.
+func succ(p core.PFN) core.PFN {
+	return p.Add(1)
+}
+
+// pred likewise.
+func pred(p core.PFN) core.PFN {
+	return p.Sub(1)
+}
+
+// before compares frame numbers; comparisons are always allowed.
+func before(a, b core.PFN) bool {
+	return a < b
+}
+
+// widen converts away from CPFN, which is fine — only minting one is
+// restricted.
+func widen(c core.CPFN) uint64 {
+	return uint64(c)
+}
+
+// toPFN converts an index to a PFN; PFNs are ordinary frame numbers, only
+// their arithmetic is confined.
+func toPFN(i uint64) core.PFN {
+	return core.PFN(i)
+}
+
+// valid consults the geometry rather than forging values.
+func valid(g core.Geometry, c core.CPFN) bool {
+	return g.ValidCPFN(c)
+}

@@ -1,0 +1,30 @@
+package fixture
+
+import "mosaic/internal/core"
+
+// mint forges a compressed frame number from a raw byte, bypassing the
+// geometry's validity rules.
+func mint(x uint8) core.CPFN {
+	return core.CPFN(x) // want "raw conversion to core.CPFN"
+}
+
+// offset computes a neighbouring frame with raw arithmetic.
+func offset(p core.PFN) core.PFN {
+	return p + 1 // want "core.PFN arithmetic"
+}
+
+// accumulate uses an arithmetic assignment.
+func accumulate(p core.PFN) core.PFN {
+	p += 2 // want "core.PFN arithmetic"
+	return p
+}
+
+// bump increments a frame number in place.
+func bump(p *core.PFN) {
+	*p++ // want "core.PFN arithmetic"
+}
+
+// mask clears low bits of a compressed frame number.
+func mask(c core.CPFN) core.CPFN {
+	return c & 0x3F // want "core.CPFN arithmetic"
+}

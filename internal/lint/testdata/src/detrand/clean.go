@@ -1,0 +1,15 @@
+package fixture
+
+import "math/rand"
+
+// pick draws from the injected, seeded generator — the sanctioned pattern.
+func pick(rnd *rand.Rand, xs []int) int {
+	return xs[rnd.Intn(len(xs))]
+}
+
+// fill consumes only methods of the injected generator.
+func fill(rnd *rand.Rand, dst []float64) {
+	for i := range dst {
+		dst[i] = rnd.Float64()
+	}
+}

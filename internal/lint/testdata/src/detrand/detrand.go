@@ -1,0 +1,21 @@
+package fixture
+
+import "math/rand"
+
+// globalDraw uses the implicitly seeded global source.
+func globalDraw() int {
+	return rand.Intn(10) // want "call to rand.Intn"
+}
+
+// construct builds an ad-hoc generator instead of going through
+// internal/rng.
+func construct(seed uint64) *rand.Rand {
+	src := rand.NewSource(int64(seed)) // want "call to rand.NewSource"
+	return rand.New(src)               // want "call to rand.New"
+}
+
+// reshuffle mixes an injected generator (fine) with the global one (not).
+func reshuffle(rnd *rand.Rand, xs []int) {
+	rnd.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "call to rand.Shuffle"
+}

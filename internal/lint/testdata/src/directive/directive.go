@@ -1,0 +1,11 @@
+package fixture
+
+// step decrements a counter. The ignore directive below is missing its
+// reason, so it is itself reported and suppresses nothing.
+func step(n int) int {
+	if n < 0 {
+		//lint:ignore nopanic
+		panic("fixture: negative") // want "steady-state panic in step"
+	}
+	return n - 1
+}

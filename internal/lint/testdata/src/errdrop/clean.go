@@ -1,0 +1,27 @@
+package fixture
+
+import (
+	"mosaic/internal/alloc"
+	"mosaic/internal/iceberg"
+)
+
+// handled checks the errors — the required pattern.
+func handled(t *iceberg.Table[uint64, int], m *alloc.Memory) error {
+	if err := t.Put(3, 4); err != nil {
+		return err
+	}
+	p, err := m.Place(1, 2, 3, 4)
+	_ = p
+	return err
+}
+
+// explicit discards are a reviewable decision and stay legal.
+func explicit(t *iceberg.Table[uint64, int]) {
+	_ = t.Put(5, 6)
+}
+
+// nonError calls results that carry no error.
+func nonError(t *iceberg.Table[uint64, int], m *alloc.Memory) {
+	t.Delete(9)
+	m.Touch(0, 1, false)
+}

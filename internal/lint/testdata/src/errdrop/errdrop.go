@@ -1,0 +1,16 @@
+package fixture
+
+import (
+	"mosaic/internal/alloc"
+	"mosaic/internal/iceberg"
+)
+
+// dropPut loses a placement failure from the iceberg table.
+func dropPut(t *iceberg.Table[uint64, int]) {
+	t.Put(1, 2) // want "result of iceberg.Put discarded"
+}
+
+// dropPlace loses an alloc conflict.
+func dropPlace(m *alloc.Memory) {
+	m.Place(1, 2, 3, 4) // want "result of alloc.Place discarded"
+}

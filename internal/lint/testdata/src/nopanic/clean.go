@@ -1,0 +1,15 @@
+package fixture
+
+import "errors"
+
+// errEmpty reports a drained ring.
+var errEmpty = errors.New("fixture: empty ring")
+
+// Pop is the clean steady-state pattern: failure is an error value.
+func (r *Ring) Pop() (int, error) {
+	if r.n == 0 {
+		return 0, errEmpty
+	}
+	r.n--
+	return r.n, nil
+}

@@ -1,0 +1,64 @@
+package fixture
+
+// Ring is a fixture structure with a bounded occupancy count.
+type Ring struct {
+	n int
+}
+
+// NewRing constructs a Ring; the name marks it as a constructor, where
+// panicking on bad configuration is the convention.
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		panic("fixture: size must be positive")
+	}
+	return &Ring{n: size}
+}
+
+// mustSize is allowed by the must prefix.
+func mustSize(n int) int {
+	if n <= 0 {
+		panic("fixture: bad size")
+	}
+	return n
+}
+
+// validateLimit is allowed: validation by name.
+func validateLimit(n int) {
+	if n > 64 {
+		panic("fixture: limit too high")
+	}
+}
+
+// At returns index i. It panics if i is out of range — a documented
+// contract, so the panic is part of the API.
+func (r *Ring) At(i int) int {
+	if i < 0 || i >= r.n {
+		panic("fixture: index out of range")
+	}
+	return i
+}
+
+// Step advances the ring.
+func (r *Ring) Step() int {
+	if r.n == 0 {
+		panic("fixture: empty ring") // want "steady-state panic in Step"
+	}
+	r.n--
+	return r.n
+}
+
+// Shrink reduces the ring, with a directive-annotated invariant check.
+func (r *Ring) Shrink(by int) {
+	r.n -= by
+	if r.n < 0 {
+		//lint:ignore nopanic occupancy cannot go negative unless the structure is corrupt
+		panic("fixture: negative occupancy")
+	}
+}
+
+// shadowed calls a local function that happens to be named panic; the
+// builtin is not involved.
+func shadowed() {
+	panic := func(string) {}
+	panic("fixture: not the builtin")
+}

@@ -21,6 +21,7 @@ import (
 
 	"mosaic/internal/cache"
 	"mosaic/internal/core"
+	"mosaic/internal/invariant"
 	"mosaic/internal/pagetable"
 	"mosaic/internal/stats"
 	"mosaic/internal/tlb"
@@ -75,6 +76,11 @@ type Config struct {
 	EnableWalkCache bool
 	// WalkCacheEntries sizes the walk cache (default 32).
 	WalkCacheEntries int
+	// CheckEvery, when positive, runs the deep invariant checkers (see
+	// Simulator.CheckInvariants) every CheckEvery data references — a
+	// debug mode for long simulations. Any violation panics with the full
+	// report, stopping the run at the first reference that broke state.
+	CheckEvery uint64
 }
 
 // Result is the outcome of one TLB design point after a run.
@@ -143,6 +149,11 @@ type Simulator struct {
 	paAlloc    pagetable.PAAllocator
 	counters   *stats.Counters
 	path       []uint64
+
+	// Invariant checking (Config.CheckEvery).
+	sinceCheck  uint64
+	clockMono   *invariant.Monotone
+	horizonMono *invariant.Monotone
 }
 
 // asidTagShift places the ASID above the 36-bit VPN in TLB tags, the
@@ -169,10 +180,12 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	s := &Simulator{
-		cfg:       cfg,
-		os:        osys,
-		mosaicPTs: make(map[ptKey]*pagetable.Mosaic),
-		counters:  stats.NewCounters(),
+		cfg:         cfg,
+		os:          osys,
+		mosaicPTs:   make(map[ptKey]*pagetable.Mosaic),
+		counters:    stats.NewCounters(),
+		clockMono:   invariant.NewMonotone("memsim.clock-monotone"),
+		horizonMono: invariant.NewMonotone("memsim.horizon-monotone"),
 	}
 	// Page-table nodes live above the workload's physical frames so walk
 	// traffic and data traffic never alias in the caches.
@@ -303,10 +316,12 @@ func (s *Simulator) AccessFrom(asid core.ASID, va uint64, write bool) {
 		// New mapping: install it in the page tables.
 		pfn, ok := s.os.Translate(asid, vpn)
 		if !ok {
+			//lint:ignore nopanic Touch just returned non-Hit, so the OS faulted the page in; an absent mapping here means vm residency is corrupt
 			panic("memsim: page absent immediately after fault")
 		}
 		cpfn, ok := s.os.CPFNFor(asid, vpn)
 		if !ok {
+			//lint:ignore nopanic same residency guarantee as the Translate above
 			panic("memsim: CPFN absent immediately after fault")
 		}
 		s.vanillaPT(asid).Set(vpn, pfn)
@@ -324,6 +339,97 @@ func (s *Simulator) AccessFrom(asid core.ASID, va uint64, write bool) {
 			u.caches.Access(pa, write)
 		}
 	}
+
+	if s.cfg.CheckEvery > 0 {
+		s.sinceCheck++
+		if s.sinceCheck >= s.cfg.CheckEvery {
+			s.sinceCheck = 0
+			s.mustCheck()
+		}
+	}
+}
+
+// mustCheck runs CheckInvariants and panics on any violation — the
+// Config.CheckEvery debug mode wants a loud, immediate stop at the first
+// sampling point where the simulated machine's state is inconsistent.
+func (s *Simulator) mustCheck() {
+	var r invariant.Report
+	s.CheckInvariants(&r)
+	if err := r.Err(); err != nil {
+		panic("memsim: " + err.Error())
+	}
+}
+
+// CheckInvariants runs the deep checkers over the whole simulated machine,
+// recording any violation on r:
+//
+//   - the OS state, via vm.System.CheckInvariants (which itself descends
+//     into the allocator's bitmap and hashing invariants);
+//   - monotonicity of the access clock and of the Horizon LRU ghost
+//     threshold across successive calls;
+//   - TLB ↔ page-table coherence: every valid entry of every vanilla and
+//     mosaic TLB unit must agree with the owning address space's page
+//     table. A stale-invalid sub-entry is fine — it is just a future
+//     miss — but a valid entry naming a frame the page table no longer
+//     maps would let the simulated hardware use a frame the OS gave away.
+//     Because mosaic placement is stable, a resident page never moves;
+//     remaps happen only through evictions, which shoot the entry down.
+//
+// Coalesced (CoLT) units are not audited: their runs are rebuilt from
+// neighbouring PTEs on every fill and have no single page-table entry to
+// compare against.
+func (s *Simulator) CheckInvariants(r *invariant.Report) {
+	s.os.CheckInvariants(r)
+	s.clockMono.Observe(r, s.os.Clock())
+	s.horizonMono.Observe(r, s.os.Horizon())
+
+	const vpnMask = 1<<asidTagShift - 1
+	for _, u := range s.units {
+		label := u.spec.Label()
+		switch {
+		case u.vanilla != nil:
+			u.vanilla.Range(func(key uint64, pfn core.PFN) {
+				asid := core.ASID(key >> asidTagShift)
+				vpn := core.VPN(key & vpnMask)
+				pt, ok := s.vanillaPTs[asid]
+				if !r.Checkf(ok, "memsim.tlb-coherence",
+					"%s: valid entry for ASID %d, which has no page table", label, asid) {
+					return
+				}
+				got, mapped := pt.Get(vpn)
+				if !r.Checkf(mapped, "memsim.tlb-coherence",
+					"%s: valid entry for ASID %d VPN %#x, which the page table does not map", label, asid, vpn) {
+					return
+				}
+				r.Checkf(got == pfn, "memsim.tlb-coherence",
+					"%s: entry for ASID %d VPN %#x holds PFN %d, page table says %d", label, asid, vpn, pfn, got)
+			})
+		case u.mosaic != nil:
+			arity := u.spec.Arity
+			u.mosaic.Range(func(key uint64, toc tlb.ToC) {
+				for off, c := range toc {
+					if c == core.CPFNInvalid {
+						continue
+					}
+					tagged := core.BaseVPN(core.MVPN(key), arity, off)
+					asid := core.ASID(uint64(tagged) >> asidTagShift)
+					vpn := core.VPN(uint64(tagged) & vpnMask)
+					pt, ok := s.mosaicPTs[ptKey{asid: asid, arity: arity}]
+					if !r.Checkf(ok, "memsim.tlb-coherence",
+						"%s: valid sub-entry for ASID %d, which has no page table", label, asid) {
+						continue
+					}
+					got, mapped := pt.Get(vpn)
+					if !r.Checkf(mapped, "memsim.tlb-coherence",
+						"%s: valid sub-entry for ASID %d VPN %#x, which the page table does not map", label, asid, vpn) {
+						continue
+					}
+					r.Checkf(got == c, "memsim.tlb-coherence",
+						"%s: sub-entry for ASID %d VPN %#x holds CPFN %d, page table says %d", label, asid, vpn, c, got)
+				}
+			})
+		}
+	}
 }
 
 func (s *Simulator) lookupAndFill(u *unit, asid core.ASID, vpn core.VPN) {
@@ -336,6 +442,7 @@ func (s *Simulator) lookupAndFill(u *unit, asid core.ASID, vpn core.VPN) {
 		pfn, ok, path := s.vanillaPT(asid).Walk(vpn, s.path[:0])
 		s.walkTraffic(u, path)
 		if !ok {
+			//lint:ignore nopanic the page table was updated on fault before any TLB lookup, so a resident VPN always walks
 			panic(fmt.Sprintf("memsim: vanilla walk failed for resident VPN %#x", vpn))
 		}
 		u.vanilla.Insert(tagged, pfn)
@@ -347,6 +454,7 @@ func (s *Simulator) lookupAndFill(u *unit, asid core.ASID, vpn core.VPN) {
 		pfn, ok, path := pt.Walk(vpn, s.path[:0])
 		s.walkTraffic(u, path)
 		if !ok {
+			//lint:ignore nopanic the page table was updated on fault before any TLB lookup, so a resident VPN always walks
 			panic(fmt.Sprintf("memsim: coalescing walk failed for resident VPN %#x", vpn))
 		}
 		// CoLT's walker inspects the neighbouring PTEs in the same leaf
@@ -369,6 +477,7 @@ func (s *Simulator) lookupAndFill(u *unit, asid core.ASID, vpn core.VPN) {
 		toc, ok, path := s.mosaicPT(asid, u.spec.Arity).WalkToC(vpn, s.path[:0])
 		s.walkTraffic(u, path)
 		if !ok {
+			//lint:ignore nopanic the mosaic page table was updated on fault before any TLB lookup, so a resident VPN always walks
 			panic(fmt.Sprintf("memsim: mosaic walk failed for resident VPN %#x", vpn))
 		}
 		u.mosaic.Insert(tagged, toc)

@@ -24,7 +24,8 @@ func NewClock(numFrames int) *Clock {
 }
 
 // OnFault implements Policy: the new page joins the ring just behind the
-// hand (so it is swept last) with its reference bit clear.
+// hand (so it is swept last) with its reference bit clear. It panics if
+// pfn is already tracked.
 func (c *Clock) OnFault(pfn core.PFN) {
 	n := &c.nodes[pfn]
 	if n.where != onNone {
@@ -47,7 +48,7 @@ func (c *Clock) OnFault(pfn core.PFN) {
 }
 
 // OnAccess implements Policy: set the reference bit (the hardware access
-// bit CLOCK relies on).
+// bit CLOCK relies on). It panics if pfn is not resident.
 func (c *Clock) OnAccess(pfn core.PFN) {
 	if c.nodes[pfn].where != onLRU {
 		panic(fmt.Sprintf("swap: OnAccess of untracked frame %d", pfn))
@@ -55,7 +56,7 @@ func (c *Clock) OnAccess(pfn core.PFN) {
 	c.nodes[pfn].referenced = true
 }
 
-// OnRemove implements Policy.
+// OnRemove implements Policy. It panics if pfn is not resident.
 func (c *Clock) OnRemove(pfn core.PFN) {
 	n := &c.nodes[pfn]
 	if n.where != onLRU {
@@ -80,7 +81,7 @@ func (c *Clock) OnRemove(pfn core.PFN) {
 // Victim implements Policy: sweep from the hand, giving referenced pages a
 // second chance, and return the first unreferenced page. The hand stops
 // just past the victim. Terminates within two sweeps (the first clears all
-// bits).
+// bits). Victim panics if no pages are resident.
 func (c *Clock) Victim() core.PFN {
 	if c.count == 0 {
 		panic("swap: Victim with no resident pages")

@@ -216,7 +216,7 @@ func NewTrueLRU(numFrames int) *TrueLRU {
 	return t
 }
 
-// OnFault implements Policy.
+// OnFault implements Policy. It panics if pfn is already tracked.
 func (t *TrueLRU) OnFault(pfn core.PFN) {
 	n := &t.nodes[pfn]
 	if n.where != onNone {
@@ -227,7 +227,7 @@ func (t *TrueLRU) OnFault(pfn core.PFN) {
 	t.count++
 }
 
-// OnAccess implements Policy.
+// OnAccess implements Policy. It panics if pfn is not resident.
 func (t *TrueLRU) OnAccess(pfn core.PFN) {
 	if t.nodes[pfn].where != onLRU {
 		panic(fmt.Sprintf("swap: OnAccess of untracked frame %d", pfn))
@@ -236,7 +236,7 @@ func (t *TrueLRU) OnAccess(pfn core.PFN) {
 	t.lru.pushFront(t.nodes, int(pfn))
 }
 
-// OnRemove implements Policy.
+// OnRemove implements Policy. It panics if pfn is not resident.
 func (t *TrueLRU) OnRemove(pfn core.PFN) {
 	if t.nodes[pfn].where != onLRU {
 		panic(fmt.Sprintf("swap: OnRemove of untracked frame %d", pfn))
@@ -246,7 +246,8 @@ func (t *TrueLRU) OnRemove(pfn core.PFN) {
 	t.count--
 }
 
-// Victim implements Policy: the globally least-recently-used page.
+// Victim implements Policy: the globally least-recently-used page. It
+// panics if no pages are resident.
 func (t *TrueLRU) Victim() core.PFN {
 	i, ok := t.lru.tail(t.nodes)
 	if !ok {
@@ -281,7 +282,8 @@ func NewTwoListLRU(numFrames int) *TwoListLRU {
 
 // OnFault implements Policy: new pages start on the inactive list, not yet
 // referenced (matching Linux's treatment of freshly faulted anon pages,
-// which start inactive when there is reclaim pressure).
+// which start inactive when there is reclaim pressure). It panics if pfn
+// is already tracked.
 func (p *TwoListLRU) OnFault(pfn core.PFN) {
 	n := &p.nodes[pfn]
 	if n.where != onNone {
@@ -295,7 +297,7 @@ func (p *TwoListLRU) OnFault(pfn core.PFN) {
 
 // OnAccess implements Policy: the first reference sets the referenced bit
 // (hardware access bit); a reference to an already-referenced inactive page
-// promotes it to the active list.
+// promotes it to the active list. It panics if pfn is not resident.
 func (p *TwoListLRU) OnAccess(pfn core.PFN) {
 	n := &p.nodes[pfn]
 	switch n.where {
@@ -315,7 +317,7 @@ func (p *TwoListLRU) OnAccess(pfn core.PFN) {
 	}
 }
 
-// OnRemove implements Policy.
+// OnRemove implements Policy. It panics if pfn is not resident.
 func (p *TwoListLRU) OnRemove(pfn core.PFN) {
 	n := &p.nodes[pfn]
 	switch n.where {
@@ -334,7 +336,8 @@ func (p *TwoListLRU) OnRemove(pfn core.PFN) {
 // Victim implements Policy. It first rebalances (demoting active-tail pages
 // while the active list outnumbers the inactive list), then scans the
 // inactive tail: referenced pages get a second chance (promotion), the
-// first unreferenced page is the victim.
+// first unreferenced page is the victim. Victim panics if no pages are
+// resident.
 func (p *TwoListLRU) Victim() core.PFN {
 	if p.count == 0 {
 		panic("swap: Victim with no resident pages")

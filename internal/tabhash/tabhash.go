@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"mosaic/internal/core"
+	"mosaic/internal/rng"
 )
 
 // Hasher is a tabulation hash with nt tables and support for multi-output
@@ -27,16 +28,26 @@ type Hasher struct {
 // New constructs a Hasher over inputs of numBytes bytes. The static tables
 // are filled with pseudorandom values derived deterministically from seed —
 // the software analogue of the synthesized lookup tables in the paper's
-// Verilog implementation.
+// Verilog implementation. New panics if numBytes is not positive.
 func New(numBytes int, seed uint64) *Hasher {
+	return NewFromRand(numBytes, rng.New(seed))
+}
+
+// NewFromRand is New with the table-filling generator threaded in by the
+// caller. rnd must be deterministically seeded (see internal/rng) for
+// seed-reproducible placement. NewFromRand panics if numBytes is not
+// positive or rnd is nil.
+func NewFromRand(numBytes int, rnd *rand.Rand) *Hasher {
 	if numBytes <= 0 {
 		panic(fmt.Sprintf("tabhash: table count %d must be positive", numBytes))
 	}
-	rng := rand.New(rand.NewSource(int64(seed)))
+	if rnd == nil {
+		panic("tabhash: nil random source")
+	}
 	h := &Hasher{tables: make([][256]uint32, numBytes)}
 	for t := range h.tables {
 		for i := range h.tables[t] {
-			h.tables[t][i] = rng.Uint32()
+			h.tables[t][i] = rnd.Uint32()
 		}
 	}
 	return h

@@ -52,7 +52,8 @@ func VanillaEntryBits(g Geometry, cfg BitsConfig) int {
 // MosaicEntryBits is the storage of one mosaic entry: the MVPN tag (the
 // arity bits disappear into the ToC index, the set bits into the position),
 // arity CPFNs (sub-page validity is in-band: the all-ones CPFN), a valid
-// bit, and metadata at mosaic-page granularity (§3.1).
+// bit, and metadata at mosaic-page granularity (§3.1). It panics if arity
+// is not a positive power of two.
 func MosaicEntryBits(g Geometry, arity int, geom core.Geometry, cfg BitsConfig) int {
 	cfg.applyDefaults()
 	if arity <= 0 || arity&(arity-1) != 0 {

@@ -91,7 +91,7 @@ func (t *Coalesced) Lookup(vpn core.VPN) (core.PFN, bool) {
 	e, ok := t.set(base).get(uint64(base))
 	if ok && e.valid&(1<<uint(off)) != 0 {
 		t.stats.Hits++
-		return e.basePFN + core.PFN(off), true
+		return e.basePFN.Add(uint64(off)), true
 	}
 	t.stats.Misses++
 	if ok {
@@ -112,13 +112,13 @@ func (t *Coalesced) Insert(vpn core.VPN, pfn core.PFN, neighbours []NeighbourPFN
 	base, off := t.group(vpn)
 	e := coalescedEntry{baseVPN: base, valid: 1 << uint(off)}
 	// Anchor the run so base maps to basePFN.
-	e.basePFN = pfn - core.PFN(off)
+	e.basePFN = pfn.Sub(uint64(off))
 	covered := uint64(1)
 	for i, nb := range neighbours {
 		if i == off || !nb.OK || i >= t.maxRun {
 			continue
 		}
-		if nb.PFN == e.basePFN+core.PFN(i) {
+		if nb.PFN == e.basePFN.Add(uint64(i)) {
 			e.valid |= 1 << uint(i)
 			covered++
 		}

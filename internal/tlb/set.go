@@ -135,6 +135,14 @@ func (s *set[P]) invalidate(tag uint64) bool {
 // len is the number of valid entries in the set.
 func (s *set[P]) len() int { return len(s.tags) - len(s.free) }
 
+// each calls fn for every valid entry, in unspecified order, without
+// touching recency.
+func (s *set[P]) each(fn func(tag uint64, p *P)) {
+	for tag, i := range s.index {
+		fn(tag, &s.payload[i])
+	}
+}
+
 // clear invalidates every entry in the set.
 func (s *set[P]) clear() {
 	for tag := range s.index {

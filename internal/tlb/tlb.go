@@ -75,6 +75,16 @@ func (t *Vanilla) Len() int {
 // Reach is the memory covered by a full TLB, in bytes.
 func (t *Vanilla) Reach() uint64 { return uint64(t.geom.Entries) * core.PageSize }
 
+// Range calls fn for every valid entry, in unspecified order, without
+// affecting recency or the hit/miss counters. The key is the value Insert
+// was called with (in memsim, the ASID-tagged VPN). Range exists for the
+// invariant checkers, which audit TLB contents against the page tables.
+func (t *Vanilla) Range(fn func(key uint64, pfn core.PFN)) {
+	for _, s := range t.sets {
+		s.each(func(tag uint64, p *core.PFN) { fn(tag, *p) })
+	}
+}
+
 // Flush invalidates every entry (a full TLB flush, as on a non-PCID
 // context switch).
 func (t *Vanilla) Flush() {
@@ -153,7 +163,8 @@ func (t *Mosaic) Lookup(vpn core.VPN) (core.CPFN, bool) {
 
 // Insert fills the whole ToC for vpn's mosaic page after a walk. The walker
 // obtains the full leaf ToC, so all currently-mapped sub-pages become
-// valid at once. The ToC is copied.
+// valid at once. The ToC is copied. Insert panics if the ToC length does
+// not match the arity.
 func (t *Mosaic) Insert(vpn core.VPN, toc ToC) {
 	if len(toc) != t.arity {
 		panic(fmt.Sprintf("tlb: ToC length %d, want arity %d", len(toc), t.arity))
@@ -208,6 +219,17 @@ func (t *Mosaic) Reach() uint64 {
 func (t *Mosaic) Flush() {
 	for _, s := range t.sets {
 		s.clear()
+	}
+}
+
+// Range calls fn for every valid entry, in unspecified order, without
+// affecting recency or the hit/miss counters. The key is the MVPN the entry
+// was inserted under (in memsim, derived from the ASID-tagged VPN); the ToC
+// is the live payload and must not be mutated. Range exists for the
+// invariant checkers, which audit TLB contents against the page tables.
+func (t *Mosaic) Range(fn func(key uint64, toc ToC)) {
+	for _, s := range t.sets {
+		s.each(func(tag uint64, p *ToC) { fn(tag, *p) })
 	}
 }
 

@@ -108,11 +108,16 @@ var magic = [4]byte{'M', 'T', 'R', '1'}
 // ErrBadTrace reports a malformed trace stream.
 var ErrBadTrace = errors.New("trace: malformed trace")
 
+// ErrNonCanonical reports an access whose virtual address exceeds the
+// canonical 62-bit range the record format can represent.
+var ErrNonCanonical = errors.New("trace: virtual address exceeds the canonical 62-bit range")
+
 // Writer streams accesses to an io.Writer in the binary format.
 type Writer struct {
 	w      *bufio.Writer
 	prevVA uint64
 	n      uint64
+	err    error
 	buf    [binary.MaxVarintLen64 + 1]byte
 }
 
@@ -130,11 +135,18 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // Access implements Sink. va must be a canonical virtual address (below
 // 2^62, comfortably above any architecture's VA width) so that the
-// zigzagged delta fits the 63 bits the record format allots it.
-// Encoding errors are deferred to Flush.
+// zigzagged delta fits the 63 bits the record format allots it. A
+// non-canonical address sets a sticky ErrNonCanonical and drops the record
+// (and all subsequent ones): Sink has no error return, so — like encoding
+// errors — the failure is reported by Err and Flush rather than by
+// panicking in the middle of a long-running capture.
 func (w *Writer) Access(va uint64, write bool) {
+	if w.err != nil {
+		return
+	}
 	if va >= 1<<62 {
-		panic(fmt.Sprintf("trace: virtual address %#x exceeds the canonical 62-bit range", va))
+		w.err = fmt.Errorf("%w: %#x in record %d", ErrNonCanonical, va, w.n)
+		return
 	}
 	d := zigzag(int64(va - w.prevVA))
 	w.prevVA = va
@@ -150,8 +162,19 @@ func (w *Writer) Access(va uint64, write bool) {
 // Count is the number of records written.
 func (w *Writer) Count() uint64 { return w.n }
 
-// Flush commits buffered records.
-func (w *Writer) Flush() error { return w.w.Flush() }
+// Err reports the first error the Writer encountered (ErrNonCanonical
+// input, for now), or nil. Once set, the Writer drops further records.
+func (w *Writer) Err() error { return w.err }
+
+// Flush commits buffered records. It returns the Writer's sticky error, if
+// any, so capture pipelines that only check Flush still see encoding
+// failures.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
 
 // Reader decodes a binary trace.
 type Reader struct {

@@ -167,3 +167,51 @@ func TestVARoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWriterNonCanonicalAddress verifies the steady-state failure mode: a
+// non-canonical VA must not panic (the writer may sit under a long-running
+// capture); it sets a sticky error surfaced by both Err and Flush, and the
+// writer drops all subsequent records.
+func TestWriterNonCanonicalAddress(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Access(0x1000, false)
+	w.Access(1<<62, true) // non-canonical
+	w.Access(0x2000, false)
+	if w.Count() != 1 {
+		t.Errorf("Count = %d, want 1 (records after the error must be dropped)", w.Count())
+	}
+	if err := w.Err(); !errors.Is(err, ErrNonCanonical) {
+		t.Errorf("Err() = %v, want ErrNonCanonical", err)
+	}
+	if err := w.Flush(); !errors.Is(err, ErrNonCanonical) {
+		t.Errorf("Flush() = %v, want ErrNonCanonical", err)
+	}
+}
+
+// TestWriterCanonicalBoundary pins the boundary: 2^62-1 encodes, 2^62 fails.
+func TestWriterCanonicalBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Access(1<<62-1, false)
+	if w.Err() != nil {
+		t.Fatalf("2^62-1 must be canonical, got %v", w.Err())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Next()
+	if err != nil || a.VA != 1<<62-1 {
+		t.Fatalf("round trip of boundary VA: %+v, %v", a, err)
+	}
+}

@@ -1,0 +1,102 @@
+package vm
+
+import (
+	"mosaic/internal/alloc"
+	"mosaic/internal/core"
+	"mosaic/internal/invariant"
+)
+
+// CheckInvariants performs a deep consistency check of the whole VM state,
+// recording any violation on r. It first delegates to the allocator's own
+// checker (bitmap/free-list integrity, owner hashing), then verifies the
+// OS-level coherence the allocator cannot see:
+//
+//   - every resident page's frame is owned by exactly that (ASID, VPN) —
+//     and, in mosaic mode, its stored CPFN decodes back to its PFN and the
+//     allocator really knows the owner;
+//   - every occupied frame belongs to some resident page (no leaked
+//     frames), so resident-page count equals allocator Used();
+//   - every swapped-out page has a swap-device slot and vice versa;
+//   - the Horizon LRU's ghost threshold never exceeds the access clock
+//     (a page cannot have been evicted at a time later than "now").
+//
+// It runs in O(frames + mapped pages); call it from tests, or periodically
+// from memsim via Config.CheckEvery.
+func (s *System) CheckInvariants(r *invariant.Report) {
+	if s.mem != nil {
+		s.mem.CheckInvariants(r)
+	}
+	if s.umem != nil {
+		s.umem.CheckInvariants(r)
+	}
+	if s.hlru != nil {
+		r.Checkf(s.hlru.Horizon() <= s.clock, "vm.horizon-clock",
+			"horizon %d exceeds access clock %d", s.hlru.Horizon(), s.clock)
+	}
+
+	resident := make(map[alloc.Owner]core.PFN)
+	swapped := 0
+	checkPage := func(owner alloc.Owner, pg *page) {
+		switch pg.state {
+		case pageResident:
+			resident[owner] = pg.pfn
+			fOwner, _, _, used := s.frameInfo(pg.pfn)
+			if !r.Checkf(used, "vm.resident-frame",
+				"page %+v resident at frame %d, but the frame is free", owner, pg.pfn) {
+				return
+			}
+			r.Checkf(fOwner == owner, "vm.resident-owner",
+				"page %+v resident at frame %d, owned by %+v", owner, pg.pfn, fOwner)
+			if s.mode == ModeMosaic {
+				if !r.Checkf(s.mem.Geometry().ValidCPFN(pg.cpfn), "vm.cpfn-valid",
+					"page %+v stores invalid CPFN %d", owner, pg.cpfn) {
+					return
+				}
+				dec := s.mem.DecodeCPFN(owner.ASID, owner.VPN, pg.cpfn)
+				r.Checkf(dec == pg.pfn, "vm.cpfn-decode",
+					"page %+v CPFN %d decodes to frame %d, page records %d", owner, pg.cpfn, dec, pg.pfn)
+			}
+		case pageSwapped:
+			swapped++
+			r.Checkf(s.dev.Contains(owner), "vm.swap-slot",
+				"page %+v marked swapped, but the device has no slot for it", owner)
+		}
+	}
+	for asid, as := range s.spaces {
+		for vpn, pg := range as.private {
+			checkPage(alloc.Owner{ASID: asid, VPN: vpn}, pg)
+		}
+	}
+	for _, region := range s.regions {
+		for i := range region.pages {
+			checkPage(alloc.Owner{ASID: sharedASID, VPN: sharedVPN(region.id, i)}, &region.pages[i])
+		}
+	}
+
+	r.Checkf(len(resident) == s.Used(), "vm.resident-count",
+		"%d resident pages, allocator reports %d frames used", len(resident), s.Used())
+	for idx := 0; idx < s.NumFrames(); idx++ {
+		pfn := core.PFN(idx)
+		owner, _, _, used := s.frameInfo(pfn)
+		if !used {
+			continue
+		}
+		if back, ok := resident[owner]; !ok {
+			r.Violatef("vm.leaked-frame",
+				"frame %d owned by %+v, but no resident page maps it", idx, owner)
+		} else {
+			r.Checkf(back == pfn, "vm.frame-backlink",
+				"frame %d owned by %+v, whose page records frame %d", idx, owner, back)
+		}
+	}
+	r.Checkf(swapped == s.dev.Resident(), "vm.swap-count",
+		"%d pages in swapped state, device holds %d", swapped, s.dev.Resident())
+}
+
+// frameInfo dispatches FrameInfo to whichever allocator the mode uses.
+func (s *System) frameInfo(pfn core.PFN) (alloc.Owner, uint64, bool, bool) {
+	if s.mode == ModeMosaic {
+		return s.mem.FrameInfo(pfn)
+	}
+	return s.umem.FrameInfo(pfn)
+}

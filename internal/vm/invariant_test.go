@@ -1,0 +1,145 @@
+package vm
+
+import (
+	"testing"
+
+	"mosaic/internal/alloc"
+	"mosaic/internal/core"
+	"mosaic/internal/invariant"
+)
+
+func hasRule(r *invariant.Report, rule string) bool {
+	for _, v := range r.Violations() {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// workedSystem builds a mosaic system driven past its capacity, so the
+// state under audit includes ghosts, evictions, and swapped-out pages.
+func workedSystem(t *testing.T) *System {
+	t.Helper()
+	s, err := New(Config{Frames: 256, Mode: ModeMosaic, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for vpn := core.VPN(0); vpn < 300; vpn++ {
+			s.Touch(1, vpn, vpn%7 == 0)
+		}
+	}
+	if s.Device().Resident() == 0 {
+		t.Fatal("workload did not push any page to swap; corruption tests need swap state")
+	}
+	return s
+}
+
+func TestCheckInvariantsClean(t *testing.T) {
+	s := workedSystem(t)
+	var r invariant.Report
+	s.CheckInvariants(&r)
+	if err := r.Err(); err != nil {
+		t.Fatalf("clean mosaic system reported violations: %v", err)
+	}
+
+	v, err := New(Config{Frames: 128, Mode: ModeVanilla})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vpn := core.VPN(0); vpn < 200; vpn++ {
+		v.Touch(1, vpn, false)
+	}
+	r = invariant.Report{}
+	v.CheckInvariants(&r)
+	if err := r.Err(); err != nil {
+		t.Fatalf("clean vanilla system reported violations: %v", err)
+	}
+}
+
+// residentPages returns the resident private pages of asid in VPN order.
+func residentPages(t *testing.T, s *System, asid core.ASID) []*page {
+	t.Helper()
+	as, ok := s.spaces[asid]
+	if !ok {
+		t.Fatalf("ASID %d has no space", asid)
+	}
+	var pages []*page
+	for vpn := core.VPN(0); vpn < 300; vpn++ {
+		if pg, ok := as.private[vpn]; ok && pg.state == pageResident {
+			pages = append(pages, pg)
+		}
+	}
+	if len(pages) < 2 {
+		t.Fatal("need at least two resident pages")
+	}
+	return pages
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	tests := []struct {
+		name    string
+		corrupt func(t *testing.T, s *System)
+		rule    string
+	}{
+		{"relocated-pages", func(t *testing.T, s *System) {
+			// Swap two resident pages' frames without moving the frames'
+			// owner records: each page now claims a frame owned by the
+			// other — the relocation iceberg stability forbids.
+			pages := residentPages(t, s, 1)
+			a, b := pages[0], pages[len(pages)-1]
+			a.pfn, b.pfn = b.pfn, a.pfn
+			a.cpfn, b.cpfn = b.cpfn, a.cpfn
+		}, "vm.resident-owner"},
+		{"stale-cpfn", func(t *testing.T, s *System) {
+			// Point a page's compressed frame number at a different
+			// candidate slot: it no longer decodes to the page's frame.
+			pg := residentPages(t, s, 1)[0]
+			pg.cpfn = (pg.cpfn + 1) % core.CPFN(s.mem.Geometry().Associativity())
+		}, "vm.cpfn-decode"},
+		{"dropped-mapping", func(t *testing.T, s *System) {
+			// Forget a resident mapping while its frame stays allocated.
+			as := s.spaces[1]
+			for vpn, pg := range as.private {
+				if pg.state == pageResident {
+					delete(as.private, vpn)
+					return
+				}
+			}
+			t.Fatal("no resident page to drop")
+		}, "vm.leaked-frame"},
+		{"phantom-swap-slot", func(t *testing.T, s *System) {
+			// A device slot no page is in swapped state for.
+			s.dev.PageOut(alloc.Owner{ASID: 3, VPN: 0x123456})
+		}, "vm.swap-count"},
+		{"swapped-without-slot", func(t *testing.T, s *System) {
+			// A page marked swapped whose device slot vanished.
+			as := s.spaces[1]
+			for vpn, pg := range as.private {
+				if pg.state == pageSwapped {
+					s.dev.Drop(alloc.Owner{ASID: 1, VPN: vpn})
+					return
+				}
+			}
+			t.Fatal("no swapped page to orphan")
+		}, "vm.swap-slot"},
+		{"horizon-beyond-clock", func(t *testing.T, s *System) {
+			s.hlru.NoteEviction(s.clock + 100)
+		}, "vm.horizon-clock"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := workedSystem(t)
+			tc.corrupt(t, s)
+			var r invariant.Report
+			s.CheckInvariants(&r)
+			if r.OK() {
+				t.Fatalf("corruption %q went undetected", tc.name)
+			}
+			if !hasRule(&r, tc.rule) {
+				t.Fatalf("corruption %q reported %v, want rule %s", tc.name, r.Violations(), tc.rule)
+			}
+		})
+	}
+}

@@ -122,6 +122,7 @@ func (s *System) touchShared(ref sharedRef, write bool) AccessResult {
 	case pageSwapped:
 		s.counters.Inc("major-faults")
 		if !s.dev.PageIn(owner) {
+			//lint:ignore nopanic every shared page marked pageSwapped was handed to the device by recordEviction
 			panic("vm: swapped shared page missing from swap device")
 		}
 		s.fillSharedPage(owner, pg, write)

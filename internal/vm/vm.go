@@ -342,7 +342,8 @@ func (s *System) FirstConflictUtilization() (float64, bool) {
 	return s.firstConflictUtil, s.sawConflict
 }
 
-// Space returns (creating if needed) the address space for asid.
+// Space returns (creating if needed) the address space for asid. It panics
+// for the reserved shared-mapping ASID 0xFFFFFFFF.
 func (s *System) Space(asid core.ASID) *AddressSpace {
 	if asid == sharedASID {
 		panic("vm: ASID 0xFFFFFFFF is reserved for shared mappings")
@@ -387,11 +388,13 @@ func (s *System) Touch(asid core.ASID, vpn core.VPN, write bool) AccessResult {
 	case pageSwapped:
 		s.counters.Inc("major-faults")
 		if !s.dev.PageIn(alloc.Owner{ASID: asid, VPN: vpn}) {
+			//lint:ignore nopanic every page marked pageSwapped was handed to the device by recordEviction
 			panic("vm: swapped page missing from swap device")
 		}
 		s.fillPage(asid, vpn, pg, write)
 		return MajorFault
 	default:
+		//lint:ignore nopanic the page-state enum has exactly three values; absent pages never reach this switch
 		panic("vm: invalid page state")
 	}
 }
@@ -458,6 +461,7 @@ func (s *System) allocateMosaic(asid core.ASID, vpn core.VPN) (core.PFN, core.CP
 		return p.PFN, p.CPFN
 	}
 	if !errors.Is(err, alloc.ErrConflict) {
+		//lint:ignore nopanic Place documents ErrConflict as its only error; anything else is an allocator bug
 		panic(fmt.Sprintf("vm: unexpected placement error: %v", err))
 	}
 	// Associativity conflict (§2.4): evict the LRU page among the
@@ -471,6 +475,7 @@ func (s *System) allocateMosaic(asid core.ASID, vpn core.VPN) (core.PFN, core.CP
 	cands := s.mem.Candidates(asid, vpn, s.candScratch)
 	victim, ok := s.hlru.PickVictim(cands)
 	if !ok {
+		//lint:ignore nopanic ErrConflict means all candidate slots hold live pages, so a victim must exist
 		panic("vm: conflict with no occupied candidates")
 	}
 	if !s.cfg.DisableHorizon {
@@ -498,6 +503,7 @@ func (s *System) allocateVanilla(asid core.ASID, vpn core.VPN) core.PFN {
 			return pfn
 		}
 		if !errors.Is(err, alloc.ErrNoMemory) {
+			//lint:ignore nopanic Unconstrained.Place documents ErrNoMemory as its only error
 			panic(fmt.Sprintf("vm: unexpected placement error: %v", err))
 		}
 		// Direct reclaim.
@@ -531,6 +537,7 @@ func (s *System) recordEviction(owner alloc.Owner) {
 		rid, idx := splitSharedVPN(owner.VPN)
 		r, ok := s.regions[rid]
 		if !ok {
+			//lint:ignore nopanic shared owners are minted from live regions, and regions are never deleted
 			panic(fmt.Sprintf("vm: evicted page of unknown shared region %d", rid))
 		}
 		r.pages[idx].state = pageSwapped
@@ -538,10 +545,12 @@ func (s *System) recordEviction(owner alloc.Owner) {
 	}
 	as, ok := s.spaces[owner.ASID]
 	if !ok {
+		//lint:ignore nopanic frame owners are recorded at placement from existing spaces
 		panic(fmt.Sprintf("vm: evicted page of unknown ASID %d", owner.ASID))
 	}
 	pg, ok := as.private[owner.VPN]
 	if !ok || pg.state != pageResident {
+		//lint:ignore nopanic the allocator reported this owner as occupying the frame, so its space must show it resident
 		panic(fmt.Sprintf("vm: evicted page (asid %d, vpn %#x) not resident in its space", owner.ASID, owner.VPN))
 	}
 	pg.state = pageSwapped

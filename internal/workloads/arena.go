@@ -26,7 +26,8 @@ func NewArena(base uint64) *Arena {
 	return &Arena{base: base, next: base}
 }
 
-// Alloc reserves size bytes aligned to align (a power of two; 0 means 8).
+// Alloc reserves size bytes aligned to align (a power of two, or Alloc
+// panics; 0 means 8).
 func (a *Arena) Alloc(size, align uint64) uint64 {
 	if align == 0 {
 		align = 8

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mosaic/internal/core"
+	"mosaic/internal/rng"
 	"mosaic/internal/trace"
 )
 
@@ -99,16 +100,17 @@ func (t *BTree) Depth() int { return t.depth }
 // Run implements Workload: bulk-load the index, then perform random point
 // lookups.
 func (t *BTree) Run(sink trace.Sink) {
-	rng := rand.New(rand.NewSource(int64(t.cfg.Seed) ^ 0x6274726565))
-	t.build(sink, rng)
+	rnd := rng.Derive(t.cfg.Seed, 0x6274726565) // "btree"
+	t.build(sink, rnd)
 	hits := 0
 	for i := 0; i < t.cfg.Lookups; i++ {
-		key := t.keys[rng.Intn(len(t.keys))]
+		key := t.keys[rnd.Intn(len(t.keys))]
 		if _, ok := t.Lookup(sink, key); ok {
 			hits++
 		}
 	}
 	if hits != t.cfg.Lookups {
+		//lint:ignore nopanic lookups draw from t.keys, all of which were bulk-loaded into the tree
 		panic(fmt.Sprintf("btree: %d/%d lookups found their key", hits, t.cfg.Lookups))
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mosaic/internal/rng"
 	"mosaic/internal/trace"
 )
 
@@ -107,11 +108,11 @@ func (g *Graph500) Vertices() int { return g.vertices }
 // Run implements Workload: edge generation, kernel 1 (CSR construction),
 // then Roots× kernel 2 (BFS).
 func (g *Graph500) Run(sink trace.Sink) {
-	rng := rand.New(rand.NewSource(int64(g.cfg.Seed) ^ 0x6772617068353030))
-	g.generateEdges(sink, rng)
+	rnd := rng.Derive(g.cfg.Seed, 0x6772617068353030) // "graph500"
+	g.generateEdges(sink, rnd)
 	g.buildCSR(sink)
 	for r := 0; r < g.cfg.Roots; r++ {
-		root := rng.Intn(g.vertices)
+		root := rnd.Intn(g.vertices)
 		g.bfs(sink, root)
 	}
 }

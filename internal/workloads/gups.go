@@ -1,8 +1,7 @@
 package workloads
 
 import (
-	"math/rand"
-
+	"mosaic/internal/rng"
 	"mosaic/internal/trace"
 )
 
@@ -67,9 +66,9 @@ func (g *GUPS) TableWords() int { return g.cfg.TableWords }
 // and one store of the same word (two TLB references, as the hardware
 // would issue).
 func (g *GUPS) Run(sink trace.Sink) {
-	rng := rand.New(rand.NewSource(int64(g.cfg.Seed) ^ 0x67757073))
+	rnd := rng.Derive(g.cfg.Seed, 0x67757073) // "gups"
 	for i := 0; i < g.cfg.Updates; i++ {
-		r := rng.Uint64()
+		r := rnd.Uint64()
 		idx := int(r & g.mask)
 		v := g.table.Get(sink, idx)
 		g.table.Set(sink, idx, v^r)

@@ -5,7 +5,16 @@ import (
 	"sort"
 
 	"mosaic/internal/core"
+	"mosaic/internal/rng"
 	"mosaic/internal/trace"
+)
+
+// Sub-stream salts: the ASCII spellings "xsbench" and "lookups", preserving
+// the seeding convention (and therefore the exact reference streams) of the
+// pre-rng construction.
+const (
+	xsbenchGridSalt   = 0x787362656E6368
+	xsbenchLookupSalt = 0x6C6F6F6B757073
 )
 
 // XSBenchConfig parameterizes the XSBench workload.
@@ -85,14 +94,14 @@ func NewXSBench(cfg XSBenchConfig) *XSBench {
 		}
 	}
 	x.cfg = cfg
-	x.initialize()
+	x.initialize(rng.Derive(cfg.Seed, xsbenchGridSalt))
 	return x
 }
 
 // initialize fills the grids the way XSBench's generate_grids does, without
-// emitting references (XSBench measures only the lookup kernel).
-func (x *XSBench) initialize() {
-	rng := rand.New(rand.NewSource(int64(x.cfg.Seed) ^ 0x787362656E6368))
+// emitting references (XSBench measures only the lookup kernel). rnd drives
+// grid energies and material composition.
+func (x *XSBench) initialize(rnd *rand.Rand) {
 	n, gp := x.cfg.Nuclides, x.cfg.GridPoints
 
 	// Per-nuclide energy grids: sorted uniform randoms.
@@ -100,7 +109,7 @@ func (x *XSBench) initialize() {
 	for i := range nucEnergy {
 		es := make([]float64, gp)
 		for j := range es {
-			es[j] = rng.Float64()
+			es[j] = rnd.Float64()
 		}
 		sort.Float64s(es)
 		nucEnergy[i] = es
@@ -108,7 +117,7 @@ func (x *XSBench) initialize() {
 			base := (i*gp + j) * xsValues
 			x.grids.Data[base] = es[j]
 			for k := 1; k < xsValues; k++ {
-				x.grids.Data[base+k] = rng.Float64()
+				x.grids.Data[base+k] = rnd.Float64()
 			}
 		}
 	}
@@ -147,7 +156,7 @@ func (x *XSBench) initialize() {
 		if c > n {
 			c = n
 		}
-		perm := rng.Perm(n)[:c]
+		perm := rnd.Perm(n)[:c]
 		x.materials[m] = perm
 	}
 }
@@ -165,11 +174,11 @@ func (x *XSBench) GridPoints() int { return x.cfg.GridPoints }
 // an energy and a material, binary-searches the unionized grid, and gathers
 // the bracketing cross-section data of every nuclide in the material.
 func (x *XSBench) Run(sink trace.Sink) {
-	rng := rand.New(rand.NewSource(int64(x.cfg.Seed) ^ 0x6C6F6F6B757073))
+	rnd := rng.Derive(x.cfg.Seed, xsbenchLookupSalt)
 	macro := make([]float64, xsValues-1)
 	for i := 0; i < x.cfg.Lookups; i++ {
-		e := rng.Float64()
-		mat := rng.Intn(numMaterials)
+		e := rnd.Float64()
+		mat := rnd.Intn(numMaterials)
 		x.lookup(sink, e, mat, macro)
 	}
 }

@@ -1,0 +1,14 @@
+#!/bin/sh
+# check.sh — the repository's full verification gate: build, vet, the
+# repo-specific mosaiclint analyzers, the test suite under the race
+# detector, and a short fuzz smoke of the iceberg table. CI and pre-commit
+# hooks should run exactly this.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go run ./cmd/mosaiclint ./...
+go test -race ./...
+go test -run='^$' -fuzz=Fuzz -fuzztime=3s ./internal/iceberg
