@@ -12,6 +12,7 @@
 // Usage:
 //
 //	ablate [-sweep=all] [-frames N] [-trials N] [-seed N] [-csv]
+//	       [-json] [-o path] [-cpuprofile path]
 package main
 
 import (
@@ -20,8 +21,12 @@ import (
 	"os"
 
 	"mosaic"
+	"mosaic/internal/results"
 	"mosaic/internal/stats"
 )
+
+// out accumulates the machine-readable twin of the printed tables.
+var out = results.New("ablate")
 
 func main() {
 	sweep := flag.String("sweep", "all", "which ablation to run (choices, split, hash, eviction, all)")
@@ -29,31 +34,44 @@ func main() {
 	trials := flag.Int("trials", 5, "trials per point")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	drv := results.NewDriver("ablate", nil)
 	flag.Parse()
+	exitOn(drv.Start())
+	defer drv.Close()
+	out.Config = map[string]any{
+		"sweep": *sweep, "frames": *frames, "trials": *trials, "seed": *seed,
+	}
 
 	run := func(name string) bool { return *sweep == "all" || *sweep == name }
 	any := false
 
 	if run("choices") {
 		any = true
+		drv.Stepf("ablate: sweeping backyard choices")
 		rows, err := mosaic.AblateChoices(nil, *frames, *trials, *seed)
 		exitOn(err)
+		record("choices", rows)
 		render(*csv, "Ablation: backyard choices d (f=56, b=8 fixed)", rows)
 	}
 	if run("split") {
 		any = true
+		drv.Stepf("ablate: sweeping frontyard/backyard split")
 		rows, err := mosaic.AblateSplit(nil, *frames, *trials, *seed)
 		exitOn(err)
+		record("split", rows)
 		render(*csv, "Ablation: frontyard/backyard split (d=6 fixed)", rows)
 	}
 	if run("hash") {
 		any = true
+		drv.Stepf("ablate: sweeping placement-hash family")
 		rows, err := mosaic.AblateHash(*frames, *trials, *seed)
 		exitOn(err)
+		record("hash", rows)
 		render(*csv, "Ablation: placement-hash family (default geometry)", rows)
 	}
 	if run("eviction") {
 		any = true
+		drv.Stepf("ablate: comparing eviction policies")
 		rows, err := mosaic.AblateEviction("graph500", 16, nil, 0, *seed)
 		exitOn(err)
 		tb := stats.NewTable("Ablation: eviction policy (graph500, 16 MiB pool)",
@@ -64,6 +82,10 @@ func main() {
 				fmt.Sprintf("%.2f", r.NaiveKIO),
 				fmt.Sprintf("%.2f", r.LinuxKIO),
 				fmt.Sprintf("%+.2f", r.HorizonVsNaive))
+			key := fmt.Sprintf("ablate.eviction.fp%.0f.", r.FootprintMiB)
+			out.SetMetric(key+"horizon_kio", r.HorizonKIO)
+			out.SetMetric(key+"naive_kio", r.NaiveKIO)
+			out.SetMetric(key+"linux_kio", r.LinuxKIO)
 		}
 		emit(*csv, tb)
 		fmt.Println("Note: with h = 104 candidates, naive candidate-LRU behaves like sampled LRU")
@@ -72,12 +94,16 @@ func main() {
 	}
 	if run("timestamps") {
 		any = true
+		drv.Stepf("ablate: comparing timestamp fidelity")
 		rows, err := mosaic.AblateTimestamps("graph500", 16, 1.20, nil, 0, *seed)
 		exitOn(err)
 		tb := stats.NewTable("Ablation: timestamp fidelity (graph500, 16 MiB pool, 1.20× footprint)",
 			"Regime", "Mosaic (K I/O)", "vs Linux (%)")
 		for _, r := range rows {
 			tb.AddRow(r.Label, fmt.Sprintf("%.2f", r.MosaicKIO), fmt.Sprintf("%+.2f", r.VsLinuxPct))
+			key := "ablate.timestamps." + results.Sanitize(r.Label) + "."
+			out.SetMetric(key+"mosaic_kio", r.MosaicKIO)
+			out.SetMetric(key+"vs_linux_pct", r.VsLinuxPct)
 		}
 		emit(*csv, tb)
 		fmt.Println("\"exact\" stores per-access timestamps (what real mosaic hardware would")
@@ -87,6 +113,18 @@ func main() {
 	if !any {
 		fmt.Fprintf(os.Stderr, "ablate: unknown sweep %q\n", *sweep)
 		os.Exit(2)
+	}
+	exitOn(drv.Finish(out))
+}
+
+// record mirrors a utilization-sweep table into the JSON result.
+func record(sweep string, rows []mosaic.AblateRow) {
+	for _, r := range rows {
+		key := "ablate." + sweep + "." + results.Sanitize(r.Label) + "."
+		out.SetMetric(key+"first_conflict", r.FirstConflict)
+		out.SetMetric(key+"first_conflict_sd", r.FirstConflictSD)
+		out.SetMetric(key+"associativity", float64(r.Associativity))
+		out.SetMetric(key+"cpfn_bits", float64(r.CPFNBits))
 	}
 }
 

@@ -12,6 +12,7 @@
 //
 //	fig6 [-workload all|graph500|btree|gups|xsbench] [-entries N]
 //	     [-footprint MiB] [-maxrefs N] [-seed N] [-csv] [-describe]
+//	     [-json] [-o path] [-sample N] [-cpuprofile path]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"mosaic"
 	"mosaic/internal/core"
+	"mosaic/internal/results"
 	"mosaic/internal/stats"
 	"mosaic/internal/tlb"
 	"mosaic/internal/workloads"
@@ -45,6 +47,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	describe := flag.Bool("describe", false, "print the simulated platform and workload descriptions (Tables 1a/2 analogues) and exit")
 	bitsFlag := flag.Bool("bits", false, "print the §3.1 entry-storage/reach accounting and exit")
+	sample := flag.Uint64("sample", 65536, "sampling cadence in references for the JSON time series (0 = no sampling)")
+	drv := results.NewDriver("fig6", nil)
 	flag.Parse()
 
 	if *describe {
@@ -56,10 +60,25 @@ func main() {
 		printBits(*entries)
 		return
 	}
+	if err := drv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "fig6: %v\n", err)
+		os.Exit(1)
+	}
+	defer drv.Close()
 
 	names := workloads.Names()
 	if *workload != "all" {
 		names = []string{*workload}
+	}
+	out := results.New("fig6")
+	out.Config = map[string]any{
+		"workloads": names,
+		"entries":   *entries,
+		"footprint": *footprint,
+		"maxrefs":   *maxRefs,
+		"seed":      *seed,
+		"colt":      *colt,
+		"sample":    *sample,
 	}
 	for _, name := range names {
 		fp := *footprint
@@ -72,16 +91,55 @@ func main() {
 			MaxRefs:        *maxRefs,
 			TLBEntries:     *entries,
 			Seed:           *seed,
+			Progress:       drv.Progress(),
 		}
 		if *colt {
 			opts.Coalesce = []int{4}
+		}
+		if drv.WantJSON() {
+			opts.SampleEvery = *sample
 		}
 		res, err := mosaic.Figure6(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fig6: %v\n", err)
 			os.Exit(1)
 		}
+		collect(out, res)
 		render(res, fp, *csv)
+	}
+	if err := drv.Finish(out); err != nil {
+		fmt.Fprintf(os.Stderr, "fig6: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// collect records one sub-figure into the JSON result: per-cell miss
+// counts under fig6.<workload>.<design>.w<ways>.misses (the aggregates
+// behind the rendered table), plus the sampled time series and events
+// from the fully-associative point.
+func collect(out *results.File, res mosaic.Figure6Result) {
+	wl := results.Sanitize(res.Workload)
+	out.SetMetric("fig6."+wl+".refs", float64(res.Refs))
+	for _, c := range res.Cells {
+		key := fmt.Sprintf("fig6.%s.%s.w%d.misses", wl, results.Sanitize(c.Label), c.Ways)
+		out.SetMetric(key, float64(c.Stats.Misses))
+	}
+	for _, s := range res.Series {
+		vals := make([]results.Number, len(s.Values))
+		for i, v := range s.Values {
+			vals[i] = results.Number(v)
+		}
+		out.Series = append(out.Series, results.Series{
+			Name:   wl + "." + s.Name,
+			Refs:   s.Refs,
+			Values: vals,
+		})
+	}
+	for _, e := range res.Events {
+		if e.Scope == "" {
+			e.Scope = res.Workload
+		}
+		out.Events = append(out.Events, e)
 	}
 }
 

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	frag [-frames N] [-free F] [-seed N] [-csv]
+//	frag [-frames N] [-free F] [-seed N] [-csv] [-json] [-o path]
+//	     [-cpuprofile path]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"mosaic"
+	"mosaic/internal/results"
 	"mosaic/internal/stats"
 )
 
@@ -23,7 +25,14 @@ func main() {
 	free := flag.Float64("free", 0.5, "fraction of memory freed before the new region faults (paper's point: 0.5)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	drv := results.NewDriver("frag", nil)
 	flag.Parse()
+	if err := drv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "frag: %v\n", err)
+		os.Exit(1)
+	}
+	defer drv.Close()
+	drv.Stepf("frag: %d frames, %.0f%% freed", *frames, 100**free)
 
 	rows, err := mosaic.Fragmentation(mosaic.FragmentationOptions{
 		Frames:   *frames,
@@ -33,6 +42,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "frag: %v\n", err)
 		os.Exit(1)
+	}
+	out := results.New("frag")
+	out.Config = map[string]any{"frames": *frames, "free": *free, "seed": *seed}
+	for _, r := range rows {
+		key := fmt.Sprintf("frag.chunk_%dk.", (1<<r.ChunkOrder)*4)
+		out.SetMetric(key+"unusable_index", r.UnusableIndex)
+		out.SetMetric(key+"huge_backed_pct", r.HugeBackedPct)
+		out.SetMetric(key+"compaction_copies", float64(r.CompactionCopies))
+		out.SetMetric(key+"mosaic_backed_pct", r.MosaicBackedPct)
+		out.SetMetric(key+"mosaic_copies", float64(r.MosaicCopies))
+		out.SetMetric(key+"huge_tlb_entries", float64(r.HugeTLBEntries))
+		out.SetMetric(key+"mosaic_tlb_entries", float64(r.MosaicTLBEntries))
 	}
 	tb := stats.NewTable(
 		fmt.Sprintf("Fragmentation vs TLB reach (%d MiB memory, %.0f%% freed, region = free memory)",
@@ -56,11 +77,15 @@ func main() {
 	}
 	if *csv {
 		fmt.Print(tb.CSV())
-		return
+	} else {
+		fmt.Println(tb.String())
+		fmt.Println("Huge pages' reach gains require 2 MiB of contiguous free memory; once the")
+		fmt.Println("machine has fragmented, backing collapses and defragmentation bills arrive")
+		fmt.Println("(each copy is a full page migration). Mosaic's reach never depended on")
+		fmt.Println("contiguity: backing and TLB-entry counts are flat across every row.")
 	}
-	fmt.Println(tb.String())
-	fmt.Println("Huge pages' reach gains require 2 MiB of contiguous free memory; once the")
-	fmt.Println("machine has fragmented, backing collapses and defragmentation bills arrive")
-	fmt.Println("(each copy is a full page migration). Mosaic's reach never depended on")
-	fmt.Println("contiguity: backing and TLB-entry counts are flat across every row.")
+	if err := drv.Finish(out); err != nil {
+		fmt.Fprintf(os.Stderr, "frag: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -17,11 +17,21 @@ import (
 	"os"
 
 	"mosaic/internal/lint"
+	"mosaic/internal/obs"
 )
 
 func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer stop()
+	}
 	if *list {
 		for _, an := range lint.All() {
 			fmt.Printf("%-12s %s\n", an.Name, an.Doc)

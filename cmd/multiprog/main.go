@@ -7,6 +7,7 @@
 //
 //	multiprog [-workloads graph500,kvstore] [-footprint MiB] [-quantum N]
 //	          [-maxrefs N] [-entries N] [-seed N] [-csv]
+//	          [-json] [-o path] [-cpuprofile path]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"mosaic"
+	"mosaic/internal/results"
 	"mosaic/internal/stats"
 )
 
@@ -27,7 +29,10 @@ func main() {
 	entries := flag.Int("entries", 256, "shared TLB entries")
 	seed := flag.Uint64("seed", 1, "random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	drv := results.NewDriver("multiprog", nil)
 	flag.Parse()
+	exitOn(drv.Start())
+	defer drv.Close()
 
 	names := strings.Split(*workloads, ",")
 	base := mosaic.MultiprogramOptions{
@@ -37,6 +42,7 @@ func main() {
 		MaxRefsPerProc: *maxRefs,
 		TLBEntries:     *entries,
 		Seed:           *seed,
+		Progress:       drv.Progress(),
 	}
 
 	tagged, refs, err := mosaic.Multiprogram(base)
@@ -45,6 +51,20 @@ func main() {
 	flushOpts.FlushOnSwitch = true
 	flushed, _, err := mosaic.Multiprogram(flushOpts)
 	exitOn(err)
+
+	out := results.New("multiprog")
+	out.Config = map[string]any{
+		"workloads": names, "footprint_mib": *footprint, "quantum": *quantum,
+		"maxrefs": *maxRefs, "entries": *entries, "seed": *seed,
+	}
+	out.SetMetric("multiprog.refs", float64(refs))
+	for i, r := range tagged {
+		key := "multiprog." + results.Sanitize(r.Label) + "."
+		out.SetMetric(key+"solo.misses", float64(r.SoloMisses))
+		out.SetMetric(key+"tagged.misses", float64(r.SharedMisses))
+		out.SetMetric(key+"tagged.interference_pct", r.InterferencePct)
+		out.SetMetric(key+"flushed.misses", float64(flushed[i].SharedMisses))
+	}
 
 	tb := stats.NewTable(
 		fmt.Sprintf("Multiprogramming: %s time-sharing a %d-entry TLB (%d refs, %d-ref quanta)",
@@ -63,13 +83,14 @@ func main() {
 	}
 	if *csv {
 		fmt.Print(tb.CSV())
-		return
+	} else {
+		fmt.Println(tb.String())
+		fmt.Println("Interference = extra misses vs the processes running alone. With ASID")
+		fmt.Println("tags, entries survive context switches; with flushes every quantum")
+		fmt.Println("restarts cold — and each lost mosaic entry costs arity× the reach,")
+		fmt.Println("so high-arity designs feel flushing the most but still miss least.")
 	}
-	fmt.Println(tb.String())
-	fmt.Println("Interference = extra misses vs the processes running alone. With ASID")
-	fmt.Println("tags, entries survive context switches; with flushes every quantum")
-	fmt.Println("restarts cold — and each lost mosaic entry costs arity× the reach,")
-	fmt.Println("so high-arity designs feel flushing the most but still miss least.")
+	exitOn(drv.Finish(out))
 }
 
 func exitOn(err error) {

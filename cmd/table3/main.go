@@ -6,6 +6,7 @@
 // Usage:
 //
 //	table3 [-memory MiB] [-runs N] [-maxrefs N] [-seed N] [-csv] [-delta]
+//	       [-json] [-o path] [-cpuprofile path]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"mosaic"
+	"mosaic/internal/results"
 	"mosaic/internal/stats"
 )
 
@@ -24,17 +26,35 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	delta := flag.Bool("delta", false, "also run the standalone iceberg δ measurement")
+	drv := results.NewDriver("table3", nil)
 	flag.Parse()
+	if err := drv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "table3: %v\n", err)
+		os.Exit(1)
+	}
+	defer drv.Close()
 
 	rows, err := mosaic.Table3(mosaic.Table3Options{
 		MemoryMiB: *memory,
 		Runs:      *runs,
 		MaxRefs:   *maxRefs,
 		Seed:      *seed,
+		Progress:  drv.Progress(),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "table3: %v\n", err)
 		os.Exit(1)
+	}
+	out := results.New("table3")
+	out.Config = map[string]any{
+		"memory_mib": *memory, "runs": *runs, "maxrefs": *maxRefs, "seed": *seed, "delta": *delta,
+	}
+	for _, r := range rows {
+		key := fmt.Sprintf("table3.%s.fp%.0f.", results.Sanitize(r.Workload), r.FootprintMiB)
+		out.SetMetric(key+"first_conflict", r.FirstConflict)
+		out.SetMetric(key+"first_conflict_sd", r.FirstConflictSD)
+		out.SetMetric(key+"steady", r.Steady)
+		out.SetMetric(key+"steady_sd", r.SteadySD)
 	}
 	tb := stats.NewTable(
 		fmt.Sprintf("Table 3: memory utilization under mosaic allocation (%d MiB pool, %d runs)", *memory, *runs),
@@ -51,20 +71,31 @@ func main() {
 		fmt.Println(tb.String())
 	}
 
+	drv.Stepf("table3: linux swap-onset baseline")
 	onset, err := mosaic.LinuxSwapOnset(*memory, "btree", *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "table3: %v\n", err)
 		os.Exit(1)
 	}
+	out.SetMetric("table3.linux.swap_onset", onset)
 	fmt.Printf("Linux (vanilla) baseline begins swapping at %.2f%% utilization (paper: ≈99.2%%).\n\n", 100*onset)
 
 	if *delta {
+		drv.Stepf("table3: standalone iceberg delta")
 		res, err := mosaic.IcebergDelta(mosaic.IcebergDeltaOptions{Seed: *seed})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "table3: %v\n", err)
 			os.Exit(1)
 		}
+		out.SetMetric("table3.iceberg.delta.mean", res.Mean)
+		out.SetMetric("table3.iceberg.delta.sd", res.SD)
+		out.SetMetric("table3.iceberg.delta.min", res.Min)
+		out.SetMetric("table3.iceberg.delta.max", res.Max)
 		fmt.Printf("Standalone iceberg δ: first conflict at %.2f%% ±%.2f load (min %.2f%%, max %.2f%%, %d trials; paper: ≈98.03%%).\n",
 			100*res.Mean, 100*res.SD, 100*res.Min, 100*res.Max, res.Trials)
+	}
+	if err := drv.Finish(out); err != nil {
+		fmt.Fprintf(os.Stderr, "table3: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -5,20 +5,29 @@
 //
 // Usage:
 //
-//	table5 [-csv]
+//	table5 [-csv] [-json] [-o path] [-cpuprofile path]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"mosaic"
+	"mosaic/internal/results"
 	"mosaic/internal/stats"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	drv := results.NewDriver("table5", nil)
 	flag.Parse()
+	if err := drv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "table5: %v\n", err)
+		os.Exit(1)
+	}
+	defer drv.Close()
+	out := results.New("table5")
 
 	fpga := stats.NewTable(
 		"Table 5: tabulation-hash circuit on an Artix-7 FPGA",
@@ -26,6 +35,11 @@ func main() {
 	for _, r := range mosaic.Table5() {
 		fpga.AddRow(r.HashOutputs, r.LUTs, r.Registers, r.F7Muxes, r.F8Muxes,
 			fmt.Sprintf("%.3f", r.LatencyNs), fmt.Sprintf("%.0f", r.FmaxMHz))
+		key := fmt.Sprintf("table5.fpga.h%d.", r.HashOutputs)
+		out.SetMetric(key+"luts", float64(r.LUTs))
+		out.SetMetric(key+"registers", float64(r.Registers))
+		out.SetMetric(key+"latency_ns", r.LatencyNs)
+		out.SetMetric(key+"fmax_mhz", r.FmaxMHz)
 	}
 
 	asic := stats.NewTable(
@@ -35,15 +49,23 @@ func main() {
 		asic.AddRow(r.HashOutputs, fmt.Sprintf("%.3f", r.AreaKGE),
 			fmt.Sprintf("%.0f", r.LatencyPs), fmt.Sprintf("%.0f", r.SlackPs),
 			fmt.Sprintf("%.2f", r.FmaxGHz))
+		key := fmt.Sprintf("table5.asic.h%d.", r.HashOutputs)
+		out.SetMetric(key+"area_kge", r.AreaKGE)
+		out.SetMetric(key+"latency_ps", r.LatencyPs)
+		out.SetMetric(key+"fmax_ghz", r.FmaxGHz)
 	}
 
 	if *csv {
 		fmt.Print(fpga.CSV())
 		fmt.Print(asic.CSV())
-		return
+	} else {
+		fmt.Println(fpga.String())
+		fmt.Println(asic.String())
+		fmt.Println("Latency is independent of H: probe outputs are selected by muxes off the")
+		fmt.Println("critical path, so extra hash functions cost area but not clock rate (§4.4).")
 	}
-	fmt.Println(fpga.String())
-	fmt.Println(asic.String())
-	fmt.Println("Latency is independent of H: probe outputs are selected by muxes off the")
-	fmt.Println("critical path, so extra hash functions cost area but not clock rate (§4.4).")
+	if err := drv.Finish(out); err != nil {
+		fmt.Fprintf(os.Stderr, "table5: %v\n", err)
+		os.Exit(1)
+	}
 }

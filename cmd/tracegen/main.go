@@ -17,8 +17,11 @@ import (
 
 	"mosaic"
 	"mosaic/internal/core"
+	"mosaic/internal/obs"
 	"mosaic/internal/trace"
 )
+
+var progress *obs.Progress
 
 func main() {
 	workload := flag.String("workload", "", "workload to capture (graph500, btree, gups, xsbench)")
@@ -30,7 +33,18 @@ func main() {
 	arity := flag.Int("arity", 4, "mosaic arity for replay")
 	seed := flag.Uint64("seed", 1, "random seed")
 	statsOnly := flag.Bool("stats", false, "summarize the stream without writing a file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		stop, err := obs.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer stop()
+	}
+	progress = obs.NewProgress(true)
+	defer progress.Done()
 
 	switch {
 	case *replay != "":
@@ -56,6 +70,9 @@ func capture(name string, footprint, maxRefs, seed uint64, out string, statsOnly
 	var counter trace.Counter
 	sinks := []trace.Sink{&counter, trace.SinkFunc(func(va uint64, _ bool) {
 		pages[core.VPNOf(va)] = true
+		if counter.Total()%(1<<20) == 0 {
+			progress.Stepf("tracegen %s: %d M refs captured", name, counter.Total()>>20)
+		}
 	})}
 
 	var tw *trace.Writer
@@ -73,6 +90,7 @@ func capture(name string, footprint, maxRefs, seed uint64, out string, statsOnly
 	}
 
 	mosaic.RunLimited(w, trace.Tee(sinks...), maxRefs)
+	progress.Done()
 	fmt.Printf("%s: %d refs (%d reads, %d writes), %d pages touched, footprint %d MiB\n",
 		name, counter.Total(), counter.Reads, counter.Writes, len(pages), w.FootprintBytes()>>20)
 	if tw != nil {
@@ -109,10 +127,12 @@ func replayTrace(path string, entries, arity int) error {
 	if err != nil {
 		return err
 	}
+	progress.Stepf("tracegen: replaying %s", path)
 	n, err := tr.ReplayAll(sim)
 	if err != nil {
 		return err
 	}
+	progress.Done()
 	fmt.Printf("replayed %d refs through a %d-entry 8-way TLB:\n", n, entries)
 	for _, r := range sim.Results() {
 		fmt.Printf("  %-10s misses=%d (%.3f%% miss rate)\n",

@@ -3,6 +3,7 @@ package mosaic
 import (
 	"fmt"
 
+	"mosaic/internal/obs"
 	"mosaic/internal/tlb"
 	"mosaic/internal/trace"
 )
@@ -67,6 +68,13 @@ type Figure6Options struct {
 	// Frames is the simulated DRAM size (default 4× footprint, so Figure 6
 	// measures TLB behaviour without memory pressure, as in the paper).
 	Frames int
+	// SampleEvery, when positive, attaches the observability bundle to the
+	// fully-associative point (the last Ways entry) and records windowed
+	// time series every SampleEvery references into Result.Series/Events.
+	// Only one point is sampled so the sweep itself stays unperturbed.
+	SampleEvery uint64
+	// Progress, when non-nil, receives a live status line per sweep point.
+	Progress *obs.Progress
 }
 
 func (o *Figure6Options) applyDefaults() error {
@@ -110,6 +118,10 @@ type Figure6Result struct {
 	// Refs is the number of references simulated per associativity point.
 	Refs  uint64
 	Cells []Figure6Cell
+	// Series and Events hold the time-series samples and structured events
+	// from the fully-associative point; nil unless Options.SampleEvery > 0.
+	Series []obs.Series
+	Events []obs.Event
 }
 
 // MissesFor returns the miss count of a (ways, label) cell.
@@ -131,7 +143,8 @@ func Figure6(opt Figure6Options) (Figure6Result, error) {
 		return Figure6Result{}, err
 	}
 	res := Figure6Result{Workload: opt.Workload}
-	for _, ways := range opt.Ways {
+	for wi, ways := range opt.Ways {
+		opt.Progress.Stepf("fig6 %s: point %d/%d (%d-way)", opt.Workload, wi+1, len(opt.Ways), ways)
 		specs := []TLBSpec{{Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: ways}}}
 		for _, c := range opt.Coalesce {
 			specs = append(specs, TLBSpec{
@@ -145,7 +158,11 @@ func Figure6(opt Figure6Options) (Figure6Result, error) {
 				Arity:    a,
 			})
 		}
-		sim, err := NewSimulator(SimConfig{Frames: opt.Frames, Specs: specs, Seed: opt.Seed})
+		var ob *obs.Observer
+		if opt.SampleEvery > 0 && wi == len(opt.Ways)-1 {
+			ob = obs.NewObserver(opt.SampleEvery)
+		}
+		sim, err := NewSimulator(SimConfig{Frames: opt.Frames, Specs: specs, Seed: opt.Seed, Obs: ob})
 		if err != nil {
 			return Figure6Result{}, err
 		}
@@ -167,6 +184,11 @@ func Figure6(opt Figure6Options) (Figure6Result, error) {
 				Label: r.Spec.Label(),
 				Stats: r.TLB,
 			})
+		}
+		if ob != nil {
+			sim.FinalizeMetrics()
+			res.Series = sim.Sampler().Series()
+			res.Events = ob.Events.Events()
 		}
 	}
 	return res, nil

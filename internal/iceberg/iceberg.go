@@ -25,6 +25,7 @@ import (
 	"hash/maphash"
 
 	"mosaic/internal/core"
+	"mosaic/internal/obs"
 )
 
 // ErrConflict is returned by Put when every candidate slot for the key is
@@ -60,6 +61,11 @@ type Table[K comparable, V any] struct {
 	backTot int
 
 	scratch []uint64
+
+	// Optional instrumentation (Instrument); nil handles cost one compare.
+	cFront    *obs.Counter
+	cBack     *obs.Counter
+	cConflict *obs.Counter
 }
 
 // New creates a table with at least capacity slots using the given geometry
@@ -127,6 +133,16 @@ func (t *Table[K, V]) BackyardLen() int { return t.backTot }
 
 // Geometry returns the table's bucket geometry.
 func (t *Table[K, V]) Geometry() core.Geometry { return t.geom }
+
+// Instrument mirrors insertion outcomes into a metrics registry:
+// iceberg.put.frontyard and iceberg.put.backyard count where new keys
+// landed (the backyard share is the o(1/log log n) quantity iceberg's
+// analysis bounds), iceberg.put.conflict counts failed insertions.
+func (t *Table[K, V]) Instrument(r *obs.Registry) {
+	t.cFront = r.Counter("iceberg.put.frontyard")
+	t.cBack = r.Counter("iceberg.put.backyard")
+	t.cConflict = r.Counter("iceberg.put.conflict")
+}
 
 func (t *Table[K, V]) buckets(key K) []uint64 {
 	for fn := range t.scratch {
@@ -210,6 +226,9 @@ func (t *Table[K, V]) PutSlot(key K, val V) (core.CPFN, error) {
 		t.frontKeys[idx], t.frontVals[idx], t.frontUsed[idx] = key, val, true
 		t.frontLen[bk[0]]++
 		t.len++
+		if t.cFront != nil {
+			t.cFront.Inc()
+		}
 		return t.geom.FrontyardCPFN(firstFree), nil
 	}
 
@@ -221,6 +240,9 @@ func (t *Table[K, V]) PutSlot(key K, val V) (core.CPFN, error) {
 		}
 	}
 	if bestLen >= b {
+		if t.cConflict != nil {
+			t.cConflict.Inc()
+		}
 		var zero core.CPFN
 		return zero, fmt.Errorf("%w (frontyard bucket %d and %d backyard choices full)",
 			ErrConflict, bk[0], t.geom.Choices)
@@ -232,6 +254,9 @@ func (t *Table[K, V]) PutSlot(key K, val V) (core.CPFN, error) {
 			t.backLen[bk[1+best]]++
 			t.backTot++
 			t.len++
+			if t.cBack != nil {
+				t.cBack.Inc()
+			}
 			return t.geom.BackyardCPFN(best, s), nil
 		}
 	}

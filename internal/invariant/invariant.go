@@ -36,20 +36,28 @@ func (v Violation) String() string { return v.Rule + ": " + v.Detail }
 // Report accumulates violations from one or more checkers.
 type Report struct {
 	violations []Violation
+	checks     int
 }
 
 // Violatef records a violation of rule.
 func (r *Report) Violatef(rule, format string, args ...any) {
+	r.checks++
 	r.violations = append(r.violations, Violation{Rule: rule, Detail: fmt.Sprintf(format, args...)})
 }
 
 // Checkf records a violation of rule unless cond holds, and reports cond.
 func (r *Report) Checkf(cond bool, rule, format string, args ...any) bool {
 	if !cond {
-		r.Violatef(rule, format, args...)
+		r.Violatef(rule, format, args...) // Violatef counts the check
+		return false
 	}
-	return cond
+	r.checks++
+	return true
 }
+
+// Checks is the number of individual checks evaluated — telemetry for
+// "how much did this invariant pass actually look at".
+func (r *Report) Checks() int { return r.checks }
 
 // OK reports whether no violation has been recorded.
 func (r *Report) OK() bool { return len(r.violations) == 0 }

@@ -15,6 +15,8 @@
 //     confined to internal/core and internal/alloc.
 //   - errdrop:    error returns from the alloc, iceberg, and swap APIs
 //     must not be silently discarded.
+//   - obsnames:   constant metric names handed to internal/obs must be
+//     lowercase dotted identifiers (the registry's grammar).
 //
 // A finding can be suppressed with a directive comment on the same line or
 // the line above:
@@ -48,7 +50,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in output order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, NoPanic, CPFNBounds, ErrDrop}
+	return []*Analyzer{DetRand, NoPanic, CPFNBounds, ErrDrop, ObsNames}
 }
 
 // A Diagnostic is one finding at a source position.

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestObsNames(t *testing.T) {
+	checkFixture(t, ObsNames, "obsnames", "mosaic/internal/fixture")
+}

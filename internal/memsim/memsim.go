@@ -18,12 +18,13 @@ package memsim
 
 import (
 	"fmt"
+	"strings"
 
 	"mosaic/internal/cache"
 	"mosaic/internal/core"
 	"mosaic/internal/invariant"
+	"mosaic/internal/obs"
 	"mosaic/internal/pagetable"
-	"mosaic/internal/stats"
 	"mosaic/internal/tlb"
 	"mosaic/internal/trace"
 	"mosaic/internal/vm"
@@ -81,6 +82,12 @@ type Config struct {
 	// debug mode for long simulations. Any violation panics with the full
 	// report, stopping the run at the first reference that broke state.
 	CheckEvery uint64
+	// Obs supplies the observability bundle. The registry is shared with
+	// the underlying vm.System (one namespace per run); when the bundle
+	// carries a Sampler, the simulator registers its time-series probes on
+	// it and ticks it once per data reference. Nil disables sampling and
+	// events; metrics still work through a private registry.
+	Obs *obs.Observer
 }
 
 // Result is the outcome of one TLB design point after a run.
@@ -147,8 +154,17 @@ type Simulator struct {
 	mosaicPTs  map[ptKey]*pagetable.Mosaic
 	arities    map[int]bool
 	paAlloc    pagetable.PAAllocator
-	counters   *stats.Counters
 	path       []uint64
+
+	// Observability: instrument handles on the hot paths, plus the
+	// optional sampler (nil = one pointer compare per reference) and
+	// event log.
+	metrics    *obs.Registry
+	sampler    *obs.Sampler
+	events     *obs.EventLog
+	cShootdown *obs.Counter // tlb.shootdown
+	cFlush     *obs.Counter // tlb.flush
+	finalized  bool
 
 	// Invariant checking (Config.CheckEvery).
 	sinceCheck  uint64
@@ -175,7 +191,7 @@ func New(cfg Config) (*Simulator, error) {
 	if len(cfg.Specs) == 0 {
 		return nil, fmt.Errorf("memsim: config needs at least one TLB spec")
 	}
-	osys, err := vm.New(vm.Config{Frames: cfg.Frames, Mode: vm.ModeMosaic, Seed: cfg.Seed})
+	osys, err := vm.New(vm.Config{Frames: cfg.Frames, Mode: vm.ModeMosaic, Seed: cfg.Seed, Obs: cfg.Obs})
 	if err != nil {
 		return nil, err
 	}
@@ -183,10 +199,16 @@ func New(cfg Config) (*Simulator, error) {
 		cfg:         cfg,
 		os:          osys,
 		mosaicPTs:   make(map[ptKey]*pagetable.Mosaic),
-		counters:    stats.NewCounters(),
+		metrics:     osys.Metrics(), // one namespace shared with the OS layer
 		clockMono:   invariant.NewMonotone("memsim.clock-monotone"),
 		horizonMono: invariant.NewMonotone("memsim.horizon-monotone"),
 	}
+	if cfg.Obs != nil {
+		s.sampler = cfg.Obs.Sampler
+		s.events = cfg.Obs.Events
+	}
+	s.cShootdown = s.metrics.Counter("tlb.shootdown")
+	s.cFlush = s.metrics.Counter("tlb.flush")
 	// Page-table nodes live above the workload's physical frames so walk
 	// traffic and data traffic never alias in the caches.
 	ptBase := uint64(cfg.Frames) * core.PageSize
@@ -227,14 +249,116 @@ func New(cfg Config) (*Simulator, error) {
 		s.units = append(s.units, u)
 	}
 	osys.OnEvict(s.onEvict)
+	if s.sampler != nil {
+		s.registerProbes()
+	}
 	return s, nil
+}
+
+// slug maps a TLB spec label to a metric-name segment ("Mosaic-4" →
+// "mosaic_4") so per-unit series and counters get lawful dotted names.
+func slug(label string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(label) {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func (u *unit) stats() tlb.Stats {
+	switch {
+	case u.vanilla != nil:
+		return u.vanilla.Stats()
+	case u.coalesced != nil:
+		return u.coalesced.Stats()
+	default:
+		return u.mosaic.Stats()
+	}
+}
+
+// registerProbes wires the time-series sampler to live simulator state:
+// per-unit TLB hit rate and walk latency, per-unit per-level cache MPKI,
+// iceberg slot occupancy by level, memory utilization and ghost pressure,
+// and swap/fault activity. Ratio probes are windowed (delta-based), so each
+// point reflects that window alone, not the run-so-far average.
+func (s *Simulator) registerProbes() {
+	sp := s.sampler
+	for _, u := range s.units {
+		u := u
+		p := "tlb." + slug(u.spec.Label())
+		sp.Ratio(p+".hit_rate", 1,
+			func() float64 { return float64(u.stats().Hits) },
+			func() float64 { return float64(u.stats().Lookups()) })
+		if u.caches != nil {
+			sp.Ratio(p+".walk_latency", 1,
+				func() float64 { return float64(u.walkCycles) },
+				func() float64 { return float64(u.walks) })
+			for _, l := range u.caches.Levels() {
+				l := l
+				sp.Ratio("cache."+slug(u.spec.Label())+"."+slug(l.Config().Name)+".mpki", 1000,
+					func() float64 { return float64(l.Stats().Misses) },
+					func() float64 { return float64(s.os.Clock()) })
+			}
+		}
+	}
+	if mem := s.os.Allocator(); mem != nil {
+		geom := mem.Geometry()
+		frontCap := float64(mem.NumBuckets()) * float64(geom.FrontyardSize)
+		backCap := float64(mem.NumBuckets()) * float64(geom.BackyardSize)
+		sp.Gauge("iceberg.frontyard.occupancy", func() float64 { return float64(mem.FrontyardUsed()) / frontCap })
+		sp.Gauge("iceberg.backyard.occupancy", func() float64 { return float64(mem.BackyardUsed()) / backCap })
+		sp.Gauge("vm.ghost.fraction", func() float64 {
+			return float64(s.os.GhostCount()) / float64(mem.NumFrames())
+		})
+	}
+	sp.Gauge("vm.utilization", s.os.Utilization)
+	sp.Rate("swap.io.rate", func() float64 { return float64(s.os.Device().TotalIO()) })
+	minor := s.metrics.Counter("vm.fault.minor")
+	major := s.metrics.Counter("vm.fault.major")
+	sp.Rate("vm.fault.rate", func() float64 { return float64(minor.Value() + major.Value()) })
 }
 
 // OS exposes the underlying vm.System (swap counters, utilization, …).
 func (s *Simulator) OS() *vm.System { return s.os }
 
-// Counters exposes simulator-level counters.
-func (s *Simulator) Counters() *stats.Counters { return s.counters }
+// Metrics exposes the run's instrument registry (shared with the OS
+// layer): tlb.shootdown, tlb.flush, the vm.* counters, and — after
+// FinalizeMetrics — the per-unit tlb.<design>.* breakdown.
+func (s *Simulator) Metrics() *obs.Registry { return s.metrics }
+
+// Sampler exposes the time-series sampler, nil when sampling is disabled.
+func (s *Simulator) Sampler() *obs.Sampler { return s.sampler }
+
+// FinalizeMetrics records each unit's end-of-run TLB breakdown and walk
+// totals into the registry (tlb.<design>.hit, .miss, .walk.refs, …) and
+// flushes any partial sampler window. It is idempotent: only the first
+// call records.
+func (s *Simulator) FinalizeMetrics() *obs.Registry {
+	if s.finalized {
+		return s.metrics
+	}
+	s.finalized = true
+	for _, u := range s.units {
+		p := "tlb." + slug(u.spec.Label())
+		u.stats().Record(s.metrics, p)
+		s.metrics.Counter(p + ".walk.count").Add(u.walks)
+		s.metrics.Counter(p + ".walk.refs").Add(u.walkRefs)
+		if u.pwc != nil {
+			s.metrics.Counter(p + ".walk.pwc_hits").Add(u.pwcHits)
+		}
+		if u.caches != nil {
+			s.metrics.Counter(p + ".walk.cycles").Add(u.walkCycles)
+		}
+	}
+	if s.sampler != nil {
+		s.sampler.Flush()
+	}
+	return s.metrics
+}
 
 // vanillaPT returns (creating if needed) the ASID's conventional page table.
 func (s *Simulator) vanillaPT(asid core.ASID) *pagetable.Vanilla {
@@ -262,7 +386,7 @@ func (s *Simulator) mosaicPT(asid core.ASID, arity int) *pagetable.Mosaic {
 // page's leaf entry is cleared and the TLBs shoot down the mapping — for a
 // mosaic TLB only the sub-page entry, per §3.1.
 func (s *Simulator) onEvict(asid core.ASID, vpn core.VPN) {
-	s.counters.Inc("shootdowns")
+	s.cShootdown.Inc()
 	if pt, ok := s.vanillaPTs[asid]; ok {
 		pt.Unset(vpn)
 	}
@@ -287,7 +411,13 @@ func (s *Simulator) onEvict(asid core.ASID, vpn core.VPN) {
 // FlushTLBs invalidates every entry of every TLB unit — the cost of a
 // context switch without ASID tagging.
 func (s *Simulator) FlushTLBs() {
-	s.counters.Inc("flushes")
+	s.cFlush.Inc()
+	if s.events != nil {
+		s.events.Emit(obs.Event{
+			Ref: s.os.Clock(), Component: "memsim", Kind: "tlb.flush", Severity: obs.Info,
+			Message: "full TLB flush (untagged context switch)",
+		})
+	}
 	for _, u := range s.units {
 		switch {
 		case u.vanilla != nil:
@@ -347,6 +477,9 @@ func (s *Simulator) AccessFrom(asid core.ASID, va uint64, write bool) {
 			s.mustCheck()
 		}
 	}
+	if s.sampler != nil {
+		s.sampler.Tick()
+	}
 }
 
 // mustCheck runs CheckInvariants and panics on any violation — the
@@ -357,6 +490,12 @@ func (s *Simulator) mustCheck() {
 	s.CheckInvariants(&r)
 	if err := r.Err(); err != nil {
 		panic("memsim: " + err.Error())
+	}
+	if s.events != nil {
+		s.events.Emit(obs.Event{
+			Ref: s.os.Clock(), Component: "memsim", Kind: "invariant.pass", Severity: obs.Info,
+			Fields: map[string]float64{"checks": float64(r.Checks())},
+		})
 	}
 }
 

@@ -124,7 +124,7 @@ func TestEvictionShootdownKeepsCoherence(t *testing.T) {
 	if s.OS().Device().PageOuts() == 0 {
 		t.Fatal("no evictions despite oversubscription")
 	}
-	if s.Counters().Get("shootdowns") == 0 {
+	if s.Metrics().CounterValue("tlb.shootdown") == 0 {
 		t.Fatal("no shootdowns recorded")
 	}
 	// After the run, every resident page must still walk successfully —

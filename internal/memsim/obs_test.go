@@ -1,0 +1,143 @@
+package memsim
+
+import (
+	"testing"
+
+	"mosaic/internal/core"
+	"mosaic/internal/obs"
+	"mosaic/internal/workloads"
+)
+
+// TestObservabilityEndToEnd drives a small simulation with the full
+// observer bundle attached and checks that every layer reported in:
+// shared vm.* counters, sampler series for each unit, finalized
+// tlb.<design>.* breakdowns, and at least one structured event.
+func TestObservabilityEndToEnd(t *testing.T) {
+	ob := obs.NewObserver(256)
+	s := newSim(t, Config{
+		Frames:     1 << 16,
+		Specs:      specs(64, 8, 4),
+		CheckEvery: 512,
+		Obs:        ob,
+	})
+	const refs = 2048
+	for i := 0; i < refs; i++ {
+		s.Access(uint64(workloads.DefaultHeapBase)+uint64(i%256)*core.PageSize, false)
+	}
+	m := s.FinalizeMetrics()
+
+	if got := m.CounterValue("vm.access"); got != refs {
+		t.Errorf("vm.access = %d, want %d", got, refs)
+	}
+	if m.CounterValue("vm.fault.minor") == 0 {
+		t.Error("vm.fault.minor = 0, want > 0 (cold pages were touched)")
+	}
+
+	// Finalized per-unit breakdown, one namespace per design point.
+	for _, p := range []string{"tlb.vanilla", "tlb.mosaic_4"} {
+		hits, misses := m.CounterValue(p+".hit"), m.CounterValue(p+".miss")
+		if hits+misses != refs {
+			t.Errorf("%s: hit+miss = %d, want %d", p, hits+misses, refs)
+		}
+	}
+
+	// Sampler recorded full windows for every per-unit probe.
+	sp := s.Sampler()
+	if sp == nil {
+		t.Fatal("Sampler() = nil with observer attached")
+	}
+	if sp.Refs() != refs {
+		t.Errorf("sampler refs = %d, want %d", sp.Refs(), refs)
+	}
+	series := make(map[string]obs.Series)
+	for _, sr := range sp.Series() {
+		series[sr.Name] = sr
+	}
+	for _, name := range []string{"tlb.vanilla.hit_rate", "tlb.mosaic_4.hit_rate", "vm.utilization", "vm.fault.rate"} {
+		sr, ok := series[name]
+		if !ok {
+			t.Errorf("sampler missing series %q", name)
+			continue
+		}
+		if len(sr.Values) != refs/256 {
+			t.Errorf("%s: %d points, want %d", name, len(sr.Values), refs/256)
+		}
+	}
+	// The second round re-touches the same 256 pages; mosaic-4's window
+	// hit rate must reach 1 at some point while vanilla (64-entry reach
+	// over a 256-page set) keeps missing.
+	mhr := series["tlb.mosaic_4.hit_rate"].Values
+	if mhr[len(mhr)-1] != 1 {
+		t.Errorf("mosaic_4 final window hit rate = %v, want 1", mhr[len(mhr)-1])
+	}
+
+	// CheckEvery fired 4 times; each pass logs an invariant.pass event.
+	var passes int
+	for _, e := range ob.Events.Events() {
+		if e.Kind == "invariant.pass" {
+			passes++
+			if e.Fields["checks"] <= 0 {
+				t.Errorf("invariant.pass event with %v checks", e.Fields["checks"])
+			}
+		}
+	}
+	if passes != refs/512 {
+		t.Errorf("invariant.pass events = %d, want %d", passes, refs/512)
+	}
+}
+
+// TestFinalizeMetricsIdempotent guards against double-counting when a
+// driver calls FinalizeMetrics more than once (e.g. once for the JSON
+// result and once for the text table).
+func TestFinalizeMetricsIdempotent(t *testing.T) {
+	s := newSim(t, Config{Frames: 1 << 16, Specs: specs(64, 8)})
+	for i := 0; i < 100; i++ {
+		s.Access(uint64(workloads.DefaultHeapBase)+uint64(i)*core.PageSize, false)
+	}
+	first := s.FinalizeMetrics().CounterValue("tlb.vanilla.miss")
+	second := s.FinalizeMetrics().CounterValue("tlb.vanilla.miss")
+	if first == 0 || first != second {
+		t.Errorf("tlb.vanilla.miss after 1st/2nd finalize = %d/%d, want equal and nonzero", first, second)
+	}
+}
+
+// TestHotPathZeroAllocs pins the acceptance criterion that the
+// per-reference path allocates nothing once the working set is faulted
+// in and no sampler/event log is attached (the default for library use).
+func TestHotPathZeroAllocs(t *testing.T) {
+	s := newSim(t, Config{Frames: 1 << 16, Specs: specs(64, 8, 4)})
+	const pages = 64
+	for p := 0; p < pages; p++ {
+		s.Access(uint64(workloads.DefaultHeapBase)+uint64(p)*core.PageSize, false)
+	}
+	var p int
+	avg := testing.AllocsPerRun(1000, func() {
+		s.Access(uint64(workloads.DefaultHeapBase)+uint64(p%pages)*core.PageSize, false)
+		p++
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Access allocates %v objects/op, want 0", avg)
+	}
+}
+
+// Paired benchmarks for the sampler-overhead acceptance criterion:
+// compare ns/op of BenchmarkAccessSampled (default fig6 cadence) against
+// BenchmarkAccessNoObs. The delta must stay within ~5%.
+func benchAccess(b *testing.B, ob *obs.Observer) {
+	s, err := New(Config{Frames: 1 << 16, Specs: specs(64, 8, 4), Obs: ob})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pages = 512
+	for p := 0; p < pages; p++ {
+		s.Access(uint64(workloads.DefaultHeapBase)+uint64(p)*core.PageSize, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Access(uint64(workloads.DefaultHeapBase)+uint64(i%pages)*core.PageSize, false)
+	}
+}
+
+func BenchmarkAccessNoObs(b *testing.B)   { benchAccess(b, nil) }
+func BenchmarkAccessSampled(b *testing.B) { benchAccess(b, obs.NewObserver(65536)) }

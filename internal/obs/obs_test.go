@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestValidName(t *testing.T) {
+	valid := []string{"tlb.miss", "vm.fault.minor", "iceberg.backyard.occupancy", "a.b", "x1.y_2"}
+	for _, n := range valid {
+		if !ValidName(n) {
+			t.Errorf("ValidName(%q) = false, want true", n)
+		}
+	}
+	invalid := []string{"", "tlb", "Tlb.miss", "tlb.Miss", "tlb..miss", ".miss", "tlb.", "tlb miss", "1tlb.miss", "tlb.9miss", "tlb-miss.x"}
+	for _, n := range invalid {
+		if ValidName(n) {
+			t.Errorf("ValidName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	var g Gauge
+	g.Set(0.75)
+	if g.Value() != 0.75 {
+		t.Fatalf("gauge = %v, want 0.75", g.Value())
+	}
+}
+
+// TestHistogramBucketBoundaries pins the log-bucket layout: bucket 0 holds
+// only zero, bucket k holds [2^(k-1), 2^k).
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 10, 11}, {1<<11 - 1, 11},
+		{math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Boundary values land in distinct adjacent buckets.
+	for k := 1; k < 64; k++ {
+		lo := uint64(1) << uint(k-1)
+		if bucketOf(lo) != k {
+			t.Errorf("bucketOf(2^%d) = %d, want %d", k-1, bucketOf(lo), k)
+		}
+		if bucketOf(lo-1) != k-1 && lo-1 != 0 {
+			// lo-1 has one fewer bit unless it's zero.
+			t.Errorf("bucketOf(2^%d - 1) = %d, want %d", k-1, bucketOf(lo-1), k-1)
+		}
+	}
+	// bucketBounds round-trips bucketOf: every sample's bucket bounds
+	// contain the sample.
+	for _, v := range []uint64{0, 1, 2, 3, 5, 100, 1 << 20, 1<<40 + 17} {
+		b := bucketOf(v)
+		lo, hi := bucketBounds(b)
+		if b == 0 {
+			if v != 0 {
+				t.Errorf("bucket 0 holds %d, want only 0", v)
+			}
+			continue
+		}
+		if float64(v) < lo || float64(v) >= hi {
+			t.Errorf("value %d in bucket %d outside bounds [%v, %v)", v, b, lo, hi)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 4, 8, 16} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 || s.Sum != 31 || s.Min != 0 || s.Max != 16 {
+		t.Fatalf("snapshot = count %d sum %d min %d max %d", s.Count, s.Sum, s.Min, s.Max)
+	}
+	if got := s.Mean(); got != 31.0/6.0 {
+		t.Errorf("mean = %v, want %v", got, 31.0/6.0)
+	}
+	if q := s.Quantile(0); q != 0 {
+		t.Errorf("q0 = %v, want 0 (min)", q)
+	}
+	if q := s.Quantile(1); q != 16 {
+		t.Errorf("q1 = %v, want 16 (max)", q)
+	}
+	q50 := s.Quantile(0.5)
+	if q50 < 1 || q50 > 4 {
+		t.Errorf("p50 = %v, want within [1, 4]", q50)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Snapshot().Quantile(0.5); !math.IsNaN(q) {
+		t.Fatalf("empty quantile = %v, want NaN", q)
+	}
+	if m := h.Snapshot().Mean(); m != 0 {
+		t.Fatalf("empty mean = %v, want 0", m)
+	}
+}
+
+// TestHistogramMergeProperty is the satellite-mandated property: merging
+// the snapshots of two streams equals the snapshot of the combined stream.
+func TestHistogramMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var a, b, both Histogram
+		nA, nB := rng.Intn(200), rng.Intn(200)
+		for i := 0; i < nA; i++ {
+			v := uint64(rng.Int63n(1 << uint(1+rng.Intn(40))))
+			a.Observe(v)
+			both.Observe(v)
+		}
+		for i := 0; i < nB; i++ {
+			v := uint64(rng.Int63n(1 << uint(1+rng.Intn(40))))
+			b.Observe(v)
+			both.Observe(v)
+		}
+		merged := a.Snapshot().Merge(b.Snapshot())
+		want := both.Snapshot()
+		if merged != want {
+			t.Fatalf("trial %d (nA=%d nB=%d): merged snapshot %+v != combined-stream snapshot %+v",
+				trial, nA, nB, merged, want)
+		}
+	}
+}
+
+func TestHistogramMergeEmptySides(t *testing.T) {
+	var empty, full Histogram
+	full.Observe(3)
+	full.Observe(9)
+	want := full.Snapshot()
+	if got := empty.Snapshot().Merge(full.Snapshot()); got != want {
+		t.Errorf("empty.Merge(full) = %+v, want %+v", got, want)
+	}
+	if got := full.Snapshot().Merge(empty.Snapshot()); got != want {
+		t.Errorf("full.Merge(empty) = %+v, want %+v", got, want)
+	}
+	if got := empty.Snapshot().Merge(empty.Snapshot()); got.Count != 0 {
+		t.Errorf("empty.Merge(empty).Count = %d, want 0", got.Count)
+	}
+}
+
+func TestRegistryHandlesAndValues(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tlb.miss")
+	c.Add(7)
+	if r.Counter("tlb.miss") != c {
+		t.Fatal("second Counter lookup returned a different handle")
+	}
+	if got := r.CounterValue("tlb.miss"); got != 7 {
+		t.Fatalf("CounterValue = %d, want 7", got)
+	}
+	if got := r.CounterValue("no.such"); got != 0 {
+		t.Fatalf("missing CounterValue = %d, want 0", got)
+	}
+	r.Gauge("vm.utilization").Set(0.9)
+	if got := r.GaugeValue("vm.utilization"); got != 0.9 {
+		t.Fatalf("GaugeValue = %v, want 0.9", got)
+	}
+	r.Histogram("walk.latency").Observe(12)
+	names := r.Names()
+	want := []string{"tlb.miss", "vm.utilization", "walk.latency"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	mustPanic("bad name", func() { r.Counter("BadName") })
+	mustPanic("single segment", func() { r.Counter("tlb") })
+	r.Counter("tlb.miss")
+	mustPanic("kind conflict gauge", func() { r.Gauge("tlb.miss") })
+	mustPanic("kind conflict hist", func() { r.Histogram("tlb.miss") })
+}
+
+func TestSnapshotMergeAndFlatten(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("tlb.miss").Add(10)
+	r1.Gauge("vm.utilization").Set(0.5)
+	r1.Histogram("walk.latency").Observe(4)
+
+	r2 := NewRegistry()
+	r2.Counter("tlb.miss").Add(5)
+	r2.Counter("tlb.flush").Add(1)
+	r2.Gauge("vm.utilization").Set(0.8)
+	r2.Histogram("walk.latency").Observe(16)
+
+	m := r1.Snapshot().Merge(r2.Snapshot())
+	if m.Counters["tlb.miss"] != 15 {
+		t.Errorf("merged tlb.miss = %d, want 15", m.Counters["tlb.miss"])
+	}
+	if m.Counters["tlb.flush"] != 1 {
+		t.Errorf("merged tlb.flush = %d, want 1", m.Counters["tlb.flush"])
+	}
+	if m.Gauges["vm.utilization"] != 0.8 {
+		t.Errorf("merged gauge = %v, want last-writer 0.8", m.Gauges["vm.utilization"])
+	}
+	if h := m.Histograms["walk.latency"]; h.Count != 2 || h.Sum != 20 {
+		t.Errorf("merged histogram = %+v, want count 2 sum 20", h)
+	}
+
+	flat := m.Flatten()
+	byName := map[string]float64{}
+	for i := 1; i < len(flat); i++ {
+		if flat[i-1].Name >= flat[i].Name {
+			t.Errorf("Flatten not sorted: %q before %q", flat[i-1].Name, flat[i].Name)
+		}
+	}
+	for _, nv := range flat {
+		byName[nv.Name] = nv.Value
+	}
+	if byName["tlb.miss"] != 15 {
+		t.Errorf("flattened tlb.miss = %v, want 15", byName["tlb.miss"])
+	}
+	if byName["walk.latency.count"] != 2 {
+		t.Errorf("flattened walk.latency.count = %v, want 2", byName["walk.latency.count"])
+	}
+	if byName["walk.latency.mean"] != 10 {
+		t.Errorf("flattened walk.latency.mean = %v, want 10", byName["walk.latency.mean"])
+	}
+	if _, ok := byName["walk.latency.p99"]; !ok {
+		t.Error("flattened snapshot missing walk.latency.p99")
+	}
+}
+
+func TestEventLogRingAndJSONL(t *testing.T) {
+	var sb strings.Builder
+	l := NewEventLog(&sb)
+	l.SetCap(3)
+	for i := 0; i < 5; i++ {
+		l.Emit(Event{Ref: uint64(i), Component: "vm", Kind: "horizon.advance", Severity: Info})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("ring len = %d, want 3", l.Len())
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", l.Dropped())
+	}
+	evs := l.Events()
+	if evs[0].Ref != 2 || evs[2].Ref != 4 {
+		t.Fatalf("retained refs = [%d..%d], want [2..4]", evs[0].Ref, evs[2].Ref)
+	}
+	// Every event reached the JSONL stream despite ring eviction.
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("JSONL lines = %d, want 5", len(lines))
+	}
+	if !strings.Contains(lines[0], `"kind":"horizon.advance"`) {
+		t.Errorf("JSONL line missing kind: %s", lines[0])
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("unexpected stream error: %v", err)
+	}
+}
+
+func TestEventNonFiniteFieldsRenderNull(t *testing.T) {
+	var sb strings.Builder
+	l := NewEventLog(&sb)
+	l.Emit(Event{Ref: 1, Component: "x", Kind: "a.b", Severity: Warn,
+		Fields: map[string]float64{"bad": math.Inf(-1), "good": 2}})
+	line := sb.String()
+	if !strings.Contains(line, `"bad":null`) {
+		t.Errorf("non-finite field not rendered as null: %s", line)
+	}
+	if !strings.Contains(line, `"good":2`) {
+		t.Errorf("finite field mangled: %s", line)
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit(Event{Kind: "a.b"}) // must not panic
+	if l.Len() != 0 || l.Dropped() != 0 || l.Events() != nil || l.Err() != nil {
+		t.Fatal("nil EventLog accessors should all be zero")
+	}
+	var o *Observer
+	o.Emit(Event{Kind: "a.b"}) // must not panic
+	if o.Registry() != nil {
+		t.Fatal("nil Observer.Registry should be nil")
+	}
+}
+
+func TestNewObserver(t *testing.T) {
+	o := NewObserver(1000)
+	if o.Metrics == nil || o.Events == nil || o.Sampler == nil {
+		t.Fatal("NewObserver(1000) should populate all three facilities")
+	}
+	if o.Sampler.Every() != 1000 {
+		t.Fatalf("sampler cadence = %d, want 1000", o.Sampler.Every())
+	}
+	o2 := NewObserver(0)
+	if o2.Sampler != nil {
+		t.Fatal("NewObserver(0) should leave the sampler nil")
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+)
+
+// Progress renders a single live status line, rewritten in place with a
+// carriage return. It only writes when the destination is an interactive
+// terminal, so redirected runs and CI logs stay clean. All methods are
+// nil-safe: drivers that run quiet hold a nil *Progress.
+type Progress struct {
+	w     io.Writer
+	wrote bool
+}
+
+// NewProgress returns a Progress writing to stderr, or nil when stderr is
+// not a terminal (or the caller asked for quiet output).
+func NewProgress(enabled bool) *Progress {
+	if !enabled || !isTerminal(os.Stderr) {
+		return nil
+	}
+	return &Progress{w: os.Stderr}
+}
+
+// isTerminal reports whether f is an interactive terminal (character
+// device). Good enough for "suppress the progress line under redirection"
+// without a terminfo dependency.
+func isTerminal(f *os.File) bool {
+	info, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}
+
+// Stepf rewrites the live line; nil-safe.
+func (p *Progress) Stepf(format string, args ...any) {
+	if p == nil {
+		return
+	}
+	// Erase-to-end first so a shorter message fully replaces a longer one.
+	fmt.Fprintf(p.w, "\r\x1b[K"+format, args...)
+	p.wrote = true
+}
+
+// Done clears the live line so the next regular print starts clean; nil-safe.
+func (p *Progress) Done() {
+	if p == nil || !p.wrote {
+		return
+	}
+	fmt.Fprint(p.w, "\r\x1b[K")
+	p.wrote = false
+}
+
+// StartCPUProfile begins a CPU profile to the named file and returns a stop
+// function that ends the profile and closes the file. Every cmd/* driver
+// wires this to a -cpuprofile flag.
+func StartCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to the named file. Drivers wire
+// this to a -memprofile flag, invoked after the run completes.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create heap profile: %w", err)
+	}
+	defer f.Close()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: write heap profile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package results
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mosaic/internal/obs"
+)
+
+// Driver bundles the observability plumbing shared by every experiment
+// command: machine-readable result output (-json/-o), CPU profiling
+// (-cpuprofile), and a live progress line on stderr. Typical use:
+//
+//	d := results.NewDriver("fig6", nil)
+//	flag.Parse()
+//	defer d.Close()
+//	d.Start()
+//	...
+//	d.Stepf("graph500: ways 3/5")
+//	...
+//	d.Finish(file)
+type Driver struct {
+	experiment string
+
+	// JSON requests a results/<experiment>.json twin of the text output.
+	JSON bool
+	// Out overrides the JSON path (implies JSON).
+	Out string
+	// CPUProfile, when set, writes a pprof CPU profile for the whole run.
+	CPUProfile string
+
+	progress *obs.Progress
+	stopProf func()
+}
+
+// NewDriver registers the shared flags on fs (flag.CommandLine when nil)
+// and returns the driver. Call Start after flag parsing.
+func NewDriver(experiment string, fs *flag.FlagSet) *Driver {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	d := &Driver{experiment: experiment}
+	fs.BoolVar(&d.JSON, "json", false,
+		fmt.Sprintf("also write a schema-versioned results/%s.json", experiment))
+	fs.StringVar(&d.Out, "o", "", "path for the JSON result (implies -json)")
+	fs.StringVar(&d.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	return d
+}
+
+// WantJSON reports whether a JSON result was requested, so drivers can
+// enable sampling only when its output has somewhere to go.
+func (d *Driver) WantJSON() bool { return d.JSON || d.Out != "" }
+
+// Path is where Finish will write the JSON result.
+func (d *Driver) Path() string {
+	if d.Out != "" {
+		return d.Out
+	}
+	return filepath.Join("results", d.experiment+".json")
+}
+
+// Start begins CPU profiling (if requested) and enables the progress
+// line. Call it once, after flags are parsed.
+func (d *Driver) Start() error {
+	d.progress = obs.NewProgress(true)
+	if d.CPUProfile != "" {
+		stop, err := obs.StartCPUProfile(d.CPUProfile)
+		if err != nil {
+			return err
+		}
+		d.stopProf = stop
+	}
+	return nil
+}
+
+// Progress exposes the live progress line (nil when stderr is not a
+// terminal; all its methods are nil-safe).
+func (d *Driver) Progress() *obs.Progress { return d.progress }
+
+// Stepf updates the progress line.
+func (d *Driver) Stepf(format string, args ...any) { d.progress.Stepf(format, args...) }
+
+// Finish clears the progress line, stops profiling, and writes the JSON
+// result when one was requested (f may be nil when the driver produced
+// nothing to record).
+func (d *Driver) Finish(f *File) error {
+	d.progress.Done()
+	d.Close()
+	if f == nil || !d.WantJSON() {
+		return nil
+	}
+	path := d.Path()
+	if err := Write(path, f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// Close stops the CPU profile if it is still running. Safe to call more
+// than once; deferred by drivers so a mid-run error still flushes the
+// profile.
+func (d *Driver) Close() {
+	if d.stopProf != nil {
+		d.stopProf()
+		d.stopProf = nil
+	}
+}

@@ -120,7 +120,10 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{title: title, headers: headers}
 }
 
-// AddRow appends a row; cells are formatted with %v.
+// AddRow appends a row; cells are formatted with %v. A row with more cells
+// than the table has headers is clamped to the header count, with the last
+// kept cell replaced by an error marker — a malformed row must never crash
+// the experiment harness mid-run.
 func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
@@ -130,6 +133,11 @@ func (t *Table) AddRow(cells ...any) {
 		default:
 			row[i] = fmt.Sprintf("%v", c)
 		}
+	}
+	if n := len(t.headers); n > 0 && len(row) > n {
+		extra := len(row) - n
+		row = row[:n]
+		row[n-1] = fmt.Sprintf("!ERR(+%d cells)", extra)
 	}
 	t.rows = append(t.rows, row)
 }
@@ -166,7 +174,13 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			// Defense in depth alongside the AddRow clamp: a cell beyond the
+			// header count renders unpadded rather than indexing out of range.
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, cell)
 		}
 		b.WriteByte('\n')
 	}
@@ -236,12 +250,15 @@ func Percentiles(samples []float64, ps ...float64) []float64 {
 
 // PercentChange returns the percent reduction from base to x, matching the
 // "Difference (%)" column of Table 4: positive means x is smaller (better).
+// A zero base with a nonzero x has no meaningful percentage; it returns NaN
+// ("no observation"), which the JSON results layer renders as null rather
+// than poisoning the encoder with an infinity.
 func PercentChange(base, x float64) float64 {
 	if base == 0 {
 		if x == 0 {
 			return 0
 		}
-		return math.Inf(-1)
+		return math.NaN()
 	}
 	return (base - x) / base * 100
 }

@@ -148,7 +148,38 @@ func TestPercentChange(t *testing.T) {
 			t.Errorf("PercentChange(%v,%v) = %v, want %v", tc.base, tc.x, got, tc.want)
 		}
 	}
-	if got := PercentChange(0, 5); !math.IsInf(got, -1) {
-		t.Errorf("PercentChange(0,5) = %v, want -Inf", got)
+	// Zero base with nonzero x has no meaningful percentage: NaN, never an
+	// infinity that would poison JSON encoding downstream.
+	if got := PercentChange(0, 5); !math.IsNaN(got) {
+		t.Errorf("PercentChange(0,5) = %v, want NaN", got)
+	}
+	if got := PercentChange(0, -5); !math.IsNaN(got) {
+		t.Errorf("PercentChange(0,-5) = %v, want NaN", got)
+	}
+}
+
+func TestTableOverflowRowDoesNotPanic(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x", "y", "z", "w") // two more cells than headers
+	tb.AddRow("p")                // short rows remain fine
+	out := tb.String()            // must not panic
+	if !strings.Contains(out, "!ERR(+2 cells)") {
+		t.Errorf("overflow row not error-marked:\n%s", out)
+	}
+	if strings.Contains(out, "z") || strings.Contains(out, "w") {
+		t.Errorf("overflow cells should be clamped away:\n%s", out)
+	}
+	csv := tb.CSV() // must not panic either
+	if !strings.Contains(csv, "!ERR(+2 cells)") {
+		t.Errorf("CSV lost the error marker:\n%s", csv)
+	}
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	tb := NewTable("", []string{}...)
+	tb.AddRow("x", "y")
+	out := tb.String() // headerless tables render unpadded, no panic
+	if !strings.Contains(out, "x") || !strings.Contains(out, "y") {
+		t.Errorf("headerless table dropped cells:\n%s", out)
 	}
 }

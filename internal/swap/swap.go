@@ -30,6 +30,7 @@ import (
 
 	"mosaic/internal/alloc"
 	"mosaic/internal/core"
+	"mosaic/internal/obs"
 )
 
 // Device models a swap device (the paper uses a 4 GiB ramdisk). It tracks
@@ -38,6 +39,9 @@ type Device struct {
 	swapped  map[alloc.Owner]bool
 	pageOuts uint64
 	pageIns  uint64
+
+	cOut *obs.Counter
+	cIn  *obs.Counter
 }
 
 // NewDevice creates an empty swap device.
@@ -45,10 +49,20 @@ func NewDevice() *Device {
 	return &Device{swapped: make(map[alloc.Owner]bool)}
 }
 
+// Instrument mirrors the device's I/O counts into a metrics registry as
+// swap.out and swap.in. Without it, the plain accessors still work.
+func (d *Device) Instrument(r *obs.Registry) {
+	d.cOut = r.Counter("swap.out")
+	d.cIn = r.Counter("swap.in")
+}
+
 // PageOut records page being written to swap.
 func (d *Device) PageOut(page alloc.Owner) {
 	d.swapped[page] = true
 	d.pageOuts++
+	if d.cOut != nil {
+		d.cOut.Inc()
+	}
 }
 
 // PageIn records page being read back from swap. It reports whether the
@@ -59,6 +73,9 @@ func (d *Device) PageIn(page alloc.Owner) bool {
 	}
 	delete(d.swapped, page)
 	d.pageIns++
+	if d.cIn != nil {
+		d.cIn.Inc()
+	}
 	return true
 }
 

@@ -1,0 +1,18 @@
+package tlb
+
+import "mosaic/internal/obs"
+
+// Record mirrors the final hit/miss breakdown into a metrics registry under
+// the given dotted prefix (e.g. "tlb.mosaic_4"), producing <prefix>.hit,
+// <prefix>.miss, <prefix>.miss.entry, <prefix>.miss.sub, <prefix>.evict,
+// and a <prefix>.miss_rate gauge. The simulator calls this once per unit
+// when a run finishes; per-lookup counting stays in the Stats struct fields
+// (plain integer adds, the hot path).
+func (s Stats) Record(r *obs.Registry, prefix string) {
+	r.Counter(prefix + ".hit").Add(s.Hits)
+	r.Counter(prefix + ".miss").Add(s.Misses)
+	r.Counter(prefix + ".miss.entry").Add(s.EntryMisses)
+	r.Counter(prefix + ".miss.sub").Add(s.SubMisses)
+	r.Counter(prefix + ".evict").Add(s.Evictions)
+	r.Gauge(prefix + ".miss_rate").Set(s.MissRate())
+}

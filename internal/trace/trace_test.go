@@ -18,6 +18,59 @@ func TestSinkHelpers(t *testing.T) {
 	}
 }
 
+func TestTeeFanOutOrder(t *testing.T) {
+	// Every sink sees every reference, in sink order per reference — the
+	// property memsim's dual-TLB methodology and tracegen's capture path
+	// both depend on.
+	var got []int
+	mk := func(id int) Sink {
+		return SinkFunc(func(va uint64, write bool) {
+			got = append(got, id)
+			if va != 42 || !write {
+				t.Errorf("sink %d saw (%d, %v)", id, va, write)
+			}
+		})
+	}
+	tee := Tee(mk(0), mk(1), mk(2))
+	tee.Access(42, true)
+	tee.Access(42, true)
+	want := []int{0, 1, 2, 0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("deliveries = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("deliveries = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTeeEmpty(t *testing.T) {
+	// A tee with no sinks is a valid discard.
+	Tee().Access(7, false)
+}
+
+func TestCounterClassifiesReadsAndWrites(t *testing.T) {
+	var c Counter
+	rng := rand.New(rand.NewSource(3))
+	var reads, writes uint64
+	for i := 0; i < 1000; i++ {
+		w := rng.Intn(2) == 1
+		if w {
+			writes++
+		} else {
+			reads++
+		}
+		c.Access(rng.Uint64(), w)
+	}
+	if c.Reads != reads || c.Writes != writes {
+		t.Errorf("counter = %+v, want reads=%d writes=%d", c, reads, writes)
+	}
+	if c.Total() != reads+writes {
+		t.Errorf("Total() = %d, want %d", c.Total(), reads+writes)
+	}
+}
+
 func TestLimiter(t *testing.T) {
 	var c Counter
 	l := &Limiter{Next: &c, N: 3}

@@ -78,7 +78,7 @@ func (s *System) ForkCopy(parent, child core.ASID) (ForkStats, error) {
 			cpg := &page{}
 			cas.private[vpn] = cpg
 			s.fillPage(child, vpn, cpg, true) // the copy dirties the new frame
-			s.counters.Inc("fork-copies")
+			s.cForkCopy.Inc()
 			st.CopiedPages++
 		case pageSwapped:
 			s.dev.Clone(

@@ -155,7 +155,7 @@ func TestDifferentialModelMosaic(t *testing.T) {
 		t.Fatal(err)
 	}
 	runDifferential(t, s, 40000, 3, 800)
-	if s.Counters().Get("conflicts") == 0 {
+	if s.Metrics().CounterValue("vm.conflict") == 0 {
 		t.Error("differential run exercised no associativity conflicts")
 	}
 }

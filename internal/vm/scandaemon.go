@@ -58,7 +58,7 @@ func (sc *scanState) sampled(pfn core.PFN) bool {
 func (s *System) runScan() {
 	sc := s.scan
 	sc.scans++
-	s.counters.Inc("daemon-scans")
+	s.cDaemonScan.Inc()
 	for pfn := 0; pfn < s.mem.NumFrames(); pfn++ {
 		_, _, _, used := s.mem.FrameInfo(core.PFN(pfn))
 		if !used {

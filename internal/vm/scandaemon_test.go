@@ -21,7 +21,7 @@ func TestScanModeRunsDaemon(t *testing.T) {
 	for v := core.VPN(0); v < 400; v++ {
 		s.Touch(1, v, true)
 	}
-	if s.Counters().Get("daemon-scans") == 0 {
+	if s.Metrics().CounterValue("vm.scan.daemon") == 0 {
 		t.Fatal("daemon never ran")
 	}
 }
@@ -75,7 +75,7 @@ func TestScanModeStillCorrect(t *testing.T) {
 		t.Fatal(err)
 	}
 	runDifferential(t, s, 30000, 8, 800)
-	if s.Counters().Get("daemon-scans") == 0 {
+	if s.Metrics().CounterValue("vm.scan.daemon") == 0 {
 		t.Error("no scans during differential run")
 	}
 }

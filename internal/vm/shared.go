@@ -120,7 +120,7 @@ func (s *System) touchShared(ref sharedRef, write bool) AccessResult {
 		s.touchFrame(pg.pfn, write)
 		return Hit
 	case pageSwapped:
-		s.counters.Inc("major-faults")
+		s.cMajorFault.Inc()
 		if !s.dev.PageIn(owner) {
 			//lint:ignore nopanic every shared page marked pageSwapped was handed to the device by recordEviction
 			panic("vm: swapped shared page missing from swap device")
@@ -128,7 +128,7 @@ func (s *System) touchShared(ref sharedRef, write bool) AccessResult {
 		s.fillSharedPage(owner, pg, write)
 		return MajorFault
 	default:
-		s.counters.Inc("minor-faults")
+		s.cMinorFault.Inc()
 		s.fillSharedPage(owner, pg, write)
 		return MinorFault
 	}

@@ -29,7 +29,7 @@ import (
 
 	"mosaic/internal/alloc"
 	"mosaic/internal/core"
-	"mosaic/internal/stats"
+	"mosaic/internal/obs"
 	"mosaic/internal/swap"
 	"mosaic/internal/xxhash"
 )
@@ -107,6 +107,10 @@ type Config struct {
 	// timestamps (with the prototype's hot-page 20% sampling). Mosaic mode
 	// only. Zero (default) keeps exact timestamps.
 	ScanInterval uint64
+	// Obs supplies the observability bundle (metrics registry and event
+	// log). When nil, the system creates a private registry so counters
+	// always work; events are simply not recorded.
+	Obs *obs.Observer
 }
 
 func (c *Config) applyDefaults() error {
@@ -223,8 +227,26 @@ type System struct {
 	regions map[uint32]*SharedRegion
 	nextRID uint32
 
-	clock    uint64
-	counters *stats.Counters
+	clock uint64
+
+	// Observability: a registry of typed instruments plus direct handles
+	// for the hot-path counters (one integer add per event, no lookups),
+	// and an optional structured event log for rare transitions.
+	metrics *obs.Registry
+	events  *obs.EventLog
+
+	cAccess        *obs.Counter // vm.access
+	cMinorFault    *obs.Counter // vm.fault.minor
+	cMajorFault    *obs.Counter // vm.fault.major
+	cConflict      *obs.Counter // vm.conflict
+	cGhostReclaim  *obs.Counter // vm.ghost.reclaim
+	cEvict         *obs.Counter // vm.evict
+	cConflictEvict *obs.Counter // vm.evict.conflict
+	cReclaim       *obs.Counter // vm.reclaim
+	cDaemonScan    *obs.Counter // vm.scan.daemon
+	cForkCopy      *obs.Counter // vm.fork.copy
+
+	storm stormState
 
 	firstConflictUtil float64
 	sawConflict       bool
@@ -242,13 +264,30 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		cfg:      cfg,
-		mode:     cfg.Mode,
-		dev:      swap.NewDevice(),
-		spaces:   make(map[core.ASID]*AddressSpace),
-		regions:  make(map[uint32]*SharedRegion),
-		counters: stats.NewCounters(),
+		cfg:     cfg,
+		mode:    cfg.Mode,
+		dev:     swap.NewDevice(),
+		spaces:  make(map[core.ASID]*AddressSpace),
+		regions: make(map[uint32]*SharedRegion),
 	}
+	if cfg.Obs != nil {
+		s.metrics = cfg.Obs.Metrics
+		s.events = cfg.Obs.Events
+	}
+	if s.metrics == nil {
+		s.metrics = obs.NewRegistry()
+	}
+	s.cAccess = s.metrics.Counter("vm.access")
+	s.cMinorFault = s.metrics.Counter("vm.fault.minor")
+	s.cMajorFault = s.metrics.Counter("vm.fault.major")
+	s.cConflict = s.metrics.Counter("vm.conflict")
+	s.cGhostReclaim = s.metrics.Counter("vm.ghost.reclaim")
+	s.cEvict = s.metrics.Counter("vm.evict")
+	s.cConflictEvict = s.metrics.Counter("vm.evict.conflict")
+	s.cReclaim = s.metrics.Counter("vm.reclaim")
+	s.cDaemonScan = s.metrics.Counter("vm.scan.daemon")
+	s.cForkCopy = s.metrics.Counter("vm.fork.copy")
+	s.dev.Instrument(s.metrics)
 	switch cfg.Mode {
 	case ModeMosaic:
 		s.mem = alloc.NewMemory(cfg.Frames, cfg.Geometry, cfg.Hash)
@@ -314,9 +353,15 @@ func (s *System) Clock() uint64 { return s.clock }
 // Device exposes the swap device for I/O accounting.
 func (s *System) Device() *swap.Device { return s.dev }
 
-// Counters exposes the event counters: accesses, minor-faults, major-faults,
-// conflicts, ghost-reclaims, evictions.
-func (s *System) Counters() *stats.Counters { return s.counters }
+// Metrics exposes the instrument registry. The system's counters are
+// vm.access, vm.fault.minor, vm.fault.major, vm.conflict, vm.ghost.reclaim,
+// vm.evict, vm.evict.conflict, vm.reclaim, vm.scan.daemon, vm.fork.copy,
+// plus the swap device's swap.out and swap.in.
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// Allocator exposes the iceberg-constrained allocator (mosaic mode only;
+// nil in vanilla mode) so samplers can probe slot occupancy by level.
+func (s *System) Allocator() *alloc.Memory { return s.mem }
 
 // Horizon reports the Horizon LRU ghost threshold (mosaic mode; zero
 // otherwise).
@@ -363,7 +408,7 @@ func (s *System) Space(asid core.ASID) *AddressSpace {
 // Touch performs one memory access: demand paging, swap-in, recency update.
 func (s *System) Touch(asid core.ASID, vpn core.VPN, write bool) AccessResult {
 	s.clock++
-	s.counters.Inc("accesses")
+	s.cAccess.Inc()
 	if s.scan != nil && s.clock%s.scan.interval == 0 {
 		s.runScan()
 	}
@@ -377,7 +422,7 @@ func (s *System) Touch(asid core.ASID, vpn core.VPN, write bool) AccessResult {
 	if !ok {
 		pg = &page{}
 		as.private[vpn] = pg
-		s.counters.Inc("minor-faults")
+		s.cMinorFault.Inc()
 		s.fillPage(asid, vpn, pg, write)
 		return MinorFault
 	}
@@ -386,7 +431,7 @@ func (s *System) Touch(asid core.ASID, vpn core.VPN, write bool) AccessResult {
 		s.touchFrame(pg.pfn, write)
 		return Hit
 	case pageSwapped:
-		s.counters.Inc("major-faults")
+		s.cMajorFault.Inc()
 		if !s.dev.PageIn(alloc.Owner{ASID: asid, VPN: vpn}) {
 			//lint:ignore nopanic every page marked pageSwapped was handed to the device by recordEviction
 			panic("vm: swapped page missing from swap device")
@@ -455,7 +500,7 @@ func (s *System) allocateMosaic(asid core.ASID, vpn core.VPN) (core.PFN, core.CP
 		if p.Evicted != nil {
 			// A ghost's frame was reclaimed: the ghost now really leaves
 			// memory, which is when its swap-out happens.
-			s.counters.Inc("ghost-reclaims")
+			s.cGhostReclaim.Inc()
 			s.recordEviction(*p.Evicted)
 		}
 		return p.PFN, p.CPFN
@@ -467,10 +512,17 @@ func (s *System) allocateMosaic(asid core.ASID, vpn core.VPN) (core.PFN, core.CP
 	// Associativity conflict (§2.4): evict the LRU page among the
 	// candidates, raise the horizon to its access time (ghosting every
 	// older page globally), and take over the victim's slot.
-	s.counters.Inc("conflicts")
+	s.cConflict.Inc()
 	if !s.sawConflict {
 		s.sawConflict = true
 		s.firstConflictUtil = s.mem.Utilization()
+		if s.events != nil {
+			s.events.Emit(obs.Event{
+				Ref: s.clock, Component: "vm", Kind: "conflict.first", Severity: obs.Info,
+				Message: "first associativity conflict (1-delta of Table 3)",
+				Fields:  map[string]float64{"utilization": s.firstConflictUtil},
+			})
+		}
 	}
 	cands := s.mem.Candidates(asid, vpn, s.candScratch)
 	victim, ok := s.hlru.PickVictim(cands)
@@ -479,10 +531,17 @@ func (s *System) allocateMosaic(asid core.ASID, vpn core.VPN) (core.PFN, core.CP
 		panic("vm: conflict with no occupied candidates")
 	}
 	if !s.cfg.DisableHorizon {
+		before := s.hlru.Horizon()
 		s.hlru.NoteEviction(victim.LastAccess)
+		if after := s.hlru.Horizon(); after > before && s.events != nil {
+			s.events.Emit(obs.Event{
+				Ref: s.clock, Component: "vm", Kind: "horizon.advance", Severity: obs.Info,
+				Fields: map[string]float64{"from": float64(before), "to": float64(after)},
+			})
+		}
 	}
 	owner := s.mem.Evict(victim.PFN)
-	s.counters.Inc("conflict-evictions")
+	s.cConflictEvict.Inc()
 	s.recordEviction(owner)
 	p = s.mem.PlaceAt(asid, vpn, victim.CPFN, s.clock)
 	return p.PFN, p.CPFN
@@ -515,7 +574,7 @@ func (s *System) reclaimOneVanilla() {
 	victim := s.policy.Victim()
 	s.policy.OnRemove(victim)
 	owner := s.umem.Evict(victim)
-	s.counters.Inc("reclaims")
+	s.cReclaim.Inc()
 	s.recordEviction(owner)
 }
 
@@ -525,10 +584,51 @@ func (s *System) reclaimOneVanilla() {
 // (0xFFFFFFFF) with a synthetic VPN.
 func (s *System) OnEvict(fn func(asid core.ASID, vpn core.VPN)) { s.evictHook = fn }
 
+// Eviction-storm detection: stormThreshold evictions within one
+// stormWindow of the access clock is thrashing-grade pressure worth a
+// structured warning (once per window, not once per eviction).
+const (
+	stormWindow    = 1024
+	stormThreshold = 64
+)
+
+type stormState struct {
+	windowStart uint64
+	count       uint64
+	warned      bool
+}
+
+// noteEvictionStorm advances the storm window and emits at most one warning
+// per window once the threshold is crossed.
+func (s *System) noteEvictionStorm() {
+	st := &s.storm
+	if s.clock-st.windowStart >= stormWindow {
+		st.windowStart = s.clock
+		st.count = 0
+		st.warned = false
+	}
+	st.count++
+	if st.count >= stormThreshold && !st.warned {
+		st.warned = true
+		s.events.Emit(obs.Event{
+			Ref: s.clock, Component: "vm", Kind: "eviction.storm", Severity: obs.Warn,
+			Message: "eviction rate at thrashing levels",
+			Fields: map[string]float64{
+				"evictions":   float64(st.count),
+				"window_refs": float64(stormWindow),
+				"utilization": s.Utilization(),
+			},
+		})
+	}
+}
+
 // recordEviction pushes an evicted page to the swap device and updates the
 // owning address space (or shared region).
 func (s *System) recordEviction(owner alloc.Owner) {
-	s.counters.Inc("evictions")
+	s.cEvict.Inc()
+	if s.events != nil {
+		s.noteEvictionStorm()
+	}
 	if s.evictHook != nil {
 		s.evictHook(owner.ASID, owner.VPN)
 	}

@@ -61,8 +61,8 @@ func TestDemandPagingBasics(t *testing.T) {
 			if _, ok := s.Translate(1, 100); !ok {
 				t.Error("Translate failed for resident page")
 			}
-			if s.Counters().Get("accesses") != 2 || s.Counters().Get("minor-faults") != 1 {
-				t.Errorf("counters: %s", s.Counters())
+			if s.Metrics().CounterValue("vm.access") != 2 || s.Metrics().CounterValue("vm.fault.minor") != 1 {
+				t.Errorf("access=%d minor-faults=%d", s.Metrics().CounterValue("vm.access"), s.Metrics().CounterValue("vm.fault.minor"))
 			}
 			if s.Device().TotalIO() != 0 {
 				t.Error("demand-zero faulting performed swap I/O")
@@ -165,7 +165,7 @@ func TestGhostRevivalIsFree(t *testing.T) {
 	for {
 		s.Touch(1, vpn, true)
 		vpn++
-		if s.Counters().Get("conflicts") >= 3 {
+		if s.Metrics().CounterValue("vm.conflict") >= 3 {
 			break
 		}
 	}
@@ -206,7 +206,7 @@ func TestEvictionAccountingConsistent(t *testing.T) {
 			for i := 0; i < 30000; i++ {
 				s.Touch(1, core.VPN(rng.Intn(6000)), rng.Intn(2) == 0)
 			}
-			if got, want := s.Counters().Get("evictions"), s.Device().PageOuts(); got != want {
+			if got, want := s.Metrics().CounterValue("vm.evict"), s.Device().PageOuts(); got != want {
 				t.Errorf("evictions=%d, page-outs=%d", got, want)
 			}
 			if s.Used() > s.NumFrames() {

@@ -102,6 +102,50 @@ func TestFigure6Shape(t *testing.T) {
 	}
 }
 
+func TestFigure6Sampling(t *testing.T) {
+	opts := Figure6Options{
+		Workload:       "gups",
+		FootprintBytes: 8 << 20,
+		MaxRefs:        200_000,
+		TLBEntries:     256,
+		Ways:           []int{1, 256},
+		Arities:        []int{4},
+		Seed:           7,
+		SampleEvery:    50_000,
+	}
+	res, err := Figure6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("SampleEvery > 0 produced no series")
+	}
+	names := map[string]int{}
+	for _, s := range res.Series {
+		names[s.Name] = len(s.Values)
+	}
+	for _, want := range []string{"tlb.vanilla.hit_rate", "tlb.mosaic_4.hit_rate", "vm.utilization"} {
+		if pts := names[want]; pts != 4 {
+			t.Errorf("series %q has %d points, want 4 (series: %v)", want, pts, names)
+		}
+	}
+	// Sampling must not perturb the sweep: the unsampled run produces
+	// bit-identical miss counts.
+	opts.SampleEvery = 0
+	plain, err := Figure6(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Series != nil {
+		t.Error("unsampled run still carries series")
+	}
+	for i, c := range plain.Cells {
+		if res.Cells[i] != c {
+			t.Errorf("cell %d diverged with sampling: %+v vs %+v", i, res.Cells[i], c)
+		}
+	}
+}
+
 func TestFigure6DirectMappedMosaicBeatsFullVanilla(t *testing.T) {
 	// §4.1: "a direct-mapped Mosaic-8 TLB outperforms a fully associative
 	// vanilla TLB" on the TLB-bound workloads.

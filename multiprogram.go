@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"mosaic/internal/obs"
 	"mosaic/internal/trace"
 )
 
@@ -40,6 +41,8 @@ type MultiprogramOptions struct {
 	FlushOnSwitch bool
 	// Seed drives the workloads.
 	Seed uint64
+	// Progress, when non-nil, receives a live status line per stage.
+	Progress *obs.Progress
 }
 
 func (o *MultiprogramOptions) applyDefaults() error {
@@ -103,6 +106,7 @@ func Multiprogram(opt MultiprogramOptions) ([]MultiprogramResult, uint64, error)
 	streams := make([]*bytes.Buffer, len(opt.Workloads))
 	var refs []uint64
 	for i, name := range opt.Workloads {
+		opt.Progress.Stepf("multiprog: capturing %s (%d/%d)", name, i+1, len(opt.Workloads))
 		w, err := NewWorkload(name, opt.FootprintBytes, opt.Seed+uint64(i)*977)
 		if err != nil {
 			return nil, 0, err
@@ -123,6 +127,7 @@ func Multiprogram(opt MultiprogramOptions) ([]MultiprogramResult, uint64, error)
 	// Solo baselines: each process alone on a fresh simulator.
 	solo := make(map[string]uint64)
 	for i := range streams {
+		opt.Progress.Stepf("multiprog: solo baseline %s (%d/%d)", opt.Workloads[i], i+1, len(streams))
 		sim, err := NewSimulator(SimConfig{Frames: framesFor(opt), Specs: specs, Seed: opt.Seed})
 		if err != nil {
 			return nil, 0, err
@@ -148,6 +153,7 @@ func Multiprogram(opt MultiprogramOptions) ([]MultiprogramResult, uint64, error)
 		}
 		readers[i] = r
 	}
+	opt.Progress.Stepf("multiprog: shared run (%d streams, %d-ref quanta)", len(readers), opt.QuantumRefs)
 	live := len(readers)
 	for live > 0 {
 		live = 0

@@ -124,7 +124,7 @@ func TestFlushTLBs(t *testing.T) {
 			t.Errorf("%s: hits = %d, want 1", r.Spec.Label(), r.TLB.Hits)
 		}
 	}
-	if sim.Counters().Get("flushes") != 1 {
-		t.Errorf("flush counter = %d", sim.Counters().Get("flushes"))
+	if sim.Metrics().CounterValue("tlb.flush") != 1 {
+		t.Errorf("flush counter = %d", sim.Metrics().CounterValue("tlb.flush"))
 	}
 }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench.sh — benchmark the instrumented hot paths and record the numbers
+# as schema-versioned JSON so regressions diff mechanically:
+#
+#   scripts/bench.sh                 # writes BENCH_obs.json at the repo root
+#   BENCHTIME=2s scripts/bench.sh    # longer, steadier runs
+#
+# The suite covers the per-reference simulator path with observability
+# off and on (internal/memsim BenchmarkAccess*) and the sampler tick
+# itself (internal/obs BenchmarkSampler*). Compare two runs with
+# `go run ./cmd/mosaicstat bench BENCH_obs.json`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_obs.json}"
+
+go test -run '^$' -bench 'BenchmarkAccess|BenchmarkSampler' -benchmem \
+	-benchtime "${BENCHTIME:-1s}" ./internal/memsim ./internal/obs |
+	tee /dev/stderr |
+	go run ./cmd/mosaicstat bench -parse -o "$out"

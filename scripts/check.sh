@@ -12,3 +12,13 @@ go vet ./...
 go run ./cmd/mosaiclint ./...
 go test -race ./...
 go test -run='^$' -fuzz=Fuzz -fuzztime=3s ./internal/iceberg
+
+# Smoke-test the machine-readable results path: a tiny fig6 run must
+# produce JSON that parses and carries the current schema version
+# (results.Read rejects anything else), and mosaicstat must render it.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/fig6 -workload gups -footprint 8 -maxrefs 200000 \
+	-sample 50000 -o "$tmp/fig6-smoke.json" >/dev/null
+go run ./cmd/mosaicstat show "$tmp/fig6-smoke.json" >/dev/null
+go run ./cmd/mosaicstat diff "$tmp/fig6-smoke.json" "$tmp/fig6-smoke.json" >/dev/null

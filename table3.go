@@ -3,6 +3,7 @@ package mosaic
 import (
 	"fmt"
 
+	"mosaic/internal/obs"
 	"mosaic/internal/stats"
 	"mosaic/internal/trace"
 	"mosaic/internal/vm"
@@ -32,6 +33,8 @@ type Table3Options struct {
 	MaxRefs uint64
 	// Seed is the base seed; run r uses Seed+r.
 	Seed uint64
+	// Progress, when non-nil, receives a live status line per cell.
+	Progress *obs.Progress
 }
 
 func (o *Table3Options) applyDefaults() {
@@ -83,6 +86,8 @@ func Table3(opt Table3Options) ([]Table3Row, error) {
 		for _, name := range opt.Workloads {
 			var first, steady stats.Running
 			for run := 0; run < opt.Runs; run++ {
+				opt.Progress.Stepf("table3 %s @ %.0f MiB: run %d/%d",
+					name, float64(footprint)/(1<<20), run+1, opt.Runs)
 				seed := opt.Seed + uint64(run)*1009
 				sys, err := NewSystem(SystemConfig{Frames: frames, Mode: ModeMosaic, Seed: seed})
 				if err != nil {

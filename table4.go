@@ -1,6 +1,7 @@
 package mosaic
 
 import (
+	"mosaic/internal/obs"
 	"mosaic/internal/stats"
 )
 
@@ -20,6 +21,8 @@ type Table4Options struct {
 	Runs int
 	// Seed is the base seed.
 	Seed uint64
+	// Progress, when non-nil, receives a live status line per cell.
+	Progress *obs.Progress
 }
 
 func (o *Table4Options) applyDefaults() {
@@ -64,6 +67,8 @@ func Table4(opt Table4Options) ([]Table4Row, error) {
 			footprint := uint64(frac * float64(opt.MemoryMiB) * (1 << 20))
 			var linux, mosaic stats.Running
 			for run := 0; run < opt.Runs; run++ {
+				opt.Progress.Stepf("table4 %s @ %.0f MiB: run %d/%d",
+					name, float64(footprint)/(1<<20), run+1, opt.Runs)
 				seed := opt.Seed + uint64(run)*104729
 				lio, err := swapIO(ModeVanilla, frames, name, footprint, seed, opt.MaxRefs)
 				if err != nil {
