@@ -1,10 +1,12 @@
 package mosaic
 
 import (
+	"context"
 	"fmt"
 
 	"mosaic/internal/core"
 	"mosaic/internal/stats"
+	"mosaic/internal/sweep"
 	"mosaic/internal/tabhash"
 	"mosaic/internal/xxhash"
 )
@@ -52,24 +54,55 @@ func fillToConflict(frames int, geom Geometry, hash core.PlacementHash, seed uin
 	}
 }
 
-func sweepGeometry(label string, geom Geometry, hash func(seed uint64) core.PlacementHash,
-	frames, trials int, seed uint64) (AblateRow, error) {
-	var r stats.Running
-	for t := 0; t < trials; t++ {
-		s := seed + uint64(t)*6151
-		u, err := fillToConflict(frames, geom, hash(s), s)
-		if err != nil {
-			return AblateRow{}, fmt.Errorf("%s: %w", label, err)
+// geomCase is one geometry/hash setting of a utilization ablation.
+type geomCase struct {
+	label string
+	geom  Geometry
+	hash  func(seed uint64) core.PlacementHash
+}
+
+// sweepGeometries measures first-conflict utilization for every case,
+// fanning the flattened case × trial grid across workers goroutines (each
+// trial is an independent fill from its own seed) and folding trials back
+// per case in trial order, so means and stddevs match the sequential loop
+// bit for bit.
+func sweepGeometries(cases []geomCase, frames, trials int, seed uint64, workers int) ([]AblateRow, error) {
+	type cell struct{ c, t int }
+	cells := make([]cell, 0, len(cases)*trials)
+	for c := range cases {
+		for t := 0; t < trials; t++ {
+			cells = append(cells, cell{c, t})
 		}
-		r.Observe(u)
 	}
-	return AblateRow{
-		Label:           label,
-		Associativity:   geom.Associativity(),
-		CPFNBits:        geom.CPFNBits(),
-		FirstConflict:   r.Mean(),
-		FirstConflictSD: r.Stddev(),
-	}, nil
+	us, err := sweep.Run(context.Background(), cells,
+		func(_ context.Context, _ int, p cell) (float64, error) {
+			cs := cases[p.c]
+			s := seed + uint64(p.t)*6151
+			u, err := fillToConflict(frames, cs.geom, cs.hash(s), s)
+			if err != nil {
+				return 0, fmt.Errorf("%s: %w", cs.label, err)
+			}
+			return u, nil
+		},
+		sweep.Options{Workers: workers, Name: "ablate"})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblateRow, len(cases))
+	for ci, cs := range cases {
+		var r stats.Running
+		for t := 0; t < trials; t++ {
+			r.Observe(us[ci*trials+t])
+		}
+		rows[ci] = AblateRow{
+			Label:           cs.label,
+			Associativity:   cs.geom.Associativity(),
+			CPFNBits:        cs.geom.CPFNBits(),
+			FirstConflict:   r.Mean(),
+			FirstConflictSD: r.Stddev(),
+		}
+	}
+	return rows, nil
 }
 
 func xxPlacement(seed uint64) core.PlacementHash { return xxhash.NewPlacement(seed) }
@@ -77,7 +110,8 @@ func xxPlacement(seed uint64) core.PlacementHash { return xxhash.NewPlacement(se
 // AblateChoices sweeps the number of backyard choices d, holding the
 // 56/8 split fixed: how much does the power of d choices buy in
 // first-conflict utilization, and what does it cost in CPFN bits?
-func AblateChoices(ds []int, frames, trials int, seed uint64) ([]AblateRow, error) {
+// workers bounds the trial fan-out (0 = GOMAXPROCS, 1 = sequential).
+func AblateChoices(ds []int, frames, trials int, seed uint64, workers int) ([]AblateRow, error) {
 	if len(ds) == 0 {
 		ds = []int{1, 2, 4, 6, 8}
 	}
@@ -87,21 +121,20 @@ func AblateChoices(ds []int, frames, trials int, seed uint64) ([]AblateRow, erro
 	if trials == 0 {
 		trials = 5
 	}
-	var rows []AblateRow
-	for _, d := range ds {
-		geom := Geometry{FrontyardSize: 56, BackyardSize: 8, Choices: d}
-		row, err := sweepGeometry(fmt.Sprintf("d=%d", d), geom, xxPlacement, frames, trials, seed)
-		if err != nil {
-			return nil, err
+	cases := make([]geomCase, len(ds))
+	for i, d := range ds {
+		cases[i] = geomCase{
+			label: fmt.Sprintf("d=%d", d),
+			geom:  Geometry{FrontyardSize: 56, BackyardSize: 8, Choices: d},
+			hash:  xxPlacement,
 		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return sweepGeometries(cases, frames, trials, seed, workers)
 }
 
 // AblateSplit sweeps the frontyard/backyard split of the 64-frame bucket
-// with d = 6 choices fixed.
-func AblateSplit(splits [][2]int, frames, trials int, seed uint64) ([]AblateRow, error) {
+// with d = 6 choices fixed. workers bounds the trial fan-out.
+func AblateSplit(splits [][2]int, frames, trials int, seed uint64, workers int) ([]AblateRow, error) {
 	if len(splits) == 0 {
 		splits = [][2]int{{62, 2}, {60, 4}, {56, 8}, {48, 16}, {32, 32}}
 	}
@@ -111,37 +144,33 @@ func AblateSplit(splits [][2]int, frames, trials int, seed uint64) ([]AblateRow,
 	if trials == 0 {
 		trials = 5
 	}
-	var rows []AblateRow
-	for _, fb := range splits {
-		geom := Geometry{FrontyardSize: fb[0], BackyardSize: fb[1], Choices: 6}
-		label := fmt.Sprintf("f=%d/b=%d", fb[0], fb[1])
-		row, err := sweepGeometry(label, geom, xxPlacement, frames, trials, seed)
-		if err != nil {
-			return nil, err
+	cases := make([]geomCase, len(splits))
+	for i, fb := range splits {
+		cases[i] = geomCase{
+			label: fmt.Sprintf("f=%d/b=%d", fb[0], fb[1]),
+			geom:  Geometry{FrontyardSize: fb[0], BackyardSize: fb[1], Choices: 6},
+			hash:  xxPlacement,
 		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return sweepGeometries(cases, frames, trials, seed, workers)
 }
 
 // AblateHash compares placement-hash families at the default geometry:
 // xxHash (the Linux prototype's), tabulation hashing with probing (the
 // hardware design), and a deliberately weak hash, which shows why hash
-// quality is load-bearing for the 98% bound.
-func AblateHash(frames, trials int, seed uint64) ([]AblateRow, error) {
+// quality is load-bearing for the 98% bound. workers bounds the trial
+// fan-out.
+func AblateHash(frames, trials int, seed uint64, workers int) ([]AblateRow, error) {
 	if frames == 0 {
 		frames = 1 << 15
 	}
 	if trials == 0 {
 		trials = 5
 	}
-	families := []struct {
-		label string
-		mk    func(seed uint64) core.PlacementHash
-	}{
-		{"xxhash", xxPlacement},
-		{"tabulation", func(seed uint64) core.PlacementHash { return tabhash.NewPlacement(seed) }},
-		{"weak-clustering", func(seed uint64) core.PlacementHash {
+	cases := []geomCase{
+		{"xxhash", DefaultGeometry, xxPlacement},
+		{"tabulation", DefaultGeometry, func(seed uint64) core.PlacementHash { return tabhash.NewPlacement(seed) }},
+		{"weak-clustering", DefaultGeometry, func(seed uint64) core.PlacementHash {
 			return core.PlacementHashFunc(func(asid ASID, vpn VPN, fn int) uint64 {
 				// No mixing at all: runs of 256 consecutive VPNs share one
 				// frontyard bucket and one set of backyard buckets, so a
@@ -151,15 +180,7 @@ func AblateHash(frames, trials int, seed uint64) ([]AblateRow, error) {
 			})
 		}},
 	}
-	var rows []AblateRow
-	for _, fam := range families {
-		row, err := sweepGeometry(fam.label, DefaultGeometry, fam.mk, frames, trials, seed)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return sweepGeometries(cases, frames, trials, seed, workers)
 }
 
 // TimestampRow is one row of the timestamp-fidelity ablation: swap I/O of
@@ -179,8 +200,9 @@ type TimestampRow struct {
 // paper's Linux-prototype emulation (§3.2: access-bit scans + hot-page
 // sampling). Coarser timestamps degrade Horizon LRU's victim choices, so
 // the margin over Linux shrinks as the scan interval grows — evidence for
-// why the paper argues real hardware should store timestamps.
-func AblateTimestamps(workload string, memoryMiB int, footprintFrac float64, intervals []uint64, maxRefs, seed uint64) ([]TimestampRow, error) {
+// why the paper argues real hardware should store timestamps. workers
+// bounds the fan-out across the Linux baseline and the scan intervals.
+func AblateTimestamps(workload string, memoryMiB int, footprintFrac float64, intervals []uint64, maxRefs, seed uint64, workers int) ([]TimestampRow, error) {
 	if workload == "" {
 		workload = "graph500"
 	}
@@ -199,27 +221,46 @@ func AblateTimestamps(workload string, memoryMiB int, footprintFrac float64, int
 	frames := memoryMiB << 20 / PageSize
 	footprint := uint64(footprintFrac * float64(memoryMiB) * (1 << 20))
 
-	linuxIO, err := swapIO(ModeVanilla, frames, workload, footprint, seed, maxRefs)
+	// Point 0 is the Linux baseline; points 1..n are the scan intervals.
+	// Every point is an independent simulation from the same seed.
+	type tsPoint struct {
+		baseline bool
+		interval uint64
+	}
+	points := make([]tsPoint, 0, len(intervals)+1)
+	points = append(points, tsPoint{baseline: true})
+	for _, iv := range intervals {
+		points = append(points, tsPoint{interval: iv})
+	}
+	ios, err := sweep.Run(context.Background(), points,
+		func(_ context.Context, _ int, p tsPoint) (uint64, error) {
+			if p.baseline {
+				return swapIO(ModeVanilla, frames, workload, footprint, seed, maxRefs)
+			}
+			sys, err := NewSystem(SystemConfig{
+				Frames:       frames,
+				Mode:         ModeMosaic,
+				Seed:         seed,
+				ScanInterval: p.interval,
+			})
+			if err != nil {
+				return 0, err
+			}
+			w, err := NewWorkload(workload, footprint, seed)
+			if err != nil {
+				return 0, err
+			}
+			RunLimited(w, vmSink{sys, 1}, maxRefs)
+			return sys.Device().TotalIO(), nil
+		},
+		sweep.Options{Workers: workers, Name: "ablate timestamps"})
 	if err != nil {
 		return nil, err
 	}
-	var rows []TimestampRow
-	for _, iv := range intervals {
-		sys, err := NewSystem(SystemConfig{
-			Frames:       frames,
-			Mode:         ModeMosaic,
-			Seed:         seed,
-			ScanInterval: iv,
-		})
-		if err != nil {
-			return nil, err
-		}
-		w, err := NewWorkload(workload, footprint, seed)
-		if err != nil {
-			return nil, err
-		}
-		RunLimited(w, vmSink{sys, 1}, maxRefs)
-		io := sys.Device().TotalIO()
+	linuxIO := ios[0]
+	rows := make([]TimestampRow, 0, len(intervals))
+	for i, iv := range intervals {
+		io := ios[i+1]
 		label := "exact"
 		if iv > 0 {
 			label = fmt.Sprintf("scan@%d", iv)
@@ -245,8 +286,9 @@ type EvictionRow struct {
 
 // AblateEviction quantifies what Horizon LRU's ghost mechanism buys over
 // the naive candidate-LRU scheme the paper argues against (§2.4), using
-// the paper's swapping methodology at a ladder of footprints.
-func AblateEviction(workload string, memoryMiB int, fracs []float64, maxRefs, seed uint64) ([]EvictionRow, error) {
+// the paper's swapping methodology at a ladder of footprints. workers
+// bounds the fan-out over the footprint × regime grid.
+func AblateEviction(workload string, memoryMiB int, fracs []float64, maxRefs, seed uint64, workers int) ([]EvictionRow, error) {
 	if workload == "" {
 		workload = "graph500"
 	}
@@ -260,37 +302,49 @@ func AblateEviction(workload string, memoryMiB int, fracs []float64, maxRefs, se
 		maxRefs = 10_000_000
 	}
 	frames := memoryMiB << 20 / PageSize
-	var rows []EvictionRow
+	// Flatten footprint × regime, three regimes per footprint in the
+	// sequential order (horizon, naive, linux); each cell is one simulation.
+	regimes := []SystemConfig{
+		{Mode: ModeMosaic},
+		{Mode: ModeMosaic, DisableHorizon: true},
+		{Mode: ModeVanilla},
+	}
+	type evCell struct {
+		footprint uint64
+		cfg       SystemConfig
+	}
+	cells := make([]evCell, 0, len(fracs)*len(regimes))
 	for _, frac := range fracs {
 		footprint := uint64(frac * float64(memoryMiB) * (1 << 20))
-		run := func(cfg SystemConfig) (uint64, error) {
+		for _, cfg := range regimes {
+			cells = append(cells, evCell{footprint: footprint, cfg: cfg})
+		}
+	}
+	ios, err := sweep.Run(context.Background(), cells,
+		func(_ context.Context, _ int, c evCell) (uint64, error) {
+			cfg := c.cfg
 			cfg.Frames = frames
 			cfg.Seed = seed
 			sys, err := NewSystem(cfg)
 			if err != nil {
 				return 0, err
 			}
-			w, err := NewWorkload(workload, footprint, seed)
+			w, err := NewWorkload(workload, c.footprint, seed)
 			if err != nil {
 				return 0, err
 			}
 			RunLimited(w, vmSink{sys, 1}, maxRefs)
 			return sys.Device().TotalIO(), nil
-		}
-		horizon, err := run(SystemConfig{Mode: ModeMosaic})
-		if err != nil {
-			return nil, err
-		}
-		naive, err := run(SystemConfig{Mode: ModeMosaic, DisableHorizon: true})
-		if err != nil {
-			return nil, err
-		}
-		linux, err := run(SystemConfig{Mode: ModeVanilla})
-		if err != nil {
-			return nil, err
-		}
+		},
+		sweep.Options{Workers: workers, Name: "ablate eviction"})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]EvictionRow, 0, len(fracs))
+	for i := 0; i < len(cells); i += len(regimes) {
+		horizon, naive, linux := ios[i], ios[i+1], ios[i+2]
 		rows = append(rows, EvictionRow{
-			FootprintMiB:   float64(footprint) / (1 << 20),
+			FootprintMiB:   float64(cells[i].footprint) / (1 << 20),
 			HorizonKIO:     float64(horizon) / 1000,
 			NaiveKIO:       float64(naive) / 1000,
 			LinuxKIO:       float64(linux) / 1000,

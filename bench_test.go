@@ -18,9 +18,16 @@ package mosaic
 
 import (
 	"testing"
+
+	"mosaic/internal/trace"
 )
 
 func benchFigure6(b *testing.B, workload string) {
+	b.Helper()
+	benchFigure6Workers(b, workload, 0)
+}
+
+func benchFigure6Workers(b *testing.B, workload string, workers int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		res, err := Figure6(Figure6Options{
@@ -31,6 +38,7 @@ func benchFigure6(b *testing.B, workload string) {
 			Ways:           []int{1, 8, 256},
 			Arities:        []int{4, 16, 64},
 			Seed:           1,
+			Workers:        workers,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -51,6 +59,12 @@ func BenchmarkFigure6Graph500(b *testing.B) { benchFigure6(b, "graph500") }
 func BenchmarkFigure6BTree(b *testing.B)    { benchFigure6(b, "btree") }
 func BenchmarkFigure6GUPS(b *testing.B)     { benchFigure6(b, "gups") }
 func BenchmarkFigure6XSBench(b *testing.B)  { benchFigure6(b, "xsbench") }
+
+// The sequential/parallel pair measures the sweep engine's wall-clock win
+// on an identical workload (scripts/bench.sh records the ratio into
+// BENCH_parallel.json); results are bit-identical by construction.
+func BenchmarkFigure6Sequential(b *testing.B) { benchFigure6Workers(b, "gups", 1) }
+func BenchmarkFigure6Parallel(b *testing.B)   { benchFigure6Workers(b, "gups", 4) }
 
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -118,7 +132,7 @@ func BenchmarkIcebergDelta(b *testing.B) {
 
 func BenchmarkAblateChoices(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := AblateChoices([]int{1, 6}, 1<<13, 1, uint64(i))
+		rows, err := AblateChoices([]int{1, 6}, 1<<13, 1, uint64(i), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +145,7 @@ func BenchmarkAblateChoices(b *testing.B) {
 
 func BenchmarkAblateEviction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := AblateEviction("btree", 8, []float64{1.15}, 3_000_000, uint64(i))
+		rows, err := AblateEviction("btree", 8, []float64{1.15}, 3_000_000, uint64(i), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,9 +210,73 @@ func BenchmarkMultiprogram(b *testing.B) {
 	}
 }
 
+// streamWorkload emits a fixed number of sequential references — the
+// cheapest possible workload, so the RunLimited benchmarks measure the
+// harness's per-reference dispatch cost rather than workload logic.
+type streamWorkload struct{ n uint64 }
+
+func (s streamWorkload) Name() string           { return "stream" }
+func (s streamWorkload) FootprintBytes() uint64 { return s.n * 64 }
+func (s streamWorkload) Run(sink Sink) {
+	for i := uint64(0); i < s.n; i++ {
+		sink.Access(i*64, false)
+	}
+}
+
+// countSink is the minimal terminal sink: one field update per reference.
+type countSink struct{ n uint64 }
+
+func (s *countSink) Access(uint64, bool) { s.n++ }
+
+// runLimitedClosure is the pre-limitSink implementation of RunLimited: a
+// per-call closure capturing the counter by reference, which escapes to
+// the heap and adds a closure-environment load to every reference. Kept
+// only as the baseline for BenchmarkRunLimitedClosure.
+func runLimitedClosure(w Workload, sink Sink, maxRefs uint64) (n uint64) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(limitReached); !ok {
+				panic(r)
+			}
+		}
+	}()
+	w.Run(trace.SinkFunc(func(va uint64, write bool) {
+		sink.Access(va, write)
+		n++
+		if n >= maxRefs {
+			panic(limitReached{})
+		}
+	}))
+	return n
+}
+
+func BenchmarkRunLimited(b *testing.B) {
+	w := streamWorkload{n: 1 << 21}
+	var s countSink
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := RunLimited(w, &s, 1<<20); got != 1<<20 {
+			b.Fatalf("delivered %d refs, want %d", got, 1<<20)
+		}
+	}
+	b.ReportMetric(float64(1<<20)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+func BenchmarkRunLimitedClosure(b *testing.B) {
+	w := streamWorkload{n: 1 << 21}
+	var s countSink
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := runLimitedClosure(w, &s, 1<<20); got != 1<<20 {
+			b.Fatalf("delivered %d refs, want %d", got, 1<<20)
+		}
+	}
+	b.ReportMetric(float64(1<<20)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
 func BenchmarkAblateTimestamps(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := AblateTimestamps("btree", 8, 1.15, []uint64{0, 4096}, 2_000_000, uint64(i))
+		rows, err := AblateTimestamps("btree", 8, 1.15, []uint64{0, 4096}, 2_000_000, uint64(i), 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -48,7 +48,7 @@ func main() {
 	if run("choices") {
 		any = true
 		drv.Stepf("ablate: sweeping backyard choices")
-		rows, err := mosaic.AblateChoices(nil, *frames, *trials, *seed)
+		rows, err := mosaic.AblateChoices(nil, *frames, *trials, *seed, drv.Workers)
 		exitOn(err)
 		record("choices", rows)
 		render(*csv, "Ablation: backyard choices d (f=56, b=8 fixed)", rows)
@@ -56,7 +56,7 @@ func main() {
 	if run("split") {
 		any = true
 		drv.Stepf("ablate: sweeping frontyard/backyard split")
-		rows, err := mosaic.AblateSplit(nil, *frames, *trials, *seed)
+		rows, err := mosaic.AblateSplit(nil, *frames, *trials, *seed, drv.Workers)
 		exitOn(err)
 		record("split", rows)
 		render(*csv, "Ablation: frontyard/backyard split (d=6 fixed)", rows)
@@ -64,7 +64,7 @@ func main() {
 	if run("hash") {
 		any = true
 		drv.Stepf("ablate: sweeping placement-hash family")
-		rows, err := mosaic.AblateHash(*frames, *trials, *seed)
+		rows, err := mosaic.AblateHash(*frames, *trials, *seed, drv.Workers)
 		exitOn(err)
 		record("hash", rows)
 		render(*csv, "Ablation: placement-hash family (default geometry)", rows)
@@ -72,7 +72,7 @@ func main() {
 	if run("eviction") {
 		any = true
 		drv.Stepf("ablate: comparing eviction policies")
-		rows, err := mosaic.AblateEviction("graph500", 16, nil, 0, *seed)
+		rows, err := mosaic.AblateEviction("graph500", 16, nil, 0, *seed, drv.Workers)
 		exitOn(err)
 		tb := stats.NewTable("Ablation: eviction policy (graph500, 16 MiB pool)",
 			"Footprint (MiB)", "Horizon LRU (K I/O)", "Naive cand-LRU (K I/O)", "Linux (K I/O)", "Horizon vs naive (%)")
@@ -95,7 +95,7 @@ func main() {
 	if run("timestamps") {
 		any = true
 		drv.Stepf("ablate: comparing timestamp fidelity")
-		rows, err := mosaic.AblateTimestamps("graph500", 16, 1.20, nil, 0, *seed)
+		rows, err := mosaic.AblateTimestamps("graph500", 16, 1.20, nil, 0, *seed, drv.Workers)
 		exitOn(err)
 		tb := stats.NewTable("Ablation: timestamp fidelity (graph500, 16 MiB pool, 1.20× footprint)",
 			"Regime", "Mosaic (K I/O)", "vs Linux (%)")

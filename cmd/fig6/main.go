@@ -24,6 +24,7 @@ import (
 	"mosaic/internal/core"
 	"mosaic/internal/results"
 	"mosaic/internal/stats"
+	"mosaic/internal/sweep"
 	"mosaic/internal/tlb"
 	"mosaic/internal/workloads"
 )
@@ -80,7 +81,10 @@ func main() {
 		"colt":      *colt,
 		"sample":    *sample,
 	}
-	for _, name := range names {
+	// Per-workload sampled snapshots merge in workload order, so the
+	// obs.* aggregate below is identical at any -workers setting.
+	merger := sweep.NewMerger()
+	for i, name := range names {
 		fp := *footprint
 		if fp == 0 {
 			fp = defaultFootprintsMiB[name]
@@ -91,6 +95,7 @@ func main() {
 			MaxRefs:        *maxRefs,
 			TLBEntries:     *entries,
 			Seed:           *seed,
+			Workers:        drv.Workers,
 			Progress:       drv.Progress(),
 		}
 		if *colt {
@@ -104,8 +109,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fig6: %v\n", err)
 			os.Exit(1)
 		}
+		merger.Put(i, res.Metrics)
 		collect(out, res)
 		render(res, fp, *csv)
+	}
+	if drv.WantJSON() && *sample > 0 {
+		out.AddSnapshot("obs", merger.Merged())
 	}
 	if err := drv.Finish(out); err != nil {
 		fmt.Fprintf(os.Stderr, "fig6: %v\n", err)

@@ -38,6 +38,8 @@ func main() {
 		Frames:   *frames,
 		FreeFrac: *free,
 		Seed:     *seed,
+		Workers:  drv.Workers,
+		Progress: drv.Progress(),
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "frag: %v\n", err)

@@ -42,6 +42,7 @@ func main() {
 		MaxRefsPerProc: *maxRefs,
 		TLBEntries:     *entries,
 		Seed:           *seed,
+		Workers:        drv.Workers,
 		Progress:       drv.Progress(),
 	}
 

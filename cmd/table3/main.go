@@ -39,6 +39,7 @@ func main() {
 		Runs:      *runs,
 		MaxRefs:   *maxRefs,
 		Seed:      *seed,
+		Workers:   drv.Workers,
 		Progress:  drv.Progress(),
 	})
 	if err != nil {
@@ -82,7 +83,7 @@ func main() {
 
 	if *delta {
 		drv.Stepf("table3: standalone iceberg delta")
-		res, err := mosaic.IcebergDelta(mosaic.IcebergDeltaOptions{Seed: *seed})
+		res, err := mosaic.IcebergDelta(mosaic.IcebergDeltaOptions{Seed: *seed, Workers: drv.Workers})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "table3: %v\n", err)
 			os.Exit(1)

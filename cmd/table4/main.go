@@ -37,6 +37,7 @@ func main() {
 		Runs:      *runs,
 		MaxRefs:   *maxRefs,
 		Seed:      *seed,
+		Workers:   drv.Workers,
 		Progress:  drv.Progress(),
 	})
 	if err != nil {

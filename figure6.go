@@ -1,9 +1,11 @@
 package mosaic
 
 import (
+	"context"
 	"fmt"
 
 	"mosaic/internal/obs"
+	"mosaic/internal/sweep"
 	"mosaic/internal/tlb"
 	"mosaic/internal/trace"
 )
@@ -11,6 +13,26 @@ import (
 // limitReached aborts a workload once the simulator has seen enough
 // references.
 type limitReached struct{}
+
+// limitSink counts references into an underlying sink and aborts the
+// workload with panic(limitReached{}) once the cap is hit. It is a
+// preallocated concrete struct rather than a per-call closure so the
+// per-reference path is one interface dispatch plus two field updates —
+// no closure environment, no heap-escaping counter (the difference is
+// measured by BenchmarkRunLimited vs BenchmarkRunLimitedClosure).
+type limitSink struct {
+	sink Sink
+	n    uint64
+	max  uint64
+}
+
+func (s *limitSink) Access(va uint64, write bool) {
+	s.sink.Access(va, write)
+	s.n++
+	if s.n >= s.max {
+		panic(limitReached{})
+	}
+}
 
 // RunLimited drives a workload into sink, stopping after maxRefs
 // references (0 means unlimited). It returns the number of references
@@ -21,21 +43,17 @@ func RunLimited(w Workload, sink Sink, maxRefs uint64) (n uint64) {
 		w.Run(trace.Tee(&c, sink))
 		return c.Total()
 	}
+	ls := limitSink{sink: sink, max: maxRefs}
 	defer func() {
+		n = ls.n
 		if r := recover(); r != nil {
 			if _, ok := r.(limitReached); !ok {
 				panic(r)
 			}
 		}
 	}()
-	w.Run(trace.SinkFunc(func(va uint64, write bool) {
-		sink.Access(va, write)
-		n++
-		if n >= maxRefs {
-			panic(limitReached{})
-		}
-	}))
-	return n
+	w.Run(&ls)
+	return ls.n
 }
 
 // Figure6Options parameterizes the Figure 6 reproduction (TLB misses vs
@@ -73,6 +91,10 @@ type Figure6Options struct {
 	// time series every SampleEvery references into Result.Series/Events.
 	// Only one point is sampled so the sweep itself stays unperturbed.
 	SampleEvery uint64
+	// Workers bounds the sweep's worker pool (0 = GOMAXPROCS, 1 = the
+	// exact sequential path). Points are independent simulations, so any
+	// worker count produces bit-identical results.
+	Workers int
 	// Progress, when non-nil, receives a live status line per sweep point.
 	Progress *obs.Progress
 }
@@ -122,6 +144,10 @@ type Figure6Result struct {
 	// from the fully-associative point; nil unless Options.SampleEvery > 0.
 	Series []obs.Series
 	Events []obs.Event
+	// Metrics is the finalized metrics snapshot of the sampled point
+	// (zero-valued unless Options.SampleEvery > 0). Drivers running
+	// several workloads merge these via sweep.Merger.
+	Metrics obs.Snapshot
 }
 
 // MissesFor returns the miss count of a (ways, label) cell.
@@ -134,61 +160,91 @@ func (r Figure6Result) MissesFor(ways int, label string) (uint64, bool) {
 	return 0, false
 }
 
+// fig6Point is one associativity point's outcome, carried back through the
+// sweep engine for the index-ordered fold into Figure6Result.
+type fig6Point struct {
+	refs    uint64
+	cells   []Figure6Cell
+	series  []obs.Series
+	events  []obs.Event
+	metrics obs.Snapshot
+	sampled bool
+}
+
 // Figure6 reproduces one sub-figure of Figure 6: for each TLB
 // associativity, it feeds an identical workload reference stream through a
 // vanilla TLB and a mosaic TLB per arity (the paper's dual-TLB
-// methodology) and reports the miss counts.
+// methodology) and reports the miss counts. Associativity points are
+// independent simulations — a fresh workload with the same seed replays the
+// identical reference stream at every point — so they fan out across
+// Options.Workers goroutines with bit-identical results.
 func Figure6(opt Figure6Options) (Figure6Result, error) {
 	if err := opt.applyDefaults(); err != nil {
 		return Figure6Result{}, err
 	}
+	points, err := sweep.Run(context.Background(), opt.Ways,
+		func(_ context.Context, wi int, ways int) (fig6Point, error) {
+			specs := []TLBSpec{{Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: ways}}}
+			for _, c := range opt.Coalesce {
+				specs = append(specs, TLBSpec{
+					Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: ways},
+					Coalesce: c,
+				})
+			}
+			for _, a := range opt.Arities {
+				specs = append(specs, TLBSpec{
+					Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: ways},
+					Arity:    a,
+				})
+			}
+			// Only the fully-associative point carries an observer, so
+			// sampling one point cannot perturb any other.
+			var ob *obs.Observer
+			if opt.SampleEvery > 0 && wi == len(opt.Ways)-1 {
+				ob = obs.NewObserver(opt.SampleEvery)
+			}
+			sim, err := NewSimulator(SimConfig{Frames: opt.Frames, Specs: specs, Seed: opt.Seed, Obs: ob})
+			if err != nil {
+				return fig6Point{}, err
+			}
+			// A fresh workload with the same seed replays the identical
+			// reference stream at every associativity point.
+			w, err := NewWorkload(opt.Workload, opt.FootprintBytes, opt.Seed)
+			if err != nil {
+				return fig6Point{}, err
+			}
+			p := fig6Point{refs: RunLimited(w, sim, opt.MaxRefs)}
+			for _, r := range sim.Results() {
+				p.cells = append(p.cells, Figure6Cell{
+					Ways:  ways,
+					Label: r.Spec.Label(),
+					Stats: r.TLB,
+				})
+			}
+			if ob != nil {
+				p.metrics = sim.FinalizeMetrics().Snapshot()
+				p.series = sim.Sampler().Series()
+				p.events = ob.Events.Events()
+				p.sampled = true
+			}
+			return p, nil
+		},
+		sweep.Options{Workers: opt.Workers, Progress: opt.Progress, Name: "fig6 " + opt.Workload})
+	if err != nil {
+		return Figure6Result{}, err
+	}
 	res := Figure6Result{Workload: opt.Workload}
-	for wi, ways := range opt.Ways {
-		opt.Progress.Stepf("fig6 %s: point %d/%d (%d-way)", opt.Workload, wi+1, len(opt.Ways), ways)
-		specs := []TLBSpec{{Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: ways}}}
-		for _, c := range opt.Coalesce {
-			specs = append(specs, TLBSpec{
-				Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: ways},
-				Coalesce: c,
-			})
-		}
-		for _, a := range opt.Arities {
-			specs = append(specs, TLBSpec{
-				Geometry: TLBGeometry{Entries: opt.TLBEntries, Ways: ways},
-				Arity:    a,
-			})
-		}
-		var ob *obs.Observer
-		if opt.SampleEvery > 0 && wi == len(opt.Ways)-1 {
-			ob = obs.NewObserver(opt.SampleEvery)
-		}
-		sim, err := NewSimulator(SimConfig{Frames: opt.Frames, Specs: specs, Seed: opt.Seed, Obs: ob})
-		if err != nil {
-			return Figure6Result{}, err
-		}
-		// A fresh workload with the same seed replays the identical
-		// reference stream at every associativity point.
-		w, err := NewWorkload(opt.Workload, opt.FootprintBytes, opt.Seed)
-		if err != nil {
-			return Figure6Result{}, err
-		}
-		refs := RunLimited(w, sim, opt.MaxRefs)
+	for _, p := range points {
 		if res.Refs == 0 {
-			res.Refs = refs
-		} else if res.Refs != refs {
-			return Figure6Result{}, fmt.Errorf("mosaic: reference streams diverged across associativities (%d vs %d)", res.Refs, refs)
+			res.Refs = p.refs
+		} else if res.Refs != p.refs {
+			return Figure6Result{}, fmt.Errorf("mosaic: reference streams diverged across associativities (%d vs %d)", res.Refs, p.refs)
 		}
-		for _, r := range sim.Results() {
-			res.Cells = append(res.Cells, Figure6Cell{
-				Ways:  ways,
-				Label: r.Spec.Label(),
-				Stats: r.TLB,
-			})
-		}
-		if ob != nil {
-			sim.FinalizeMetrics()
-			res.Series = sim.Sampler().Series()
-			res.Events = ob.Events.Events()
+		res.Cells = append(res.Cells, p.cells...)
+		if p.sampled {
+			res.Series = p.series
+			res.Events = p.events
+			res.Metrics = p.metrics
 		}
 	}
 	return res, nil

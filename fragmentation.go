@@ -1,12 +1,15 @@
 package mosaic
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"mosaic/internal/alloc"
 	"mosaic/internal/buddy"
 	"mosaic/internal/core"
+	"mosaic/internal/obs"
+	"mosaic/internal/sweep"
 	"mosaic/internal/xxhash"
 )
 
@@ -34,6 +37,12 @@ type FragmentationOptions struct {
 	ChunkOrders []int
 	// Seed drives the fragmentation pattern.
 	Seed uint64
+	// Workers bounds the severity fan-out (0 = GOMAXPROCS, 1 = the exact
+	// sequential path); each severity derives its RNG from Seed and its
+	// index, so rows are independent.
+	Workers int
+	// Progress, when non-nil, receives a live status line per severity.
+	Progress *obs.Progress
 }
 
 // FragmentationRow is one severity level's outcome.
@@ -82,66 +91,71 @@ func Fragmentation(opt FragmentationOptions) ([]FragmentationRow, error) {
 	if len(opt.ChunkOrders) == 0 {
 		opt.ChunkOrders = []int{9, 6, 4, 2, 0}
 	}
-	rows := make([]FragmentationRow, 0, len(opt.ChunkOrders))
-	for i, chunk := range opt.ChunkOrders {
+	for _, chunk := range opt.ChunkOrders {
 		if chunk < 0 || chunk > buddy.MaxOrder {
 			return nil, fmt.Errorf("mosaic: chunk order %d out of [0,%d]", chunk, buddy.MaxOrder)
 		}
-		rng := rand.New(rand.NewSource(int64(opt.Seed)*31 + int64(i)))
-		row := FragmentationRow{ChunkOrder: chunk}
-
-		// --- Contiguity side: fill memory, then free FreeFrac of it in
-		// aligned 2^chunk-frame runs at random positions.
-		freeRuns := fragmentBuddy(opt.Frames, opt.FreeFrac, chunk, rng)
-		bd := rebuildFragmented(opt.Frames, freeRuns, chunk)
-		row.UnusableIndex = bd.UnusableIndex(buddy.MaxOrder)
-
-		// Fault a region the size of free memory, preferring huge pages.
-		regionPages := bd.FreeFrames()
-		hugeWanted := regionPages >> buddy.MaxOrder
-		hugeGot := 0
-		for h := 0; h < hugeWanted; h++ {
-			if _, ok := bd.Alloc(buddy.MaxOrder); !ok {
-				break
-			}
-			hugeGot++
-		}
-		if hugeWanted > 0 {
-			row.HugeBackedPct = 100 * float64(hugeGot<<buddy.MaxOrder) / float64(regionPages)
-		}
-		row.HugeTLBEntries = hugeGot + (regionPages - hugeGot<<buddy.MaxOrder)
-		row.MosaicTLBEntries = (regionPages + 3) / 4 // arity-4 ToCs
-		// Price full huge backing on the pre-trial state.
-		pre := rebuildFragmented(opt.Frames, freeRuns, chunk)
-		copies, feasible := pre.CompactionCost(buddy.MaxOrder, hugeWanted)
-		if feasible {
-			row.CompactionCopies = copies
-		} else {
-			row.CompactionCopies = -1
-		}
-
-		// --- Mosaic side: same occupancy, no contiguity needed.
-		mem := alloc.NewMemory(opt.Frames, core.DefaultGeometry, xxhash.NewPlacement(opt.Seed+uint64(i)))
-		occupied := mem.NumFrames() - int(opt.FreeFrac*float64(mem.NumFrames()))
-		vpn := core.VPN(0)
-		for mem.Used() < occupied {
-			if _, err := mem.Place(1, vpn, 1, 0); err != nil {
-				return nil, fmt.Errorf("mosaic: background fill conflicted at %.1f%% utilization", 100*mem.Utilization())
-			}
-			vpn++
-		}
-		region := int(opt.FreeFrac * float64(mem.NumFrames()))
-		placed := 0
-		for p := 0; p < region; p++ {
-			if _, err := mem.Place(2, core.VPN(p), 1, 0); err == nil {
-				placed++
-			}
-		}
-		row.MosaicBackedPct = 100 * float64(placed) / float64(region)
-		row.MosaicCopies = 0
-		rows = append(rows, row)
 	}
-	return rows, nil
+	// Severities are independent — each derives its RNG and placement seed
+	// from (Seed, index) alone — so they fan out across Options.Workers
+	// goroutines and fold back in submission order.
+	return sweep.Run(context.Background(), opt.ChunkOrders,
+		func(_ context.Context, i, chunk int) (FragmentationRow, error) {
+			rng := rand.New(rand.NewSource(int64(opt.Seed)*31 + int64(i)))
+			row := FragmentationRow{ChunkOrder: chunk}
+
+			// --- Contiguity side: fill memory, then free FreeFrac of it in
+			// aligned 2^chunk-frame runs at random positions.
+			freeRuns := fragmentBuddy(opt.Frames, opt.FreeFrac, chunk, rng)
+			bd := rebuildFragmented(opt.Frames, freeRuns, chunk)
+			row.UnusableIndex = bd.UnusableIndex(buddy.MaxOrder)
+
+			// Fault a region the size of free memory, preferring huge pages.
+			regionPages := bd.FreeFrames()
+			hugeWanted := regionPages >> buddy.MaxOrder
+			hugeGot := 0
+			for h := 0; h < hugeWanted; h++ {
+				if _, ok := bd.Alloc(buddy.MaxOrder); !ok {
+					break
+				}
+				hugeGot++
+			}
+			if hugeWanted > 0 {
+				row.HugeBackedPct = 100 * float64(hugeGot<<buddy.MaxOrder) / float64(regionPages)
+			}
+			row.HugeTLBEntries = hugeGot + (regionPages - hugeGot<<buddy.MaxOrder)
+			row.MosaicTLBEntries = (regionPages + 3) / 4 // arity-4 ToCs
+			// Price full huge backing on the pre-trial state.
+			pre := rebuildFragmented(opt.Frames, freeRuns, chunk)
+			copies, feasible := pre.CompactionCost(buddy.MaxOrder, hugeWanted)
+			if feasible {
+				row.CompactionCopies = copies
+			} else {
+				row.CompactionCopies = -1
+			}
+
+			// --- Mosaic side: same occupancy, no contiguity needed.
+			mem := alloc.NewMemory(opt.Frames, core.DefaultGeometry, xxhash.NewPlacement(opt.Seed+uint64(i)))
+			occupied := mem.NumFrames() - int(opt.FreeFrac*float64(mem.NumFrames()))
+			vpn := core.VPN(0)
+			for mem.Used() < occupied {
+				if _, err := mem.Place(1, vpn, 1, 0); err != nil {
+					return FragmentationRow{}, fmt.Errorf("mosaic: background fill conflicted at %.1f%% utilization", 100*mem.Utilization())
+				}
+				vpn++
+			}
+			region := int(opt.FreeFrac * float64(mem.NumFrames()))
+			placed := 0
+			for p := 0; p < region; p++ {
+				if _, err := mem.Place(2, core.VPN(p), 1, 0); err == nil {
+					placed++
+				}
+			}
+			row.MosaicBackedPct = 100 * float64(placed) / float64(region)
+			row.MosaicCopies = 0
+			return row, nil
+		},
+		sweep.Options{Workers: opt.Workers, Progress: opt.Progress, Name: "fragmentation"})
 }
 
 // fragmentBuddy picks which aligned 2^chunk runs end up free when freeFrac

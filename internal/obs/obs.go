@@ -201,7 +201,9 @@ func bucketBounds(b int) (lo, hi float64) {
 
 // Registry is an ordered, named set of instruments. Lookups by name happen
 // only at registration time; hot paths hold the returned handles. It is
-// not safe for concurrent use (nothing in the simulator is).
+// not safe for concurrent use (nothing in the simulator is; parallel
+// sweeps give every point its own simulator and registry, and only the
+// shared Progress line — which is goroutine-safe — crosses workers).
 type Registry struct {
 	names    []string
 	counters map[string]*Counter

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// lineRecorder captures each write as one rendered line. Writes arrive
+// under Progress's mutex, so plain appends are properly synchronized.
+type lineRecorder struct {
+	lines []string
+}
+
+func (r *lineRecorder) Write(p []byte) (int, error) {
+	r.lines = append(r.lines, string(p))
+	return len(p), nil
+}
+
+func TestNewProgressTo(t *testing.T) {
+	if p := NewProgressTo(nil); p != nil {
+		t.Error("NewProgressTo(nil) should yield a nil Progress")
+	}
+	rec := &lineRecorder{}
+	p := NewProgressTo(rec)
+	p.Stepf("hello %d", 7)
+	p.Done()
+	if len(rec.lines) != 2 {
+		t.Fatalf("got %d writes, want 2 (step + clear)", len(rec.lines))
+	}
+	if !strings.Contains(rec.lines[0], "hello 7") {
+		t.Errorf("step line %q missing message", rec.lines[0])
+	}
+}
+
+// TestProgressConcurrentStepf hammers one Progress from 8 goroutines; under
+// -race this fails if Stepf/Done share state without synchronization (the
+// parallel-sweep regime: every worker reports into one live line).
+func TestProgressConcurrentStepf(t *testing.T) {
+	p := NewProgressTo(io.Discard)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.Stepf("worker %d step %d", g, i)
+				if i%97 == 0 {
+					p.Done()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Done()
+}
+
+// TestStepCounterMonotonic checks the "point k/n done" rendering counts
+// every completion exactly once and never renders a count out of order,
+// even with 8 workers stepping concurrently.
+func TestStepCounterMonotonic(t *testing.T) {
+	rec := &lineRecorder{}
+	p := NewProgressTo(rec)
+	const workers, perWorker = 8, 250
+	c := p.StartCount("sweep test", workers*perWorker)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Step()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Done(); got != workers*perWorker {
+		t.Fatalf("Done() = %d, want %d", got, workers*perWorker)
+	}
+	if len(rec.lines) != workers*perWorker {
+		t.Fatalf("rendered %d lines, want %d", len(rec.lines), workers*perWorker)
+	}
+	last := 0
+	for _, line := range rec.lines {
+		var k, n int
+		if _, err := fmt.Sscanf(line[strings.Index(line, "point"):], "point %d/%d done", &k, &n); err != nil {
+			t.Fatalf("unparseable progress line %q: %v", line, err)
+		}
+		if n != workers*perWorker {
+			t.Fatalf("line %q has total %d, want %d", line, n, workers*perWorker)
+		}
+		if k != last+1 {
+			t.Fatalf("count went %d -> %d; want strictly +1 per line", last, k)
+		}
+		last = k
+	}
+}
+
+func TestStepCounterNilSafe(t *testing.T) {
+	var p *Progress
+	c := p.StartCount("x", 10)
+	if c != nil {
+		t.Fatal("nil Progress should start a nil counter")
+	}
+	c.Step() // must not panic
+	if c.Done() != 0 {
+		t.Error("nil counter should report 0 done")
+	}
+}

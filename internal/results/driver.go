@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"mosaic/internal/obs"
 )
@@ -30,6 +31,10 @@ type Driver struct {
 	Out string
 	// CPUProfile, when set, writes a pprof CPU profile for the whole run.
 	CPUProfile string
+	// Workers bounds the experiment's sweep worker pool: 0 (the default)
+	// resolves to runtime.GOMAXPROCS(0), 1 is the exact sequential path.
+	// Results are bit-identical at any setting.
+	Workers int
 
 	progress *obs.Progress
 	stopProf func()
@@ -46,7 +51,18 @@ func NewDriver(experiment string, fs *flag.FlagSet) *Driver {
 		fmt.Sprintf("also write a schema-versioned results/%s.json", experiment))
 	fs.StringVar(&d.Out, "o", "", "path for the JSON result (implies -json)")
 	fs.StringVar(&d.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.IntVar(&d.Workers, "workers", 0,
+		"sweep worker pool size (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 	return d
+}
+
+// EffectiveWorkers resolves the -workers flag the way the sweep engine
+// will: 0 becomes runtime.GOMAXPROCS(0).
+func (d *Driver) EffectiveWorkers() int {
+	if d.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return d.Workers
 }
 
 // WantJSON reports whether a JSON result was requested, so drivers can
@@ -91,6 +107,12 @@ func (d *Driver) Finish(f *File) error {
 	if f == nil || !d.WantJSON() {
 		return nil
 	}
+	// Record the resolved pool size so a result file says how it was made
+	// (the numbers themselves are identical at any worker count).
+	if f.Config == nil {
+		f.Config = make(map[string]any)
+	}
+	f.Config["workers"] = d.EffectiveWorkers()
 	path := d.Path()
 	if err := Write(path, f); err != nil {
 		return err

@@ -276,7 +276,7 @@ func TestIcebergDelta(t *testing.T) {
 }
 
 func TestAblateChoices(t *testing.T) {
-	rows, err := AblateChoices([]int{1, 6}, 1<<13, 3, 5)
+	rows, err := AblateChoices([]int{1, 6}, 1<<13, 3, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestAblateChoices(t *testing.T) {
 }
 
 func TestAblateSplit(t *testing.T) {
-	rows, err := AblateSplit(nil, 1<<13, 2, 5)
+	rows, err := AblateSplit(nil, 1<<13, 2, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +309,7 @@ func TestAblateSplit(t *testing.T) {
 }
 
 func TestAblateHash(t *testing.T) {
-	rows, err := AblateHash(1<<13, 3, 5)
+	rows, err := AblateHash(1<<13, 3, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestAblateHash(t *testing.T) {
 }
 
 func TestAblateEviction(t *testing.T) {
-	rows, err := AblateEviction("btree", 8, []float64{1.15}, 4_000_000, 3)
+	rows, err := AblateEviction("btree", 8, []float64{1.15}, 4_000_000, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestSharedMemoryFacade(t *testing.T) {
 }
 
 func TestAblateTimestamps(t *testing.T) {
-	rows, err := AblateTimestamps("btree", 8, 1.15, []uint64{0, 2048}, 3_000_000, 4)
+	rows, err := AblateTimestamps("btree", 8, 1.15, []uint64{0, 2048}, 3_000_000, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

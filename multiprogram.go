@@ -2,11 +2,13 @@ package mosaic
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 
 	"mosaic/internal/obs"
+	"mosaic/internal/sweep"
 	"mosaic/internal/trace"
 )
 
@@ -41,6 +43,10 @@ type MultiprogramOptions struct {
 	FlushOnSwitch bool
 	// Seed drives the workloads.
 	Seed uint64
+	// Workers bounds the capture and solo-baseline fan-outs (0 = GOMAXPROCS,
+	// 1 = the exact sequential path). The shared round-robin run is a single
+	// simulation and always runs sequentially.
+	Workers int
 	// Progress, when non-nil, receives a live status line per stage.
 	Progress *obs.Progress
 }
@@ -103,40 +109,65 @@ func Multiprogram(opt MultiprogramOptions) ([]MultiprogramResult, uint64, error)
 	}
 
 	// Capture each process's stream once, in the compact binary format.
-	streams := make([]*bytes.Buffer, len(opt.Workloads))
-	var refs []uint64
-	for i, name := range opt.Workloads {
-		opt.Progress.Stepf("multiprog: capturing %s (%d/%d)", name, i+1, len(opt.Workloads))
-		w, err := NewWorkload(name, opt.FootprintBytes, opt.Seed+uint64(i)*977)
-		if err != nil {
-			return nil, 0, err
-		}
-		var buf bytes.Buffer
-		tw, err := trace.NewWriter(&buf)
-		if err != nil {
-			return nil, 0, err
-		}
-		n := RunLimited(w, tw, opt.MaxRefsPerProc)
-		if err := tw.Flush(); err != nil {
-			return nil, 0, err
-		}
-		streams[i] = &buf
-		refs = append(refs, n)
+	// Captures are independent — workload i derives everything from
+	// Seed+i*977 — so they fan out across Options.Workers goroutines.
+	type capture struct {
+		stream []byte
+		refs   uint64
+	}
+	captures, err := sweep.Run(context.Background(), opt.Workloads,
+		func(_ context.Context, i int, name string) (capture, error) {
+			w, err := NewWorkload(name, opt.FootprintBytes, opt.Seed+uint64(i)*977)
+			if err != nil {
+				return capture{}, err
+			}
+			var buf bytes.Buffer
+			tw, err := trace.NewWriter(&buf)
+			if err != nil {
+				return capture{}, err
+			}
+			n := RunLimited(w, tw, opt.MaxRefsPerProc)
+			if err := tw.Flush(); err != nil {
+				return capture{}, err
+			}
+			return capture{stream: buf.Bytes(), refs: n}, nil
+		},
+		sweep.Options{Workers: opt.Workers, Progress: opt.Progress, Name: "multiprog capture"})
+	if err != nil {
+		return nil, 0, err
+	}
+	streams := make([][]byte, len(captures))
+	refs := make([]uint64, len(captures))
+	for i, c := range captures {
+		streams[i] = c.stream
+		refs[i] = c.refs
 	}
 
-	// Solo baselines: each process alone on a fresh simulator.
+	// Solo baselines: each process alone on a fresh simulator. Each replay
+	// is its own simulation; the per-label sums fold back in stream order.
+	soloRuns, err := sweep.Run(context.Background(), streams,
+		func(_ context.Context, i int, stream []byte) (map[string]uint64, error) {
+			sim, err := NewSimulator(SimConfig{Frames: framesFor(opt), Specs: specs, Seed: opt.Seed})
+			if err != nil {
+				return nil, err
+			}
+			if err := replayStream(stream, sim, ASID(i+1)); err != nil {
+				return nil, err
+			}
+			misses := make(map[string]uint64, len(specs))
+			for _, r := range sim.Results() {
+				misses[r.Spec.Label()] = r.TLB.Misses
+			}
+			return misses, nil
+		},
+		sweep.Options{Workers: opt.Workers, Progress: opt.Progress, Name: "multiprog solo"})
+	if err != nil {
+		return nil, 0, err
+	}
 	solo := make(map[string]uint64)
-	for i := range streams {
-		opt.Progress.Stepf("multiprog: solo baseline %s (%d/%d)", opt.Workloads[i], i+1, len(streams))
-		sim, err := NewSimulator(SimConfig{Frames: framesFor(opt), Specs: specs, Seed: opt.Seed})
-		if err != nil {
-			return nil, 0, err
-		}
-		if err := replayStream(streams[i].Bytes(), sim, ASID(i+1)); err != nil {
-			return nil, 0, err
-		}
-		for _, r := range sim.Results() {
-			solo[r.Spec.Label()] += r.TLB.Misses
+	for _, m := range soloRuns {
+		for label, misses := range m {
+			solo[label] += misses
 		}
 	}
 
@@ -147,7 +178,7 @@ func Multiprogram(opt MultiprogramOptions) ([]MultiprogramResult, uint64, error)
 	}
 	readers := make([]*trace.Reader, len(streams))
 	for i, b := range streams {
-		r, err := trace.NewReader(bytes.NewReader(b.Bytes()))
+		r, err := trace.NewReader(bytes.NewReader(b))
 		if err != nil {
 			return nil, 0, err
 		}

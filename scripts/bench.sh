@@ -19,3 +19,12 @@ go test -run '^$' -bench 'BenchmarkAccess|BenchmarkSampler' -benchmem \
 	-benchtime "${BENCHTIME:-1s}" ./internal/memsim ./internal/obs |
 	tee /dev/stderr |
 	go run ./cmd/mosaicstat bench -parse -o "$out"
+
+# Sweep-engine wall clock: the same fig6 sweep at workers=1 vs workers=4
+# (bit-identical results; the ns/op ratio is the parallel speedup — ≥2×
+# expected on a 4-core machine), plus the RunLimited hot-path pair
+# (preallocated sink vs the old per-call closure).
+go test -run '^$' -bench 'BenchmarkFigure6(Sequential|Parallel)|BenchmarkRunLimited' \
+	-benchmem -benchtime "${BENCHTIME:-1s}" . |
+	tee /dev/stderr |
+	go run ./cmd/mosaicstat bench -parse -o BENCH_parallel.json

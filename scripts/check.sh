@@ -10,6 +10,10 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go run ./cmd/mosaiclint ./...
+# The sweep engine and the progress line are the only concurrency in the
+# repo; hammer them under the race detector first so an engine race fails
+# fast, then run the whole suite.
+go test -race ./internal/sweep/... ./internal/obs/...
 go test -race ./...
 go test -run='^$' -fuzz=Fuzz -fuzztime=3s ./internal/iceberg
 

@@ -1,10 +1,12 @@
 package mosaic
 
 import (
+	"context"
 	"fmt"
 
 	"mosaic/internal/obs"
 	"mosaic/internal/stats"
+	"mosaic/internal/sweep"
 	"mosaic/internal/trace"
 	"mosaic/internal/vm"
 )
@@ -33,6 +35,10 @@ type Table3Options struct {
 	MaxRefs uint64
 	// Seed is the base seed; run r uses Seed+r.
 	Seed uint64
+	// Workers bounds the sweep's worker pool (0 = GOMAXPROCS, 1 = the
+	// exact sequential path); every workload × footprint × run cell is an
+	// independent simulation.
+	Workers int
 	// Progress, when non-nil, receives a live status line per cell.
 	Progress *obs.Progress
 }
@@ -74,59 +80,89 @@ type vmSink struct {
 
 func (s vmSink) Access(va uint64, write bool) { s.sys.TouchVA(s.asid, va, write) }
 
+// table3Cell addresses one workload × footprint × run simulation.
+type table3Cell struct {
+	footprint uint64
+	workload  string
+	run       int
+}
+
+// table3Sample is one cell's outcome: the utilization at the first
+// conflict and the mean steady-state utilization of that run.
+type table3Sample struct {
+	first  float64
+	steady float64
+}
+
 // Table3 reproduces Table 3: for each workload × footprint it runs the
 // mosaic allocator under memory pressure and reports when the first
 // associativity conflict appears and how full memory stays afterwards.
+// Every workload × footprint × run cell is an independent, seed-determined
+// simulation, so the grid fans out across Options.Workers goroutines and
+// folds back in submission order — the per-row Running accumulators see
+// runs in exactly the sequential order.
 func Table3(opt Table3Options) ([]Table3Row, error) {
 	opt.applyDefaults()
 	frames := opt.MemoryMiB << 20 / PageSize
-	var rows []Table3Row
+	var cells []table3Cell
 	for _, frac := range opt.FootprintFracs {
 		footprint := uint64(frac * float64(opt.MemoryMiB) * (1 << 20))
 		for _, name := range opt.Workloads {
-			var first, steady stats.Running
 			for run := 0; run < opt.Runs; run++ {
-				opt.Progress.Stepf("table3 %s @ %.0f MiB: run %d/%d",
-					name, float64(footprint)/(1<<20), run+1, opt.Runs)
-				seed := opt.Seed + uint64(run)*1009
-				sys, err := NewSystem(SystemConfig{Frames: frames, Mode: ModeMosaic, Seed: seed})
-				if err != nil {
-					return nil, err
-				}
-				w, err := NewWorkload(name, footprint, seed)
-				if err != nil {
-					return nil, err
-				}
-				var samples stats.Running
-				sink := trace.Tee(vmSink{sys, 1}, trace.SinkFunc(func(uint64, bool) {
-					// Sample utilization every 4096 references once the
-					// first conflict has occurred (the steady state).
-					if sys.Clock()%4096 == 0 {
-						if _, saw := sys.FirstConflictUtilization(); saw {
-							samples.Observe(sys.Utilization())
-						}
-					}
-				}))
-				RunLimited(w, sink, opt.MaxRefs)
-				u, saw := sys.FirstConflictUtilization()
-				if !saw {
-					return nil, fmt.Errorf("mosaic: %s at %.0f MiB never conflicted — footprint too small for the pool", name, float64(footprint)/(1<<20))
-				}
-				first.Observe(u)
-				if samples.N() == 0 {
-					samples.Observe(sys.Utilization())
-				}
-				steady.Observe(samples.Mean())
+				cells = append(cells, table3Cell{footprint: footprint, workload: name, run: run})
 			}
-			rows = append(rows, Table3Row{
-				Workload:        name,
-				FootprintMiB:    float64(footprint) / (1 << 20),
-				FirstConflict:   first.Mean(),
-				FirstConflictSD: first.Stddev(),
-				Steady:          steady.Mean(),
-				SteadySD:        steady.Stddev(),
-			})
 		}
+	}
+	samples, err := sweep.Run(context.Background(), cells,
+		func(_ context.Context, _ int, c table3Cell) (table3Sample, error) {
+			seed := opt.Seed + uint64(c.run)*1009
+			sys, err := NewSystem(SystemConfig{Frames: frames, Mode: ModeMosaic, Seed: seed})
+			if err != nil {
+				return table3Sample{}, err
+			}
+			w, err := NewWorkload(c.workload, c.footprint, seed)
+			if err != nil {
+				return table3Sample{}, err
+			}
+			var steady stats.Running
+			sink := trace.Tee(vmSink{sys, 1}, trace.SinkFunc(func(uint64, bool) {
+				// Sample utilization every 4096 references once the
+				// first conflict has occurred (the steady state).
+				if sys.Clock()%4096 == 0 {
+					if _, saw := sys.FirstConflictUtilization(); saw {
+						steady.Observe(sys.Utilization())
+					}
+				}
+			}))
+			RunLimited(w, sink, opt.MaxRefs)
+			u, saw := sys.FirstConflictUtilization()
+			if !saw {
+				return table3Sample{}, fmt.Errorf("mosaic: %s at %.0f MiB never conflicted — footprint too small for the pool", c.workload, float64(c.footprint)/(1<<20))
+			}
+			if steady.N() == 0 {
+				steady.Observe(sys.Utilization())
+			}
+			return table3Sample{first: u, steady: steady.Mean()}, nil
+		},
+		sweep.Options{Workers: opt.Workers, Progress: opt.Progress, Name: "table3"})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	for i := 0; i < len(cells); i += opt.Runs {
+		var first, steady stats.Running
+		for r := 0; r < opt.Runs; r++ {
+			first.Observe(samples[i+r].first)
+			steady.Observe(samples[i+r].steady)
+		}
+		rows = append(rows, Table3Row{
+			Workload:        cells[i].workload,
+			FootprintMiB:    float64(cells[i].footprint) / (1 << 20),
+			FirstConflict:   first.Mean(),
+			FirstConflictSD: first.Stddev(),
+			Steady:          steady.Mean(),
+			SteadySD:        steady.Stddev(),
+		})
 	}
 	return rows, nil
 }
@@ -166,6 +202,8 @@ type IcebergDeltaOptions struct {
 	Geometry Geometry
 	// Seed is the base seed.
 	Seed uint64
+	// Workers bounds the trial fan-out (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
 }
 
 // IcebergDeltaResult reports the load factor at the first conflict.
@@ -187,27 +225,34 @@ func IcebergDelta(opt IcebergDeltaOptions) (IcebergDeltaResult, error) {
 	if opt.Geometry == (Geometry{}) {
 		opt.Geometry = DefaultGeometry
 	}
+	us, err := sweep.Run(context.Background(), make([]struct{}, opt.Trials),
+		func(_ context.Context, trial int, _ struct{}) (float64, error) {
+			sys, err := NewSystem(SystemConfig{
+				Frames:   opt.Slots,
+				Mode:     ModeMosaic,
+				Geometry: opt.Geometry,
+				Seed:     opt.Seed + uint64(trial)*7919,
+			})
+			if err != nil {
+				return 0, err
+			}
+			for vpn := VPN(0); ; vpn++ {
+				sys.Touch(1, vpn, true)
+				if u, saw := sys.FirstConflictUtilization(); saw {
+					return u, nil
+				}
+				if int(vpn) > 2*opt.Slots {
+					return 0, fmt.Errorf("mosaic: no conflict after 2× capacity")
+				}
+			}
+		},
+		sweep.Options{Workers: opt.Workers, Name: "iceberg delta"})
+	if err != nil {
+		return IcebergDeltaResult{}, err
+	}
 	var r stats.Running
-	for trial := 0; trial < opt.Trials; trial++ {
-		sys, err := NewSystem(SystemConfig{
-			Frames:   opt.Slots,
-			Mode:     ModeMosaic,
-			Geometry: opt.Geometry,
-			Seed:     opt.Seed + uint64(trial)*7919,
-		})
-		if err != nil {
-			return IcebergDeltaResult{}, err
-		}
-		for vpn := VPN(0); ; vpn++ {
-			sys.Touch(1, vpn, true)
-			if u, saw := sys.FirstConflictUtilization(); saw {
-				r.Observe(u)
-				break
-			}
-			if int(vpn) > 2*opt.Slots {
-				return IcebergDeltaResult{}, fmt.Errorf("mosaic: no conflict after 2× capacity")
-			}
-		}
+	for _, u := range us {
+		r.Observe(u)
 	}
 	return IcebergDeltaResult{Mean: r.Mean(), SD: r.Stddev(), Min: r.Min(), Max: r.Max(), Trials: opt.Trials}, nil
 }

@@ -1,8 +1,11 @@
 package mosaic
 
 import (
+	"context"
+
 	"mosaic/internal/obs"
 	"mosaic/internal/stats"
+	"mosaic/internal/sweep"
 )
 
 // Table4Options parameterizes the swapping experiment (§4.3).
@@ -21,6 +24,10 @@ type Table4Options struct {
 	Runs int
 	// Seed is the base seed.
 	Seed uint64
+	// Workers bounds the sweep's worker pool (0 = GOMAXPROCS, 1 = the
+	// exact sequential path); every workload × footprint × run cell is an
+	// independent pair of simulations.
+	Workers int
 	// Progress, when non-nil, receives a live status line per cell.
 	Progress *obs.Progress
 }
@@ -54,41 +61,67 @@ type Table4Row struct {
 	DiffPercent  float64
 }
 
+// table4Cell addresses one workload × footprint × run pair of simulations.
+type table4Cell struct {
+	workload  string
+	footprint uint64
+	run       int
+}
+
+// table4IO is one cell's swap I/O under both systems.
+type table4IO struct {
+	linux, mosaic uint64
+}
+
 // Table4 reproduces Table 4: each workload runs at a ladder of footprints
 // above memory size, once under the Linux-like vanilla system and once
 // under mosaic with Horizon LRU, with identical reference streams; the row
-// reports total swap I/Os.
+// reports total swap I/Os. Cells are independent simulations and fan out
+// across Options.Workers goroutines; results fold back in submission
+// order, so rows and their run averages match the sequential loop exactly.
 func Table4(opt Table4Options) ([]Table4Row, error) {
 	opt.applyDefaults()
 	frames := opt.MemoryMiB << 20 / PageSize
-	var rows []Table4Row
+	var cells []table4Cell
 	for _, name := range opt.Workloads {
 		for _, frac := range opt.FootprintFracs {
 			footprint := uint64(frac * float64(opt.MemoryMiB) * (1 << 20))
-			var linux, mosaic stats.Running
 			for run := 0; run < opt.Runs; run++ {
-				opt.Progress.Stepf("table4 %s @ %.0f MiB: run %d/%d",
-					name, float64(footprint)/(1<<20), run+1, opt.Runs)
-				seed := opt.Seed + uint64(run)*104729
-				lio, err := swapIO(ModeVanilla, frames, name, footprint, seed, opt.MaxRefs)
-				if err != nil {
-					return nil, err
-				}
-				mio, err := swapIO(ModeMosaic, frames, name, footprint, seed, opt.MaxRefs)
-				if err != nil {
-					return nil, err
-				}
-				linux.Observe(float64(lio))
-				mosaic.Observe(float64(mio))
+				cells = append(cells, table4Cell{workload: name, footprint: footprint, run: run})
 			}
-			rows = append(rows, Table4Row{
-				Workload:     name,
-				FootprintMiB: float64(footprint) / (1 << 20),
-				LinuxKPages:  linux.Mean() / 1000,
-				MosaicKPages: mosaic.Mean() / 1000,
-				DiffPercent:  stats.PercentChange(linux.Mean(), mosaic.Mean()),
-			})
 		}
+	}
+	ios, err := sweep.Run(context.Background(), cells,
+		func(_ context.Context, _ int, c table4Cell) (table4IO, error) {
+			seed := opt.Seed + uint64(c.run)*104729
+			lio, err := swapIO(ModeVanilla, frames, c.workload, c.footprint, seed, opt.MaxRefs)
+			if err != nil {
+				return table4IO{}, err
+			}
+			mio, err := swapIO(ModeMosaic, frames, c.workload, c.footprint, seed, opt.MaxRefs)
+			if err != nil {
+				return table4IO{}, err
+			}
+			return table4IO{linux: lio, mosaic: mio}, nil
+		},
+		sweep.Options{Workers: opt.Workers, Progress: opt.Progress, Name: "table4"})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table4Row
+	for i := 0; i < len(cells); i += opt.Runs {
+		var linux, mosaic stats.Running
+		for r := 0; r < opt.Runs; r++ {
+			linux.Observe(float64(ios[i+r].linux))
+			mosaic.Observe(float64(ios[i+r].mosaic))
+		}
+		rows = append(rows, Table4Row{
+			Workload:     cells[i].workload,
+			FootprintMiB: float64(cells[i].footprint) / (1 << 20),
+			LinuxKPages:  linux.Mean() / 1000,
+			MosaicKPages: mosaic.Mean() / 1000,
+			DiffPercent:  stats.PercentChange(linux.Mean(), mosaic.Mean()),
+		})
 	}
 	return rows, nil
 }
