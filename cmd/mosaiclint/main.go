@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	go run ./cmd/mosaiclint [-list] [packages]
+//	go run ./cmd/mosaiclint [flags] [packages]
 //
 // Packages default to ./... — the whole module. Findings are printed one
-// per line as file:line:col: analyzer: message, and the exit status is 1
+// per line as file:line:col: analyzer: message; -json and -sarif select
+// the machine-readable encodings (stable ML… rule IDs, line-independent
+// fingerprints), and -fix applies the suggested fixes of the mechanical
+// analyzers before re-linting. The escape-analysis budget gate (hotalloc)
+// runs whenever the whole module is linted; -update-escapes regenerates
+// its baseline after a reviewed allocation change. The exit status is 1
 // when there are findings, 2 on a load or usage error, 0 otherwise. The
 // pre-PR gate (scripts/check.sh) runs mosaiclint alongside go vet.
 package main
@@ -15,44 +20,136 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"mosaic/internal/lint"
 	"mosaic/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, err)
+	return 2
+}
+
+func run() int {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as mosaiclint JSON (schema v1) on stdout")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
+	fix := flag.Bool("fix", false, "apply suggested fixes, then re-lint and report what remains")
+	hotalloc := flag.Bool("hotalloc", true, "run the escape-analysis budget gate when linting the whole module")
+	updateEscapes := flag.Bool("update-escapes", false, "regenerate the hotalloc escape baseline from the current tree and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 	if *cpuprofile != "" {
 		stop, err := obs.StartCPUProfile(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return fail(err)
 		}
 		defer stop()
 	}
-	if *list {
-		for _, an := range lint.All() {
-			fmt.Printf("%-12s %s\n", an.Name, an.Doc)
-		}
-		return
+	if *jsonOut && *sarifOut {
+		return fail(fmt.Errorf("mosaiclint: -json and -sarif are mutually exclusive"))
 	}
+	if *list {
+		for _, an := range lint.Catalog() {
+			fmt.Printf("%-6s %-12s %s\n", an.ID, an.Name, an.Doc)
+		}
+		return 0
+	}
+
+	root, err := lint.ModuleRoot()
+	if err != nil {
+		return fail(err)
+	}
+	baseline := filepath.Join(root, lint.EscapeBaselineFile)
+	if *updateEscapes {
+		if err := lint.WriteEscapeBaseline(root, baseline, lint.HotPathPackages); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "mosaiclint: wrote %s\n", lint.EscapeBaselineFile)
+		return 0
+	}
+
 	patterns := flag.Args()
-	if len(patterns) == 0 {
+	wholeModule := len(patterns) == 0
+	if wholeModule {
 		patterns = []string{"./..."}
 	}
-	passes, err := lint.Load(patterns)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	for _, p := range patterns {
+		if p == "./..." {
+			wholeModule = true
+		}
 	}
-	diags := lint.RunAll(passes, lint.All())
-	for _, d := range diags {
-		fmt.Println(d)
+
+	diags, err := lintOnce(patterns)
+	if err != nil {
+		return fail(err)
+	}
+	if *fix {
+		changed, applied, err := lint.ApplyFixes(diags)
+		if err != nil {
+			return fail(err)
+		}
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "mosaiclint: applied %d fix(es) across %d file(s)\n", applied, len(changed))
+			// Re-lint so the report reflects the rewritten tree.
+			if diags, err = lintOnce(patterns); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// The escape gate is a whole-module property (it compiles fixed
+	// package patterns from the module root), so it joins the run only
+	// when the whole module is being linted.
+	if *hotalloc && wholeModule {
+		regressions, removed, err := lint.RunHotAlloc(root, baseline, lint.HotPathPackages)
+		if err != nil {
+			return fail(err)
+		}
+		diags = append(diags, regressions...)
+		lint.SortDiagnostics(diags)
+		if len(removed) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"mosaiclint: %d escape site(s) in the baseline no longer occur; run mosaiclint -update-escapes to bank the improvement\n",
+				len(removed))
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		return fail(err)
+	}
+	switch {
+	case *jsonOut:
+		if err := lint.WriteJSON(os.Stdout, cwd, diags); err != nil {
+			return fail(err)
+		}
+	case *sarifOut:
+		if err := lint.WriteSARIF(os.Stdout, cwd, diags); err != nil {
+			return fail(err)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "mosaiclint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// lintOnce loads the patterns and runs the per-package analyzer suite.
+func lintOnce(patterns []string) ([]lint.Diagnostic, error) {
+	passes, err := lint.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return lint.RunAll(passes, lint.All()), nil
 }

@@ -21,6 +21,7 @@ import (
 //     allowed.
 var CPFNBounds = &Analyzer{
 	Name: "cpfnbounds",
+	ID:   "ML003",
 	Doc:  "raw integer→CPFN conversions and PFN arithmetic are confined to internal/core and internal/alloc",
 	Run:  runCPFNBounds,
 }

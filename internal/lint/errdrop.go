@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ErrDrop flags call statements that silently discard an error returned by
@@ -15,6 +16,7 @@ import (
 // explicit `_ = f()` is a reviewable, deliberate decision and is allowed.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
+	ID:   "ML004",
 	Doc:  "error returns from the alloc, iceberg, and swap APIs must not be silently discarded",
 	Run:  runErrDrop,
 }
@@ -60,9 +62,18 @@ func runErrDrop(p *Pass) []Diagnostic {
 			if !ok || !returnsError(sig) {
 				return true
 			}
-			out = append(out, p.diag("errdrop", call.Pos(),
+			d := p.diag("errdrop", call.Pos(),
 				"result of %s.%s discarded: handle the error (or assign to _ to discard explicitly)",
-				fn.Pkg().Name(), fn.Name()))
+				fn.Pkg().Name(), fn.Name())
+			// The mechanical remedy makes the discard explicit: one blank
+			// per result value, so the statement survives review as a
+			// deliberate decision.
+			blanks := strings.Repeat("_, ", sig.Results().Len()-1) + "_ = "
+			d.Fix = &Fix{
+				Message: "make the discard explicit with " + blanks,
+				Edits:   []TextEdit{p.edit(stmt.Pos(), stmt.Pos(), blanks)},
+			}
+			out = append(out, d)
 			return true
 		})
 	}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies the suggested fixes attached to diags to the files on
+// disk and returns the changed file names (sorted) and the number of fixes
+// applied. A fix whose edits overlap an already-accepted fix in the same
+// run is skipped rather than corrupting the file; re-running mosaiclint
+// -fix converges. Byte offsets refer to the file contents the diagnostics
+// were produced from, so all fixes for one file are spliced against one
+// read of it.
+func ApplyFixes(diags []Diagnostic) (changed []string, applied int, err error) {
+	type fileState struct {
+		content []byte
+		edits   []TextEdit
+	}
+	files := map[string]*fileState{}
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		// Accept or reject the fix atomically: every edit must land in a
+		// readable file and must not overlap edits already accepted.
+		ok := true
+		for _, e := range d.Fix.Edits {
+			st := files[e.Filename]
+			if st == nil {
+				content, rerr := os.ReadFile(e.Filename)
+				if rerr != nil {
+					return nil, 0, fmt.Errorf("lint: applying fix: %v", rerr)
+				}
+				st = &fileState{content: content}
+				files[e.Filename] = st
+			}
+			if e.Start < 0 || e.End < e.Start || e.End > len(st.content) {
+				return nil, 0, fmt.Errorf("lint: fix edit out of range for %s: [%d,%d) of %d bytes",
+					e.Filename, e.Start, e.End, len(st.content))
+			}
+			for _, prev := range st.edits {
+				if e.Start < prev.End && prev.Start < e.End {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			files[e.Filename].edits = append(files[e.Filename].edits, e)
+		}
+		applied++
+	}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := files[name]
+		if len(st.edits) == 0 {
+			continue
+		}
+		// Splice highest-offset first so earlier offsets stay valid.
+		sort.Slice(st.edits, func(i, j int) bool { return st.edits[i].Start > st.edits[j].Start })
+		out := st.content
+		for _, e := range st.edits {
+			out = append(out[:e.Start], append([]byte(e.NewText), out[e.End:]...)...)
+		}
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			return nil, 0, fmt.Errorf("lint: applying fix: %v", err)
+		}
+		changed = append(changed, name)
+	}
+	return changed, applied, nil
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden files from current output")
+
+// TestApplyFixes runs detrand and errdrop over a scratch copy of the
+// fixapply fixture, applies every suggested fix, and compares the rewritten
+// file to the checked-in golden: the detrand composite-generator rewrite
+// (including the import swap) and both errdrop explicit-discard shapes.
+func TestApplyFixes(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "fixapply", "fixapply.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "fixapply.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pass := loadFixtureDir(t, dir, "mosaic/internal/fixture")
+	diags := append(pass.Run(DetRand), pass.Run(ErrDrop)...)
+	fixable := 0
+	for _, d := range diags {
+		if d.Fix != nil {
+			fixable++
+		}
+	}
+	if fixable != 3 {
+		t.Fatalf("got %d fixable diagnostics, want 3 (detrand composite + two errdrops): %v", fixable, diags)
+	}
+	changed, applied, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 3 || len(changed) != 1 {
+		t.Fatalf("applied %d fixes across %v, want 3 in 1 file", applied, changed)
+	}
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "src", "fixapply", "fixapply.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("fixed file diverges from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// The fixed tree must lint clean: re-check the rewritten fixture.
+	fixed := loadFixtureDir(t, dir, "mosaic/internal/fixture")
+	if ds := append(fixed.Run(DetRand), fixed.Run(ErrDrop)...); len(ds) != 0 {
+		t.Errorf("fixed fixture still has findings: %v", ds)
+	}
+}

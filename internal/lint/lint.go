@@ -17,6 +17,18 @@
 //     must not be silently discarded.
 //   - obsnames:   constant metric names handed to internal/obs must be
 //     lowercase dotted identifiers (the registry's grammar).
+//   - maporder:   ranging over a map while emitting ordered output (result
+//     slices, trace/obs writes, printing) would make results depend on map
+//     iteration order; iterate a sorted key slice instead.
+//   - sweepsafe:  closures handed to sweep.Run or go statements must not
+//     write shared package- or struct-level state outside a lock set, nor
+//     capture pre-loop variables that later iterations mutate.
+//   - hotalloc:   a tree-level escape-analysis budget gate — heap-escape
+//     sites in the hot-path packages are diffed against
+//     internal/lint/escapes.baseline and regressions fail the run.
+//
+// Every analyzer has a stable diagnostic ID (ML001…), used as the rule ID
+// in the machine-readable -json and -sarif output modes.
 //
 // A finding can be suppressed with a directive comment on the same line or
 // the line above:
@@ -41,23 +53,66 @@ type Analyzer struct {
 	// Name is the analyzer's identifier, used in output and in
 	// //lint:ignore directives.
 	Name string
+	// ID is the analyzer's stable diagnostic identifier ("ML004"). IDs are
+	// append-only: once published in JSON/SARIF output they are never
+	// renumbered, so downstream suppressions and dashboards keyed on them
+	// survive analyzer additions.
+	ID string
 	// Doc is a one-line description.
 	Doc string
 	// Run inspects the pass and returns its findings. Suppression by
-	// directive is applied by the driver, not by Run.
+	// directive is applied by the driver, not by Run. Nil for tree-level
+	// checks (hotalloc) that do not operate on a single pass.
 	Run func(*Pass) []Diagnostic
 }
 
-// All returns the full analyzer suite in output order.
+// All returns the per-package analyzer suite in output order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, NoPanic, CPFNBounds, ErrDrop, ObsNames}
+	return []*Analyzer{DetRand, NoPanic, CPFNBounds, ErrDrop, ObsNames, MapOrder, SweepSafe}
+}
+
+// Catalog returns every analyzer mosaiclint can report under, including
+// the tree-level hotalloc gate, for -list output and SARIF rule metadata.
+func Catalog() []*Analyzer {
+	return append(All(), HotAlloc, directiveInfo)
+}
+
+// directiveInfo describes the pseudo-analyzer that reports malformed
+// //lint:ignore directives.
+var directiveInfo = &Analyzer{
+	Name: "directive",
+	ID:   "ML000",
+	Doc:  "//lint:ignore directives must name an analyzer and carry a reason",
+}
+
+// A TextEdit is one byte-range replacement in a file, the unit of a
+// suggested fix. Start and End are byte offsets into the file's current
+// contents.
+type TextEdit struct {
+	Filename string
+	Start    int
+	End      int
+	NewText  string
+}
+
+// A Fix is a mechanical rewrite that resolves a diagnostic. Fixes are
+// advisory in the default text mode and applied by mosaiclint -fix.
+type Fix struct {
+	// Message describes the rewrite ("discard explicitly with _ =").
+	Message string
+	Edits   []TextEdit
 }
 
 // A Diagnostic is one finding at a source position.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
-	Message  string
+	// ID is the stable identifier of the producing analyzer, stamped by the
+	// driver (Pass.Run / RunAll) so individual analyzers never set it.
+	ID      string
+	Message string
+	// Fix, when non-nil, is a mechanical rewrite that resolves the finding.
+	Fix *Fix
 }
 
 func (d Diagnostic) String() string {
@@ -101,7 +156,8 @@ func (p *Pass) scanDirectives() {
 				if strings.TrimSpace(m[2]) == "" {
 					p.badDirectives = append(p.badDirectives, Diagnostic{
 						Pos:      pos,
-						Analyzer: "directive",
+						Analyzer: directiveInfo.Name,
+						ID:       directiveInfo.ID,
 						Message:  fmt.Sprintf("//lint:ignore %s directive needs a reason", m[1]),
 					})
 					continue
@@ -128,28 +184,33 @@ func (p *Pass) diag(analyzer string, pos token.Pos, format string, args ...any) 
 	}
 }
 
-// Run applies one analyzer to the pass and filters directive-suppressed
-// findings.
+// edit builds a TextEdit replacing the [pos, end) source range.
+func (p *Pass) edit(pos, end token.Pos, text string) TextEdit {
+	start := p.Fset.Position(pos)
+	return TextEdit{
+		Filename: start.Filename,
+		Start:    start.Offset,
+		End:      p.Fset.Position(end).Offset,
+		NewText:  text,
+	}
+}
+
+// Run applies one analyzer to the pass, stamps the analyzer's stable ID,
+// and filters directive-suppressed findings.
 func (p *Pass) Run(an *Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, d := range an.Run(p) {
 		if !p.suppressed(d) {
+			d.ID = an.ID
 			out = append(out, d)
 		}
 	}
 	return out
 }
 
-// RunAll applies every analyzer to every pass, appends malformed-directive
-// findings, and returns the result sorted by position.
-func RunAll(passes []*Pass, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, p := range passes {
-		out = append(out, p.badDirectives...)
-		for _, an := range analyzers {
-			out = append(out, p.Run(an)...)
-		}
-	}
+// SortDiagnostics orders diagnostics by position, then analyzer — the
+// stable output order shared by every output mode.
+func SortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -163,6 +224,19 @@ func RunAll(passes []*Pass, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+}
+
+// RunAll applies every analyzer to every pass, appends malformed-directive
+// findings, and returns the result sorted by position.
+func RunAll(passes []*Pass, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range passes {
+		out = append(out, p.badDirectives...)
+		for _, an := range analyzers {
+			out = append(out, p.Run(an)...)
+		}
+	}
+	SortDiagnostics(out)
 	return out
 }
 

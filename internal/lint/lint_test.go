@@ -32,7 +32,13 @@ import (
 // via go list, exactly as the production loader does.
 func loadFixture(t *testing.T, name, importPath string) *Pass {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", name)
+	return loadFixtureDir(t, filepath.Join("testdata", "src", name), importPath)
+}
+
+// loadFixtureDir is loadFixture over an explicit directory — the fix tests
+// copy a fixture into a scratch dir so ApplyFixes can rewrite it.
+func loadFixtureDir(t *testing.T, dir, importPath string) *Pass {
+	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +81,7 @@ func loadFixture(t *testing.T, name, importPath string) *Pass {
 	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
 	pkg, err := conf.Check(importPath, fset, files, info)
 	if err != nil {
-		t.Fatalf("type-checking fixture %s: %v", name, err)
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
 	}
 	pass := &Pass{ImportPath: importPath, Fset: fset, Files: files, Pkg: pkg, Info: info}
 	pass.scanDirectives()

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -13,6 +14,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+
+	"mosaic/internal/sweep"
 )
 
 // The loader type-checks packages without golang.org/x/tools: one
@@ -20,6 +23,13 @@ import (
 // reports the export-data file of every package, and a gc importer with a
 // lookup function resolves imports from those files. Each non-dependency
 // package in the listing becomes a Pass.
+//
+// Parsing and type-checking fan out across the repository's own sweep
+// engine — packages are independent once export data exists, so each sweep
+// point parses and checks one package with its own gc importer (the
+// importer is not safe for concurrent use; the shared FileSet is). Results
+// come back in submission-index order, so the pass list, and therefore
+// every downstream diagnostic ordering, is identical at any worker count.
 
 // listedPkg is the subset of `go list -json` output the loader consumes.
 type listedPkg struct {
@@ -62,6 +72,20 @@ func goList(patterns []string) ([]listedPkg, error) {
 	return pkgs, nil
 }
 
+// ModuleRoot returns the main module's directory: the working directory
+// for the hotalloc compiler run and the base against which the output
+// modes relativize file paths.
+func ModuleRoot() (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go list -m: %v\n%s", err, stderr.Bytes())
+	}
+	return string(bytes.TrimSpace(out)), nil
+}
+
 // exportLookup builds the importer lookup function over the export-data
 // files `go list` reported.
 func exportLookup(pkgs []listedPkg) func(path string) (io.ReadCloser, error) {
@@ -90,45 +114,56 @@ func newInfo() *types.Info {
 	}
 }
 
+// checkPkg parses and type-checks one listed package into a Pass, using a
+// fresh importer so concurrent checks never share importer state.
+func checkPkg(fset *token.FileSet, lookup func(string) (io.ReadCloser, error), p listedPkg) (*Pass, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, err)
+	}
+	pass := &Pass{
+		ImportPath: p.ImportPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+	}
+	pass.scanDirectives()
+	return pass, nil
+}
+
 // Load lists, parses, and type-checks the packages matching patterns
 // (defaulting to ./... semantics is the caller's concern) and returns one
-// Pass per matched package. Dependencies are resolved from compiled export
-// data, so Load needs no network and no third-party loader.
+// Pass per matched package, in `go list` order regardless of parallelism.
+// Dependencies are resolved from compiled export data, so Load needs no
+// network and no third-party loader.
 func Load(patterns []string) ([]*Pass, error) {
 	pkgs, err := goList(patterns)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", exportLookup(pkgs))
-	var passes []*Pass
+	lookup := exportLookup(pkgs)
+	var targets []listedPkg
 	for _, p := range pkgs {
 		if p.DepOnly || len(p.GoFiles) == 0 {
 			continue
 		}
-		var files []*ast.File
-		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-			if err != nil {
-				return nil, fmt.Errorf("lint: %v", err)
-			}
-			files = append(files, f)
-		}
-		info := newInfo()
-		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
-		if err != nil {
-			return nil, fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, err)
-		}
-		pass := &Pass{
-			ImportPath: p.ImportPath,
-			Fset:       fset,
-			Files:      files,
-			Pkg:        tpkg,
-			Info:       info,
-		}
-		pass.scanDirectives()
-		passes = append(passes, pass)
+		targets = append(targets, p)
 	}
-	return passes, nil
+	return sweep.Run(context.Background(), targets,
+		func(_ context.Context, _ int, p listedPkg) (*Pass, error) {
+			return checkPkg(fset, lookup, p)
+		},
+		sweep.Options{Name: "lint load"})
 }

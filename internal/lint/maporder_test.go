@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestMapOrder(t *testing.T) {
+	checkFixture(t, MapOrder, "maporder", "mosaic/internal/fixture")
+}

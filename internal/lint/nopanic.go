@@ -24,6 +24,7 @@ import (
 //     itself is corrupt.
 var NoPanic = &Analyzer{
 	Name: "nopanic",
+	ID:   "ML002",
 	Doc:  "library packages panic only in constructors and validation, never on steady-state paths",
 	Run:  runNoPanic,
 }

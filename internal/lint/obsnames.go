@@ -17,6 +17,7 @@ import (
 // concatenation) are left to the registry's own validation.
 var ObsNames = &Analyzer{
 	Name: "obsnames",
+	ID:   "ML005",
 	Doc:  "metric names passed to internal/obs must be lowercase dotted identifiers",
 	Run:  runObsNames,
 }

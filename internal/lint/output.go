@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Machine-readable diagnostic output. Two encodings share one identity
+// scheme: every diagnostic carries its analyzer's stable ID (ML001…) as the
+// rule identifier plus a line-independent fingerprint (analyzer, file,
+// message), so external trackers can follow a finding across refactors that
+// only move it vertically within its file.
+
+// JSONSchemaVersion versions the -json output layout. Bump only on
+// incompatible changes; the golden test pins the current shape.
+const JSONSchemaVersion = 1
+
+// fingerprint returns the stable identity of a diagnostic: an FNV-64a hash
+// of analyzer, file, and message — deliberately excluding the line number.
+func fingerprint(analyzer, file, message string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s", analyzer, file, message)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// relFile rewrites file relative to baseDir (when possible) with forward
+// slashes, the form both output modes and SARIF artifact URIs use.
+func relFile(baseDir, file string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, file); err == nil && !filepath.IsAbs(rel) {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+type jsonEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+type jsonFix struct {
+	Message string     `json:"message"`
+	Edits   []jsonEdit `json:"edits"`
+}
+
+type jsonDiagnostic struct {
+	ID          string   `json:"id"`
+	Analyzer    string   `json:"analyzer"`
+	File        string   `json:"file"`
+	Line        int      `json:"line"`
+	Column      int      `json:"column"`
+	Message     string   `json:"message"`
+	Fingerprint string   `json:"fingerprint"`
+	Fix         *jsonFix `json:"fix,omitempty"`
+}
+
+type jsonReport struct {
+	SchemaVersion int              `json:"schema_version"`
+	Tool          string           `json:"tool"`
+	Findings      []jsonDiagnostic `json:"findings"`
+}
+
+// WriteJSON renders diagnostics as the versioned mosaiclint JSON report.
+// File paths are rewritten relative to baseDir; diags are emitted in the
+// order given (RunAll's position order).
+func WriteJSON(w io.Writer, baseDir string, diags []Diagnostic) error {
+	report := jsonReport{
+		SchemaVersion: JSONSchemaVersion,
+		Tool:          "mosaiclint",
+		Findings:      []jsonDiagnostic{},
+	}
+	for _, d := range diags {
+		file := relFile(baseDir, d.Pos.Filename)
+		jd := jsonDiagnostic{
+			ID:          d.ID,
+			Analyzer:    d.Analyzer,
+			File:        file,
+			Line:        d.Pos.Line,
+			Column:      d.Pos.Column,
+			Message:     d.Message,
+			Fingerprint: fingerprint(d.Analyzer, file, d.Message),
+		}
+		if d.Fix != nil {
+			jf := &jsonFix{Message: d.Fix.Message, Edits: []jsonEdit{}}
+			for _, e := range d.Fix.Edits {
+				jf.Edits = append(jf.Edits, jsonEdit{
+					File:    relFile(baseDir, e.Filename),
+					Start:   e.Start,
+					End:     e.End,
+					NewText: e.NewText,
+				})
+			}
+			jd.Fix = jf
+		}
+		report.Findings = append(report.Findings, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(report)
+}
+
+// SARIF 2.1.0, the minimal subset code-review tooling consumes: one run,
+// one rule per analyzer (indexed from the catalogue sorted by ID), one
+// result per diagnostic with a physical location and a partial fingerprint.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	Name             string       `json:"name"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	RuleIndex           int               `json:"ruleIndex"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log. Every analyzer in
+// the catalogue appears as a rule (stable ID order) even when it produced
+// no results, so rule metadata does not churn with the findings.
+func WriteSARIF(w io.Writer, baseDir string, diags []Diagnostic) error {
+	rules := append([]*Analyzer(nil), Catalog()...)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	ruleIndex := make(map[string]int, len(rules))
+	driver := sarifDriver{Name: "mosaiclint", Rules: []sarifRule{}}
+	for i, an := range rules {
+		ruleIndex[an.ID] = i
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               an.ID,
+			Name:             an.Name,
+			ShortDescription: sarifMessage{Text: an.Doc},
+		})
+	}
+	results := []sarifResult{}
+	for _, d := range diags {
+		file := relFile(baseDir, d.Pos.Filename)
+		idx, ok := ruleIndex[d.ID]
+		if !ok {
+			return fmt.Errorf("lint: diagnostic with unknown rule ID %q (analyzer %s)", d.ID, d.Analyzer)
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.ID,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: file},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+			PartialFingerprints: map[string]string{
+				"mosaiclintFingerprint/v1": fingerprint(d.Analyzer, file, d.Message),
+			},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(log)
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenDiags produces a deterministic diagnostic set covering the output
+// surface: plain findings from the new analyzers plus fix-carrying findings
+// from detrand and errdrop, all position-sorted by RunAll.
+func goldenDiags(t *testing.T) []Diagnostic {
+	t.Helper()
+	passes := []*Pass{
+		loadFixture(t, "maporder", "mosaic/internal/fixture"),
+		loadFixture(t, "sweepsafe", "mosaic/internal/fixture"),
+		loadFixture(t, "fixapply", "mosaic/internal/fixture"),
+	}
+	diags := RunAll(passes, All())
+	if len(diags) == 0 {
+		t.Fatal("golden fixture set produced no diagnostics")
+	}
+	return diags
+}
+
+// checkGolden compares got against the named golden file, rewriting it under
+// -update-golden.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (rerun with -update-golden if intended):\n--- got ---\n%s", name, got)
+	}
+}
+
+// TestGoldenJSON pins the -json report shape byte for byte: schema version,
+// field names, fingerprints, and fix encoding all live in the golden file,
+// so any schema drift shows up as a diff reviewers must approve.
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "", goldenDiags(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"schema_version": 1`) {
+		t.Errorf("report missing schema_version 1:\n%s", out)
+	}
+	if !strings.Contains(out, `"fix"`) {
+		t.Errorf("no fix-carrying finding in the golden set; fix encoding is unpinned")
+	}
+	checkGolden(t, "golden.json", buf.Bytes())
+}
+
+// TestGoldenSARIF pins the SARIF 2.1.0 encoding, including the full rule
+// catalogue (every analyzer appears even without findings) and the
+// partial-fingerprint key.
+func TestGoldenSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "", goldenDiags(t)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, an := range Catalog() {
+		if !strings.Contains(out, `"id": "`+an.ID+`"`) {
+			t.Errorf("rule %s (%s) missing from SARIF rules", an.ID, an.Name)
+		}
+	}
+	if !strings.Contains(out, "mosaiclintFingerprint/v1") {
+		t.Error("partial fingerprint key missing")
+	}
+	checkGolden(t, "golden.sarif", buf.Bytes())
+}
+
+// TestFingerprintStability pins the fingerprint function itself: it must
+// stay line-independent and byte-stable across releases, or external
+// trackers lose finding identity.
+func TestFingerprintStability(t *testing.T) {
+	got := fingerprint("detrand", "internal/core/sim.go", "call to rand.Intn")
+	const want = "1a45c77582388e83"
+	if got != want {
+		t.Errorf("fingerprint changed: got %s, want %s — this breaks finding identity downstream", got, want)
+	}
+	if fingerprint("a", "b", "c") == fingerprint("a", "b|", "c") {
+		t.Error("separator collision: field boundaries not hashed")
+	}
+}

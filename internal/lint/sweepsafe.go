@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SweepSafe guards the concurrency discipline the sweep engine's
+// determinism argument rests on: points share no state, so the closures
+// that run them must not smuggle shared state in through their captures.
+// Three shapes are flagged:
+//
+//  1. A closure passed to sweep.Run or launched by a go statement that
+//     assigns to a package-level variable without a Lock call earlier in
+//     the closure body (the crude but effective lock-set approximation).
+//  2. The same for field writes through a captured variable — struct-level
+//     shared state. Index writes (out[i] = r) are deliberately exempt:
+//     distinct-index writes are the engine's own result-collection idiom.
+//  3. A sweep.Run closure that assigns to any captured local at all — a
+//     cross-point accumulator makes the fold depend on completion order,
+//     which is exactly what the engine exists to prevent. Accumulate by
+//     returning per-point results instead.
+//
+// Additionally, a go-statement closure inside a loop must not capture a
+// variable that was declared before the loop and is mutated by the loop
+// (classic pre-Go-1.22 iteration sharing, still reproducible with
+// `var i int; for i = 0; ...`): by the time the goroutine runs, the
+// variable holds some later iteration's value.
+var SweepSafe = &Analyzer{
+	Name: "sweepsafe",
+	ID:   "ML007",
+	Doc:  "closures given to sweep.Run or go must not write shared state outside a lock set or capture loop-mutated variables",
+	Run:  runSweepSafe,
+}
+
+// lockPositions collects the positions of calls to methods named Lock or
+// RLock inside the closure, the lock-set approximation: a shared write is
+// considered guarded when some Lock call precedes it in the closure body.
+func lockPositions(body *ast.BlockStmt) []token.Pos {
+	var locks []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+			(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+			locks = append(locks, call.Pos())
+		}
+		return true
+	})
+	return locks
+}
+
+func guarded(locks []token.Pos, write token.Pos) bool {
+	for _, l := range locks {
+		if l < write {
+			return true
+		}
+	}
+	return false
+}
+
+// freeVar resolves id to a variable declared outside the closure, or nil.
+func freeVar(p *Pass, fl *ast.FuncLit, id *ast.Ident) *types.Var {
+	obj, ok := p.Info.Uses[id].(*types.Var)
+	if !ok || obj.IsField() {
+		return nil
+	}
+	if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+		return nil
+	}
+	return obj
+}
+
+// pkgLevel reports whether v is a package-level variable of this package.
+func (p *Pass) pkgLevel(v *types.Var) bool {
+	return v.Parent() == p.Pkg.Scope()
+}
+
+// sharedWrites inspects one candidate closure and reports unguarded writes
+// to shared state. inSweepRun additionally bans writes to captured locals.
+func sharedWrites(p *Pass, fl *ast.FuncLit, inSweepRun bool, ctx string) []Diagnostic {
+	locks := lockPositions(fl.Body)
+	var out []Diagnostic
+	flag := func(target ast.Expr, pos token.Pos) {
+		switch t := ast.Unparen(target).(type) {
+		case *ast.Ident:
+			v := freeVar(p, fl, t)
+			if v == nil {
+				return
+			}
+			switch {
+			case p.pkgLevel(v):
+				if !guarded(locks, pos) {
+					out = append(out, p.diag("sweepsafe", pos,
+						"%s writes package-level %s without holding a lock: shared state breaks the points-share-nothing determinism argument",
+						ctx, t.Name))
+				}
+			case inSweepRun:
+				if !guarded(locks, pos) {
+					out = append(out, p.diag("sweepsafe", pos,
+						"%s writes captured %s: a cross-point accumulator depends on completion order; return per-point results and fold them after sweep.Run",
+						ctx, t.Name))
+				}
+			}
+		case *ast.SelectorExpr:
+			base := t.X
+			for {
+				if sel, ok := ast.Unparen(base).(*ast.SelectorExpr); ok {
+					base = sel.X
+					continue
+				}
+				break
+			}
+			id, ok := ast.Unparen(base).(*ast.Ident)
+			if !ok {
+				return
+			}
+			if v := freeVar(p, fl, id); v != nil && !guarded(locks, pos) {
+				out = append(out, p.diag("sweepsafe", pos,
+					"%s writes %s.%s through a captured reference without holding a lock",
+					ctx, id.Name, t.Sel.Name))
+			}
+		}
+	}
+	// Nested closures are walked too: they inherit the same capture set,
+	// and freeVar's range check still distinguishes fl-local variables.
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			if stmt.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range stmt.Lhs {
+				flag(lhs, stmt.Pos())
+			}
+		case *ast.IncDecStmt:
+			flag(stmt.X, stmt.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// loopCaptures flags variables the go-closure captures that were declared
+// before the enclosing loop and are mutated by the loop itself.
+func loopCaptures(p *Pass, fl *ast.FuncLit, loop ast.Node) []Diagnostic {
+	// Variables the loop mutates outside the closure (includes a 3-clause
+	// post statement; a `for i := 0` init declares i inside the loop node,
+	// so per-iteration variables never qualify as pre-loop).
+	mutated := map[*types.Var]bool{}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if n == fl {
+			return false
+		}
+		record := func(e ast.Expr) {
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if v, ok := p.Info.Uses[id].(*types.Var); ok && v.Pos() < loop.Pos() {
+					mutated[v] = true
+				}
+			}
+		}
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range stmt.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(stmt.X)
+		case *ast.RangeStmt:
+			record(stmt.Key)
+			record(stmt.Value)
+		}
+		return true
+	})
+	if len(mutated) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	seen := map[*types.Var]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := p.Info.Uses[id].(*types.Var); ok && mutated[v] && !seen[v] {
+			seen[v] = true
+			out = append(out, p.diag("sweepsafe", id.Pos(),
+				"goroutine captures %s, which the enclosing loop mutates between iterations: pass it as an argument or declare it inside the loop",
+				id.Name))
+		}
+		return true
+	})
+	return out
+}
+
+// enclosingLoop returns the innermost for/range statement in the stack.
+func enclosingLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// isSweepRunCall reports whether call invokes sweep.Run.
+func isSweepRunCall(p *Pass, call *ast.CallExpr) bool {
+	fn, ok := callee(p.Info, call).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "mosaic/internal/sweep" && fn.Name() == "Run"
+}
+
+func runSweepSafe(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch stmt := n.(type) {
+			case *ast.CallExpr:
+				if !isSweepRunCall(p, stmt) {
+					return true
+				}
+				for _, arg := range stmt.Args {
+					if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						out = append(out, sharedWrites(p, fl, true, "closure passed to sweep.Run")...)
+					}
+				}
+			case *ast.GoStmt:
+				fl, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				out = append(out, sharedWrites(p, fl, false, "goroutine")...)
+				if loop := enclosingLoop(stack[:len(stack)-1]); loop != nil {
+					out = append(out, loopCaptures(p, fl, loop)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

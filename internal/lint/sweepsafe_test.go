@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSweepSafe(t *testing.T) {
+	checkFixture(t, SweepSafe, "sweepsafe", "mosaic/internal/fixture")
+}

@@ -1,0 +1,40 @@
+// Package hot is the hotalloc fixture, a miniature of the repository's
+// RunLimited hot path. This variant uses the preallocated concrete sink —
+// the shape the escape baseline blesses.
+package hot
+
+// Sink consumes one memory reference per call.
+type Sink interface {
+	Access(va uint64, write bool)
+}
+
+type limitReached struct{}
+
+// limitSink is the preallocated counting sink: no closure environment, so
+// the per-call state lives in a stack-constructed struct.
+type limitSink struct {
+	n   uint64
+	max uint64
+}
+
+func (s *limitSink) Access(va uint64, write bool) {
+	s.n++
+	if s.n >= s.max {
+		panic(limitReached{})
+	}
+}
+
+// RunLimited drives the workload into a counting sink and stops at max.
+func RunLimited(run func(Sink), max uint64) (n uint64) {
+	ls := limitSink{max: max}
+	defer func() {
+		n = ls.n
+		if r := recover(); r != nil {
+			if _, ok := r.(limitReached); !ok {
+				panic(r)
+			}
+		}
+	}()
+	run(&ls)
+	return ls.n
+}

@@ -1,0 +1,55 @@
+package fixture
+
+import "sort"
+
+// sumValues is commutative — no ordered output.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is the canonical remedy: basic-typed keys collected for
+// sorting are allowed.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedRows appends composite records but sorts them before returning, so
+// iteration order cannot leak out.
+func sortedRows(m map[string]float64) []row {
+	var rows []row
+	for k, v := range m {
+		rows = append(rows, row{Name: k, Value: v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// localRows appends to a slice declared inside the loop body; nothing
+// outlives an iteration.
+func localRows(m map[string]float64) int {
+	n := 0
+	for k, v := range m {
+		var tmp []row
+		tmp = append(tmp, row{Name: k, Value: v})
+		n += len(tmp)
+	}
+	return n
+}
+
+// invert builds another map — order-independent.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package fixture
+
+import (
+	"fmt"
+
+	"mosaic/internal/obs"
+	"mosaic/internal/sweep"
+)
+
+// row is a composite record, the kind that reaches a results file.
+type row struct {
+	Name  string
+	Value float64
+}
+
+// printInOrder emits one line per entry in map order.
+func printInOrder(m map[string]int) {
+	for k, v := range m { // want "prints via fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+// collectRows builds result rows in map order and never sorts them.
+func collectRows(m map[string]float64) []row {
+	var rows []row
+	for k, v := range m { // want "appends row records"
+		rows = append(rows, row{Name: k, Value: v})
+	}
+	return rows
+}
+
+// mergeInOrder folds snapshots into a Merger in map order; gauge merges are
+// last-writer-wins, so the fold depends on iteration order.
+func mergeInOrder(mg *sweep.Merger, snaps map[int]obs.Snapshot) {
+	for i, s := range snaps { // want "contributes to a sweep.Merger"
+		mg.Put(i, s)
+	}
+}
+
+// gaugeInOrder leaves whichever entry the iterator visits last in the gauge.
+func gaugeInOrder(g *obs.Gauge, m map[string]float64) {
+	for _, v := range m { // want "sets an obs gauge"
+		g.Set(v)
+	}
+}
+
+// fieldRows appends through a struct field, which also outlives the loop.
+type report struct {
+	rows []row
+}
+
+func (r *report) fill(m map[string]float64) {
+	for k, v := range m { // want "appends row records"
+		r.rows = append(r.rows, row{Name: k, Value: v})
+	}
+}
+
+// suppressed documents a deliberately order-dependent debug dump.
+func suppressed(m map[string]int) {
+	//lint:ignore maporder debug helper, output order is explicitly unspecified
+	for k := range m {
+		fmt.Println(k)
+	}
+}

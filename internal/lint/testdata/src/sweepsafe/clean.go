@@ -1,0 +1,58 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+
+	"mosaic/internal/sweep"
+)
+
+var guardedTotal int
+var mu sync.Mutex
+
+// perPointResults is the intended shape: everything a point produces comes
+// back through the return value.
+func perPointResults(points []int) ([]int, error) {
+	return sweep.Run(context.Background(), points,
+		func(_ context.Context, _ int, p int) (int, error) {
+			local := p * p
+			return local, nil
+		}, sweep.Options{})
+}
+
+// lockedWrite holds a lock around the shared write — inside the lock set.
+func lockedWrite(points []int) {
+	_, _ = sweep.Run(context.Background(), points,
+		func(_ context.Context, _ int, p int) (int, error) {
+			mu.Lock()
+			guardedTotal += p
+			mu.Unlock()
+			return p, nil
+		}, sweep.Options{})
+}
+
+// indexedWrites mirrors the engine's own result collection: distinct-index
+// writes into a shared slice are the one blessed sharing idiom.
+func indexedWrites(points []int) []int {
+	out := make([]int, len(points))
+	var wg sync.WaitGroup
+	for i := range points {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = points[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// perIterationVar captures a Go 1.22 per-iteration loop variable — each
+// goroutine sees its own copy, so nothing is shared.
+func perIterationVar(points []int, sink chan<- int) {
+	for _, p := range points {
+		go func() {
+			sink <- p
+		}()
+	}
+}

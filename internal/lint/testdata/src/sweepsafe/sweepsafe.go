@@ -1,0 +1,74 @@
+package fixture
+
+import (
+	"context"
+
+	"mosaic/internal/sweep"
+)
+
+// totalRuns is package-level state shared by every closure below.
+var totalRuns int
+
+// state is shared struct-level state.
+type state struct {
+	n int
+}
+
+// sweepPackageWrite bumps a package-level counter from inside a sweep
+// closure with no lock anywhere.
+func sweepPackageWrite(points []int) {
+	_, _ = sweep.Run(context.Background(), points,
+		func(_ context.Context, _ int, p int) (int, error) {
+			totalRuns++ // want "writes package-level totalRuns"
+			return p * 2, nil
+		}, sweep.Options{})
+}
+
+// sweepCapturedAccumulator folds into a captured local instead of returning
+// per-point results.
+func sweepCapturedAccumulator(points []int) int {
+	total := 0
+	_, _ = sweep.Run(context.Background(), points,
+		func(_ context.Context, _ int, p int) (int, error) {
+			total += p // want "writes captured total"
+			return p, nil
+		}, sweep.Options{})
+	return total
+}
+
+// sweepFieldWrite mutates a captured struct's field across points.
+func sweepFieldWrite(points []int, st *state) {
+	_, _ = sweep.Run(context.Background(), points,
+		func(_ context.Context, _ int, p int) (int, error) {
+			st.n = p // want "writes st.n through a captured reference"
+			return p, nil
+		}, sweep.Options{})
+}
+
+// goPackageWrite launches a bare goroutine that mutates package state.
+func goPackageWrite() {
+	go func() {
+		totalRuns++ // want "writes package-level totalRuns"
+	}()
+}
+
+// goLoopCapture captures a variable the loop mutates after the goroutine is
+// launched: the classic shared-iteration-variable bug, still expressible
+// with a pre-loop declaration.
+func goLoopCapture(n int, out chan<- int) {
+	var i int
+	for i = 0; i < n; i++ {
+		go func() {
+			out <- i // want "captures i, which the enclosing loop mutates"
+		}()
+	}
+}
+
+// suppressed documents a deliberate single-goroutine handoff.
+func suppressed(done chan struct{}) {
+	go func() {
+		//lint:ignore sweepsafe joined before the next read by the done channel
+		totalRuns++
+		close(done)
+	}()
+}

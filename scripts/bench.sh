@@ -28,3 +28,11 @@ go test -run '^$' -bench 'BenchmarkFigure6(Sequential|Parallel)|BenchmarkRunLimi
 	-benchmem -benchtime "${BENCHTIME:-1s}" . |
 	tee /dev/stderr |
 	go run ./cmd/mosaicstat bench -parse -o BENCH_parallel.json
+
+# Lint cost: a full mosaiclint load-and-analyze pass over the module.
+# Recorded so new analyzers pay for their wall clock visibly — diff with
+# `go run ./cmd/mosaicstat bench BENCH_lint.json`.
+go test -run '^$' -bench 'BenchmarkMosaiclintTree' -benchmem \
+	-benchtime "${BENCHTIME:-1s}" ./internal/lint |
+	tee /dev/stderr |
+	go run ./cmd/mosaicstat bench -parse -o BENCH_lint.json

@@ -10,11 +10,17 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go run ./cmd/mosaiclint ./...
+# The machine-readable modes must stay encodable end to end (the golden
+# tests pin the bytes; this pins the exit path on the real tree).
+go run ./cmd/mosaiclint -sarif ./... >/dev/null
+go run ./cmd/mosaiclint -json ./... >/dev/null
 # The sweep engine and the progress line are the only concurrency in the
 # repo; hammer them under the race detector first so an engine race fails
-# fast, then run the whole suite.
-go test -race ./internal/sweep/... ./internal/obs/...
-go test -race ./...
+# fast, then run the whole suite. Race runs get explicit timeouts: a
+# deadlocked worker pool should fail the gate in minutes, not hang CI
+# until the default 10-minute per-package limit compounds across packages.
+go test -race -timeout 120s ./internal/sweep/... ./internal/obs/...
+go test -race -timeout 300s ./...
 go test -run='^$' -fuzz=Fuzz -fuzztime=3s ./internal/iceberg
 
 # Smoke-test the machine-readable results path: a tiny fig6 run must
