@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReviewProbeTwoDetrandFixes(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func A(seed int64) { fmt.Println(rand.New(rand.NewSource(seed)).Intn(4)) }
+func B(seed int64) { fmt.Println(rand.New(rand.NewSource(seed)).Intn(8)) }
+`
+	target := filepath.Join(dir, "two.go")
+	if err := os.WriteFile(target, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pass := loadFixtureDir(t, dir, "mosaic/internal/fixture")
+	diags := pass.Run(DetRand)
+	t.Logf("diags: %v", diags)
+	if _, _, err := ApplyFixes(diags); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := os.ReadFile(target)
+	t.Logf("fixed file:\n%s", out)
+	// Does the fixed file still type-check?
+	loadFixtureDir(t, dir, "mosaic/internal/fixture")
+}
