@@ -145,8 +145,12 @@ func (m *Memory) buckets(asid core.ASID, vpn core.VPN) []uint64 {
 	return m.geom.Buckets(m.hash, asid, vpn, m.numBuckets, m.scratch)
 }
 
+// frameIndex converts a (bucket, slot) coordinate into a frames index.
+// Buckets arrive already reduced modulo numBuckets by Geometry.Buckets; the
+// reduction here restates that bound so the narrowing stays in range even
+// for a corrupted bucket value.
 func (m *Memory) frameIndex(bucket uint64, slot int) int {
-	return int(bucket)*m.geom.BucketSize() + slot
+	return int(bucket%m.numBuckets)*m.geom.BucketSize() + slot
 }
 
 // Place allocates a frame for (asid, vpn) following the iceberg discipline,
@@ -212,7 +216,7 @@ func (m *Memory) Place(asid core.ASID, vpn core.VPN, now, horizon uint64) (Place
 // [lo, hi) of bucket, if any.
 func (m *Memory) oldestGhost(bucket uint64, lo, hi int, horizon uint64) (int, bool) {
 	best, bestTime, found := -1, uint64(0), false
-	base := int(bucket) * m.geom.BucketSize()
+	base := m.frameIndex(bucket, 0)
 	for s := lo; s < hi; s++ {
 		fr := &m.frames[base+s]
 		if fr.used && fr.lastAccess < horizon {
@@ -309,8 +313,12 @@ func (m *Memory) DecodeCPFN(asid core.ASID, vpn core.VPN, cpfn core.CPFN) core.P
 }
 
 // Evict forcibly frees pfn (a live-page eviction chosen by the swapping
-// policy) and returns the evicted owner.
+// policy) and returns the evicted owner. It panics if pfn is not an
+// allocated frame.
 func (m *Memory) Evict(pfn core.PFN) Owner {
+	if !m.frames[pfn].used {
+		panic(fmt.Sprintf("alloc: Evict of free frame %d", pfn))
+	}
 	return m.reclaim(int(pfn))
 }
 

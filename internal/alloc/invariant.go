@@ -76,11 +76,13 @@ func (m *Memory) CheckInvariants(r *invariant.Report) {
 func (u *Unconstrained) CheckInvariants(r *invariant.Report) {
 	onFree := make(map[int]bool, len(u.free))
 	for _, pfn := range u.free {
-		idx := int(pfn)
-		if !r.Checkf(idx >= 0 && idx < len(u.frames), "alloc.free-range",
-			"free list holds out-of-range frame %d", idx) {
+		// Range-check before narrowing: int(pfn) is only meaningful once
+		// pfn is known to be a frames index.
+		if !r.Checkf(uint64(pfn) < uint64(len(u.frames)), "alloc.free-range",
+			"free list holds out-of-range frame %d", uint64(pfn)) {
 			continue
 		}
+		idx := int(pfn)
 		if !r.Checkf(!onFree[idx], "alloc.free-duplicate",
 			"frame %d on the free list twice", idx) {
 			continue

@@ -60,7 +60,7 @@ type Table[K comparable, V any] struct {
 	len     int
 	backTot int
 
-	scratch []uint64
+	scratch []int
 
 	// Optional instrumentation (Instrument); nil handles cost one compare.
 	cFront    *obs.Counter
@@ -109,7 +109,7 @@ func NewWithHash[K comparable, V any](capacity int, geom core.Geometry, hash Key
 		backUsed:   make([]bool, numBuckets*geom.BackyardSize),
 		backLen:    make([]int, numBuckets),
 		frontLen:   make([]int, numBuckets),
-		scratch:    make([]uint64, geom.HashCount()),
+		scratch:    make([]int, geom.HashCount()),
 	}
 	return t
 }
@@ -144,29 +144,46 @@ func (t *Table[K, V]) Instrument(r *obs.Registry) {
 	t.cConflict = r.Counter("iceberg.put.conflict")
 }
 
-func (t *Table[K, V]) buckets(key K) []uint64 {
-	for fn := range t.scratch {
-		t.scratch[fn] = t.hash(key, fn) % uint64(t.numBuckets)
+// buckets fills scratch with the key's bucket choices: index 0 is the
+// frontyard bucket, 1..d the backyard candidates. The uint64→int narrowing
+// is guarded by the modulus — numBuckets is a positive int, so the result
+// always fits.
+func (t *Table[K, V]) buckets(key K) []int {
+	sc := t.scratch // local header: the hash call cannot alias it, so the store stays check-free
+	for fn := range sc {
+		sc[fn] = int(t.hash(key, fn) % uint64(t.numBuckets))
 	}
-	return t.scratch
+	return sc
 }
+
+// Bucket-scan loops below slice the flat slot arrays down to the one bin
+// being probed before entering the loop. The three re-slices share the same
+// length expression, so the compiler's prove pass eliminates every bounds
+// check inside the scan itself (bcegate pins this: internal/lint/bce.baseline
+// must show no IsInBounds in these loops).
 
 // Get returns the value stored for key.
 func (t *Table[K, V]) Get(key K) (V, bool) {
 	bk := t.buckets(key)
 	f := t.geom.FrontyardSize
-	base := int(bk[0]) * f
-	for s := 0; s < f; s++ {
-		if t.frontUsed[base+s] && t.frontKeys[base+s] == key {
-			return t.frontVals[base+s], true
+	base := bk[0] * f
+	used := t.frontUsed[base : base+f]
+	keys := t.frontKeys[base : base+f]
+	vals := t.frontVals[base : base+f]
+	for s := range used {
+		if used[s] && keys[s] == key {
+			return vals[s], true
 		}
 	}
 	b := t.geom.BackyardSize
-	for j := 0; j < t.geom.Choices; j++ {
-		base := int(bk[1+j]) * b
-		for s := 0; s < b; s++ {
-			if t.backUsed[base+s] && t.backKeys[base+s] == key {
-				return t.backVals[base+s], true
+	for _, bkj := range bk[1:] {
+		base := bkj * b
+		used := t.backUsed[base : base+b]
+		keys := t.backKeys[base : base+b]
+		vals := t.backVals[base : base+b]
+		for s := range used {
+			if used[s] && keys[s] == key {
+				return vals[s], true
 			}
 		}
 	}
@@ -198,23 +215,29 @@ func (t *Table[K, V]) PutSlot(key K, val V) (core.CPFN, error) {
 	b := t.geom.BackyardSize
 
 	// Update in place if present (front or back), preserving stability.
-	fbase := int(bk[0]) * f
+	fbase := bk[0] * f
+	fused := t.frontUsed[fbase : fbase+f]
+	fkeys := t.frontKeys[fbase : fbase+f]
+	fvals := t.frontVals[fbase : fbase+f]
 	firstFree := -1
-	for s := 0; s < f; s++ {
-		if t.frontUsed[fbase+s] {
-			if t.frontKeys[fbase+s] == key {
-				t.frontVals[fbase+s] = val
+	for s := range fused {
+		if fused[s] {
+			if fkeys[s] == key {
+				fvals[s] = val
 				return t.geom.FrontyardCPFN(s), nil
 			}
 		} else if firstFree < 0 {
 			firstFree = s
 		}
 	}
-	for j := 0; j < t.geom.Choices; j++ {
-		base := int(bk[1+j]) * b
-		for s := 0; s < b; s++ {
-			if t.backUsed[base+s] && t.backKeys[base+s] == key {
-				t.backVals[base+s] = val
+	for j, bkj := range bk[1:] {
+		base := bkj * b
+		used := t.backUsed[base : base+b]
+		keys := t.backKeys[base : base+b]
+		vals := t.backVals[base : base+b]
+		for s := range used {
+			if used[s] && keys[s] == key {
+				vals[s] = val
 				return t.geom.BackyardCPFN(j, s), nil
 			}
 		}
@@ -222,8 +245,7 @@ func (t *Table[K, V]) PutSlot(key K, val V) (core.CPFN, error) {
 
 	// New key: frontyard first.
 	if firstFree >= 0 {
-		idx := fbase + firstFree
-		t.frontKeys[idx], t.frontVals[idx], t.frontUsed[idx] = key, val, true
+		fkeys[firstFree], fvals[firstFree], fused[firstFree] = key, val, true
 		t.frontLen[bk[0]]++
 		t.len++
 		if t.cFront != nil {
@@ -234,8 +256,8 @@ func (t *Table[K, V]) PutSlot(key K, val V) (core.CPFN, error) {
 
 	// Frontyard full: power-of-d-choices over the backyard bins.
 	best, bestLen := -1, b+1
-	for j := 0; j < t.geom.Choices; j++ {
-		if l := t.backLen[bk[1+j]]; l < bestLen {
+	for j, bkj := range bk[1:] {
+		if l := t.backLen[bkj]; l < bestLen {
 			best, bestLen = j, l
 		}
 	}
@@ -247,11 +269,15 @@ func (t *Table[K, V]) PutSlot(key K, val V) (core.CPFN, error) {
 		return zero, fmt.Errorf("%w (frontyard bucket %d and %d backyard choices full)",
 			ErrConflict, bk[0], t.geom.Choices)
 	}
-	base := int(bk[1+best]) * b
-	for s := 0; s < b; s++ {
-		if !t.backUsed[base+s] {
-			t.backKeys[base+s], t.backVals[base+s], t.backUsed[base+s] = key, val, true
-			t.backLen[bk[1+best]]++
+	base := bk[1+best] * b
+	used := t.backUsed[base : base+b]
+	keys := t.backKeys[base : base+b]
+	vals := t.backVals[base : base+b]
+	blen := &t.backLen[bk[1+best]] // hoisted so the insert loop stays check-free
+	for s := range used {
+		if !used[s] {
+			keys[s], vals[s], used[s] = key, val, true
+			*blen++
 			t.backTot++
 			t.len++
 			if t.cBack != nil {
@@ -269,24 +295,32 @@ func (t *Table[K, V]) PutSlot(key K, val V) (core.CPFN, error) {
 func (t *Table[K, V]) Delete(key K) bool {
 	bk := t.buckets(key)
 	f := t.geom.FrontyardSize
-	fbase := int(bk[0]) * f
+	fbase := bk[0] * f
+	fused := t.frontUsed[fbase : fbase+f]
+	fkeys := t.frontKeys[fbase : fbase+f]
+	fvals := t.frontVals[fbase : fbase+f]
+	flen := &t.frontLen[bk[0]] // hoisted so the scan loops stay check-free
 	var zeroK K
 	var zeroV V
-	for s := 0; s < f; s++ {
-		if t.frontUsed[fbase+s] && t.frontKeys[fbase+s] == key {
-			t.frontKeys[fbase+s], t.frontVals[fbase+s], t.frontUsed[fbase+s] = zeroK, zeroV, false
-			t.frontLen[bk[0]]--
+	for s := range fused {
+		if fused[s] && fkeys[s] == key {
+			fkeys[s], fvals[s], fused[s] = zeroK, zeroV, false
+			*flen--
 			t.len--
 			return true
 		}
 	}
 	b := t.geom.BackyardSize
-	for j := 0; j < t.geom.Choices; j++ {
-		base := int(bk[1+j]) * b
-		for s := 0; s < b; s++ {
-			if t.backUsed[base+s] && t.backKeys[base+s] == key {
-				t.backKeys[base+s], t.backVals[base+s], t.backUsed[base+s] = zeroK, zeroV, false
-				t.backLen[bk[1+j]]--
+	for _, bkj := range bk[1:] {
+		base := bkj * b
+		used := t.backUsed[base : base+b]
+		keys := t.backKeys[base : base+b]
+		vals := t.backVals[base : base+b]
+		blen := &t.backLen[bkj]
+		for s := range used {
+			if used[s] && keys[s] == key {
+				keys[s], vals[s], used[s] = zeroK, zeroV, false
+				*blen--
 				t.backTot--
 				t.len--
 				return true
@@ -300,17 +334,21 @@ func (t *Table[K, V]) Delete(key K) bool {
 func (t *Table[K, V]) Slot(key K) (core.CPFN, bool) {
 	bk := t.buckets(key)
 	f := t.geom.FrontyardSize
-	fbase := int(bk[0]) * f
-	for s := 0; s < f; s++ {
-		if t.frontUsed[fbase+s] && t.frontKeys[fbase+s] == key {
+	fbase := bk[0] * f
+	fused := t.frontUsed[fbase : fbase+f]
+	fkeys := t.frontKeys[fbase : fbase+f]
+	for s := range fused {
+		if fused[s] && fkeys[s] == key {
 			return t.geom.FrontyardCPFN(s), true
 		}
 	}
 	b := t.geom.BackyardSize
-	for j := 0; j < t.geom.Choices; j++ {
-		base := int(bk[1+j]) * b
-		for s := 0; s < b; s++ {
-			if t.backUsed[base+s] && t.backKeys[base+s] == key {
+	for j, bkj := range bk[1:] {
+		base := bkj * b
+		used := t.backUsed[base : base+b]
+		keys := t.backKeys[base : base+b]
+		for s := range used {
+			if used[s] && keys[s] == key {
 				return t.geom.BackyardCPFN(j, s), true
 			}
 		}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"mosaic/internal/lint/gate"
+)
+
+// BCEGate is the bounds-check budget gate: it drives the compiler's
+// bounds-check-elimination debug output (`go build -gcflags=-d=ssa/check_bce`)
+// over the hot-path packages and diffs the surviving checks against the
+// checked-in baseline (internal/lint/bce.baseline). A new surviving check —
+// or one more check inside a function that already had some — fails the run:
+// the prove pass stopped eliminating a bound on a loop the simulator executes
+// per memory reference, which is exactly how the iceberg bucket-scan and TLB
+// probe loops would silently lose their branch-free shape.
+//
+// Sites are keyed as "file: func: message" — the enclosing function is
+// recovered by parsing the reported file, so vertical refactors do not churn
+// the baseline while a check migrating into a different function does.
+// Generic functions are compiled once per shape, each re-reporting the same
+// source position; positions are deduplicated before counting, so the count
+// is "distinct source positions with a surviving check", not "number of
+// instantiations". Checks that disappear never fail the gate — run
+// mosaiclint -update-bce to bank the improvement.
+//
+// BCEGate is tree-level (it shells out to the compiler), so its Run is nil
+// and the driver invokes RunBCEGate directly.
+var BCEGate = &Analyzer{
+	Name: "bcegate",
+	ID:   "ML009",
+	Doc:  "surviving bounds checks in the hot-path packages must not regress internal/lint/bce.baseline",
+}
+
+// BCEBaselineFile is the checked-in baseline, relative to the module root.
+const BCEBaselineFile = "internal/lint/bce.baseline"
+
+// bceFuncIndex maps lines of one file to the enclosing top-level function,
+// so compiler positions can be attributed function-by-function.
+type bceFuncIndex struct {
+	spans []bceFuncSpan
+}
+
+type bceFuncSpan struct {
+	name       string
+	start, end int
+}
+
+// funcDisplayName renders a FuncDecl the way baseline keys spell it:
+// "name" for package functions, "(recv).name" for methods, with pointer
+// receivers as "(*recv).name" and type parameters stripped.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return "(" + recvTypeName(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return "*" + recvTypeName(e.X)
+	case *ast.IndexExpr: // one type parameter: set[P]
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr: // several: Table[K, V]
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	}
+	return "?"
+}
+
+// indexFile parses path and records the line span of every top-level
+// function. Function literals attribute to the declaration enclosing them.
+func indexFile(fset *token.FileSet, path string) (*bceFuncIndex, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	idx := &bceFuncIndex{}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		idx.spans = append(idx.spans, bceFuncSpan{
+			name:  funcDisplayName(fd),
+			start: fset.Position(fd.Pos()).Line,
+			end:   fset.Position(fd.End()).Line,
+		})
+	}
+	return idx, nil
+}
+
+// funcAt names the function containing line, or "(file scope)" when the
+// line falls outside every declaration (initializers).
+func (idx *bceFuncIndex) funcAt(line int) string {
+	for _, s := range idx.spans {
+		if s.start <= line && line <= s.end {
+			return s.name
+		}
+	}
+	return "(file scope)"
+}
+
+// bceLineRE matches one check_bce diagnostic: file:line:col: Found <check>.
+var bceLineRE = regexp.MustCompile(`^(\S+\.go):(\d+):(\d+): (Found Is(?:Slice)?InBounds)$`)
+
+// normalizeBCE turns check_bce output into sites keyed by
+// "file: func: message". dir is the module root the build ran from; reported
+// files are resolved against it to recover enclosing functions.
+func normalizeBCE(dir string, output []byte) (gate.Sites, error) {
+	fset := token.NewFileSet()
+	indexes := make(map[string]*bceFuncIndex)
+	seen := make(map[string]bool) // distinct file:line:col, across shape re-instantiations
+	sites := make(gate.Sites)
+	sc := bufio.NewScanner(bytes.NewReader(output))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := bceLineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		pos := m[1] + ":" + m[2] + ":" + m[3]
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		idx, ok := indexes[m[1]]
+		if !ok {
+			var err error
+			if idx, err = indexFile(fset, filepath.Join(dir, m[1])); err != nil {
+				return nil, fmt.Errorf("lint: bcegate: attributing %s: %v", pos, err)
+			}
+			indexes[m[1]] = idx
+		}
+		line, _ := strconv.Atoi(m[2])
+		key := m[1] + ": " + idx.funcAt(line) + ": " + m[4]
+		s := sites[key]
+		s.Count++
+		if s.Line == 0 || line < s.Line {
+			s.Line = line
+		}
+		sites[key] = s
+	}
+	return sites, nil
+}
+
+// bceGate builds the gate.Config for the bounds-check budget over patterns.
+func bceGate(patterns []string) gate.Config {
+	return gate.Config{
+		Name:       BCEGate.Name,
+		BuildFlags: []string{"-gcflags=-d=ssa/check_bce"},
+		Patterns:   patterns,
+		Normalize:  normalizeBCE,
+		Header: []string{
+			"mosaiclint bcegate bounds-check baseline.",
+			"One line per function still carrying bounds checks in the hot-path packages:",
+			"count<TAB>file: func: message, count = distinct source positions.",
+			"Regenerate after a reviewed loop change: go run ./cmd/mosaiclint -update-bce",
+		},
+		UpdateFlag: "-update-bce",
+	}
+}
+
+// BCESites compiles patterns in dir with check_bce enabled and returns the
+// normalized surviving-bounds-check sites.
+func BCESites(dir string, patterns []string) (gate.Sites, error) {
+	return bceGate(patterns).Compile(dir)
+}
+
+// WriteBCEBaseline regenerates the baseline file from the current tree.
+func WriteBCEBaseline(dir, path string, patterns []string) error {
+	return bceGate(patterns).Update(dir, path)
+}
+
+// bceDiag renders one bounds-check regression as a bcegate diagnostic.
+func bceDiag(r gate.Regression) Diagnostic {
+	file, rest, _ := strings.Cut(r.Key, ": ")
+	detail := "not in baseline"
+	if r.Known {
+		detail = fmt.Sprintf("%d position(s), baseline has %d", r.Count, r.BaseCount)
+	}
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: r.Line},
+		Analyzer: BCEGate.Name,
+		ID:       BCEGate.ID,
+		Message: fmt.Sprintf("bounds check survives on a hot path: %s (%s); hoist the check out of the loop (re-slice to a common length) or update %s",
+			rest, detail, BCEBaselineFile),
+	}
+}
+
+// DiffBCE compares current sites against the baseline, one diagnostic per
+// regression plus the bankable removals.
+func DiffBCE(baseline, current gate.Sites) (regressions []Diagnostic, removed []string) {
+	reg, removed := gate.Diff(baseline, current)
+	for _, r := range reg {
+		regressions = append(regressions, bceDiag(r))
+	}
+	return regressions, removed
+}
+
+// RunBCEGate runs the full gate from the module root dir against the
+// baseline at path.
+func RunBCEGate(dir, path string, patterns []string) (regressions []Diagnostic, removed []string, err error) {
+	res, err := bceGate(patterns).Run(dir, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range res.Regressions {
+		regressions = append(regressions, bceDiag(r))
+	}
+	return regressions, res.Removed, nil
+}

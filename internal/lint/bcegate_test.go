@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mosaic/internal/lint/gate"
+)
+
+// gateFixture copies testdata/<gateName>/<variant>/hot.go into a throwaway
+// module and returns its directory — the hermetic stand-in for the hot-path
+// packages shared by the compiler-gate tests.
+func gateFixture(t *testing.T, gateName, variant string) string {
+	t.Helper()
+	dir := t.TempDir()
+	src, err := os.ReadFile(filepath.Join("testdata", gateName, variant, "hot.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "hot.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module hot\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestBCEGateCatchesBoundsCheck pins the gate's reason for existing:
+// against a baseline captured from the slice-hoisted scan loop,
+// reintroducing direct base+s indexing must fail with a surviving
+// IsInBounds site inside the scan function.
+func TestBCEGateCatchesBoundsCheck(t *testing.T) {
+	hoistedDir := gateFixture(t, "bcegate", "hoisted")
+	checkedDir := gateFixture(t, "bcegate", "checked")
+	hoisted, err := BCESites(hoistedDir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := BCESites(checkedDir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The healthy variant's scan loop is bounds-check free: only the two
+	// hoisted IsSliceInBounds survive.
+	if s, ok := hoisted["hot.go: (*table).get: Found IsInBounds"]; ok {
+		t.Errorf("hoisted fixture still has %d IsInBounds in the scan; the idiom broke", s.Count)
+	}
+	if reg, removed := gate.Diff(hoisted, hoisted); len(reg) != 0 || len(removed) != 0 {
+		t.Fatalf("self-diff not clean: %v / %v", reg, removed)
+	}
+
+	reg, _ := DiffBCE(hoisted, checked)
+	if len(reg) == 0 {
+		t.Fatal("reintroducing base+s indexing produced no bounds-check regressions; the gate is blind")
+	}
+	var sawScan bool
+	for _, d := range reg {
+		if strings.Contains(d.Message, "(*table).get: Found IsInBounds") {
+			sawScan = true
+		}
+		if d.Analyzer != "bcegate" || d.ID != "ML009" {
+			t.Errorf("regression carries wrong identity: %q/%q", d.Analyzer, d.ID)
+		}
+		if d.Pos.Filename == "" || d.Pos.Line == 0 {
+			t.Errorf("regression missing a position: %+v", d.Pos)
+		}
+	}
+	if !sawScan {
+		t.Errorf("no scan-loop IsInBounds regression among: %v", reg)
+	}
+
+	// End-to-end through the baseline file and RunBCEGate.
+	baseline := filepath.Join(t.TempDir(), "bce.baseline")
+	if err := os.WriteFile(baseline, gate.Format(nil, hoisted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg2, _, err := RunBCEGate(checkedDir, baseline, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg2) != len(reg) {
+		t.Fatalf("RunBCEGate found %d regressions, DiffBCE found %d", len(reg2), len(reg))
+	}
+}
+
+// TestBCEFunctionAttribution pins the site-key format: positions are
+// attributed to the enclosing function, deduplicated across generic shape
+// re-instantiations, and keyed "file: func: message".
+func TestBCEFunctionAttribution(t *testing.T) {
+	dir := t.TempDir()
+	src := `package hot
+
+func alpha(xs []int, i int) int { return xs[i] }
+
+func beta(xs []int, i int) int {
+	return xs[i] + xs[i+1]
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "hot.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate positions (shape instantiations) must collapse to one count.
+	out := []byte(`# hot
+./hot.go:3:42: Found IsInBounds
+./hot.go:3:42: Found IsInBounds
+./hot.go:6:9: Found IsInBounds
+./hot.go:6:17: Found IsInBounds
+`)
+	sites, err := normalizeBCE(dir, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := sites["./hot.go: alpha: Found IsInBounds"]; s.Count != 1 || s.Line != 3 {
+		t.Errorf("alpha site = %+v, want count 1 line 3 (shape duplicates collapsed)", s)
+	}
+	if s := sites["./hot.go: beta: Found IsInBounds"]; s.Count != 2 {
+		t.Errorf("beta site = %+v, want count 2 (distinct positions)", s)
+	}
+}
+
+// TestBCETreeClean is the in-repo gate itself: the current tree must match
+// the checked-in baseline.
+func TestBCETreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles four packages; skipped in -short")
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _, err := RunBCEGate(root, filepath.Join(root, BCEBaselineFile), HotPathPackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range reg {
+		t.Errorf("hot-path bounds-check regression: %s", d)
+	}
+}
+
+// TestBCEProbeLoopsFree is the acceptance criterion behind the baseline:
+// no bounds check survives inside the iceberg bucket-scan loops (the range
+// loops over the re-sliced used arrays in Get/PutSlot/Delete/Slot) or
+// anywhere in the TLB probe functions (set.lookup/touch). The baseline
+// records checks *outside* those loops — bucket index arithmetic, the
+// hoisted re-slices — but the per-slot scan itself must stay branch-lean.
+func TestBCEProbeLoopsFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles two packages; skipped in -short")
+	}
+	root, err := ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Line ranges of every scan-loop body in iceberg.go: range statements
+	// over a hoisted []bool named used/fused.
+	scanLoops := make(map[[2]int]bool)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join(root, "internal/iceberg/iceberg.go"), nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if id, ok := rs.X.(*ast.Ident); ok && (id.Name == "used" || id.Name == "fused") {
+			scanLoops[[2]int{fset.Position(rs.Body.Pos()).Line, fset.Position(rs.Body.End()).Line}] = true
+		}
+		return true
+	})
+	if len(scanLoops) < 6 {
+		t.Fatalf("found only %d scan loops in iceberg.go; the hoisted-scan idiom moved", len(scanLoops))
+	}
+
+	// Raw surviving-check positions, bypassing function aggregation.
+	raw := gate.Config{
+		Name:       "bce-raw",
+		BuildFlags: []string{"-gcflags=-d=ssa/check_bce"},
+		Patterns:   []string{"./internal/iceberg", "./internal/tlb"},
+		Normalize: func(_ string, output []byte) (gate.Sites, error) {
+			sites := make(gate.Sites)
+			for _, line := range strings.Split(string(output), "\n") {
+				if m := bceLineRE.FindStringSubmatch(line); m != nil {
+					sites[m[1]+":"+m[2]] = gate.Site{Count: 1}
+				}
+			}
+			return sites, nil
+		},
+	}
+	positions, err := raw.Compile(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probeFuncs, err := indexFile(token.NewFileSet(), filepath.Join(root, "internal/tlb/set.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range positions {
+		file, lineStr, _ := strings.Cut(pos, ":")
+		line, _ := strconv.Atoi(lineStr)
+		if strings.HasSuffix(file, "internal/iceberg/iceberg.go") {
+			for span := range scanLoops {
+				if span[0] < line && line < span[1] {
+					t.Errorf("bounds check inside an iceberg bucket-scan loop at %s (loop body lines %d-%d)", pos, span[0], span[1])
+				}
+			}
+		}
+		if strings.HasSuffix(file, "internal/tlb/set.go") {
+			if fn := probeFuncs.funcAt(line); fn == "(*set).lookup" || fn == "(*set).touch" {
+				t.Errorf("bounds check inside TLB probe function %s at %s", fn, pos)
+			}
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package lint
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+)
 
 // BenchmarkMosaiclintTree measures a full mosaiclint pass over the module —
 // parallel load plus every per-package analyzer (the hotalloc build gate is
@@ -16,6 +19,30 @@ func BenchmarkMosaiclintTree(b *testing.B) {
 		diags := RunAll(passes, All())
 		if len(diags) != 0 {
 			b.Fatalf("tree not clean: %v", diags)
+		}
+	}
+}
+
+// BenchmarkCompilerGates measures the three compiler-introspection gates end
+// to end — hotalloc, bcegate, inlinegate — including the `go build` each
+// shells out to. On an unchanged tree the build cache replays the compiler's
+// diagnostics, so this is the steady-state cost every check.sh run pays;
+// scripts/bench.sh records it into BENCH_lint.json next to the analyzer
+// pass so gate additions stay visible in the same diff.
+func BenchmarkCompilerGates(b *testing.B) {
+	root, err := ModuleRoot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for b.Loop() {
+		if _, _, err := RunHotAlloc(root, filepath.Join(root, EscapeBaselineFile), HotPathPackages); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := RunBCEGate(root, filepath.Join(root, BCEBaselineFile), HotPathPackages); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := RunInlineGate(root, filepath.Join(root, InlineBaselineFile)); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

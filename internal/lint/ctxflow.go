@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow guards context propagation in the batch-replay pipeline. The
+// sweep engine and every driver thread a context.Context from main down to
+// the per-point closures; cancellation only works if each layer passes the
+// context it was handed onward. Two shapes break that chain:
+//
+//  1. A function that accepts a context but hands context.Background() or
+//     context.TODO() to a callee — the caller's deadline and cancellation
+//     silently stop there. (Detaching deliberately is what
+//     //lint:ignore ctxflow is for.)
+//  2. A goroutine launched while a context is in scope whose body spins in
+//     an unconditional for-loop that never consults any context — a worker
+//     that outlives its parent's cancellation.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	ID:   "ML012",
+	Doc:  "functions holding a ctx must propagate it, not context.Background(); worker goroutine loops must consult cancellation",
+	Run:  runCtxFlow,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return namedFrom(t, "context", "Context")
+}
+
+// freshContextCall reports whether e is a call to context.Background or
+// context.TODO.
+func freshContextCall(info *types.Info, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := callee(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() != "Background" && fn.Name() != "TODO" {
+		return "", false
+	}
+	return "context." + fn.Name(), true
+}
+
+// ctxParamName returns the name of ft's first context.Context parameter,
+// or "" when it has none (blank and unnamed context parameters count as
+// absent — they cannot be propagated anyway).
+func ctxParamName(p *Pass, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// referencesContext reports whether any identifier under n denotes a value
+// of type context.Context — a ctx passed on, a ctx.Done() select arm, a
+// ctx.Err() poll all count.
+func referencesContext(p *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj, ok := p.Info.Uses[id].(*types.Var); ok && isContextType(obj.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// runCtxFlow walks each file with a stack of enclosing function scopes so
+// a nested closure knows whether some enclosing function holds a context
+// (closures capture it; the chain is still intact).
+func runCtxFlow(p *Pass) []Diagnostic {
+	if !p.internalPkg() {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		// ctxStack[i] is the name of the context in scope at function
+		// nesting depth i, "" when that function introduces none.
+		var ctxStack []string
+		inScope := func() string {
+			for i := len(ctxStack) - 1; i >= 0; i-- {
+				if ctxStack[i] != "" {
+					return ctxStack[i]
+				}
+			}
+			return ""
+		}
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				if len(stack) > 0 {
+					switch stack[len(stack)-1].(type) {
+					case *ast.FuncDecl, *ast.FuncLit:
+						ctxStack = ctxStack[:len(ctxStack)-1]
+					}
+					stack = stack[:len(stack)-1]
+				}
+				return true
+			}
+			stack = append(stack, n)
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				ctxStack = append(ctxStack, ctxParamName(p, x.Type))
+			case *ast.FuncLit:
+				ctxStack = append(ctxStack, ctxParamName(p, x.Type))
+			case *ast.CallExpr:
+				ctx := inScope()
+				if ctx == "" {
+					return true
+				}
+				for _, arg := range x.Args {
+					if name, ok := freshContextCall(p.Info, arg); ok {
+						out = append(out, p.diag("ctxflow", arg.Pos(),
+							"%s passed while %s is in scope: the caller's cancellation and deadline stop here; propagate %s",
+							name, ctx, ctx))
+					}
+				}
+			case *ast.GoStmt:
+				fl, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				ctx := inScope()
+				if ctx == "" || ctxParamName(p, fl.Type) != "" {
+					return true
+				}
+				// An unconditional loop in a worker that never looks at any
+				// context: it cannot observe cancellation.
+				ast.Inspect(fl.Body, func(n ast.Node) bool {
+					loop, ok := n.(*ast.ForStmt)
+					if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+						return true
+					}
+					if !referencesContext(p, loop.Body) {
+						out = append(out, p.diag("ctxflow", loop.Pos(),
+							"worker goroutine loops forever without consulting %s: it outlives its caller's cancellation; add a %s.Done() select arm or an %s.Err() check",
+							ctx, ctx, ctx))
+						return false
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

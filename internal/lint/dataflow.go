@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the interprocedural layer shared by lockflow, ctxflow, and
+// narrowconv: a same-package call graph plus one per-function summary of the
+// effects a caller needs to know about. Precision is deliberately one level
+// deep — summaries are computed from a function's own statements only, never
+// from the summaries of its callees, so a caller sees through exactly one
+// helper call. That contract keeps the engine linear in package size, makes
+// fixpoint divergence impossible, and is documented in DESIGN.md; code that
+// needs deeper threading restructures or carries a //lint:ignore.
+
+// A lockEffect is one net lock operation a function performs on behalf of
+// its caller: Lock (acquire=true) or Unlock (acquire=false) of a mutex
+// reachable from a parameter slot or from a package-level variable.
+type lockEffect struct {
+	// slot locates the lock's root at the call site: 0 is the receiver,
+	// 1..n the declared parameters, and -1 a package-level variable
+	// (identified by obj, needing no argument mapping).
+	slot int
+	obj  types.Object
+	// path is the dotted field path from the root to the mutex ("mu",
+	// "state.mu"), empty when the root itself is the mutex.
+	path    string
+	acquire bool
+}
+
+// A funcSummary is the caller-visible behaviour of one declared function.
+type funcSummary struct {
+	// effects are the lock operations whose balance the caller inherits:
+	// locks held at some return (acquire) and unlocks of locks the function
+	// never took itself (release).
+	effects []lockEffect
+	// lockHelper marks a function whose body is nothing but lock-management
+	// statements — a deliberate Lock/Unlock wrapper. Such a function is
+	// summarised, not flagged; its callers carry the balancing burden.
+	lockHelper bool
+	// bounded marks a single-result function every one of whose return
+	// expressions carries a masking operation (&, %, or >>) — its result is
+	// already range-reduced, so narrowing conversions of it need no further
+	// guard.
+	bounded bool
+}
+
+// flowInfo is the package-level index the dataflow analyzers share: every
+// declared function's body and its summary.
+type flowInfo struct {
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]*funcSummary
+}
+
+// flow builds (once per pass) the call-graph index for this package.
+func (p *Pass) flow() *flowInfo {
+	if p.flowOnce != nil {
+		return p.flowOnce
+	}
+	fi := &flowInfo{
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		summaries: map[*types.Func]*funcSummary{},
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi.decls[fn] = fd
+		}
+	}
+	for fn, fd := range fi.decls {
+		fi.summaries[fn] = summarize(p, fd)
+	}
+	p.flowOnce = fi
+	return fi
+}
+
+// localCallee resolves call to a function declared in this package (the
+// only functions the summary engine knows), or nil.
+func (p *Pass) localCallee(call *ast.CallExpr) *types.Func {
+	fn, ok := callee(p.Info, call).(*types.Func)
+	if !ok || fn.Pkg() != p.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// A lockKey identifies one mutex inside a function: the root object the
+// selector chain starts from plus the field path below it. Keying on the
+// object (not the name) survives shadowing.
+type lockKey struct {
+	root types.Object
+	path string
+}
+
+func (k lockKey) String() string {
+	if k.path == "" {
+		return k.root.Name()
+	}
+	return k.root.Name() + "." + k.path
+}
+
+// selChain splits a bare identifier or selector chain into its root
+// identifier and dotted field path ("c.state.mu" → c, "state.mu"). It
+// returns nil for anything else — an unresolvable lock root.
+func selChain(e ast.Expr) (*ast.Ident, string) {
+	path := ""
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x, path
+		case *ast.SelectorExpr:
+			if path == "" {
+				path = x.Sel.Name
+			} else {
+				path = x.Sel.Name + "." + path
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// lockKeyOf resolves a mutex expression to its key, or false when the root
+// is not a plain variable.
+func lockKeyOf(p *Pass, e ast.Expr) (lockKey, bool) {
+	id, path := selChain(e)
+	if id == nil {
+		return lockKey{}, false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return lockKey{}, false
+	}
+	return lockKey{root: obj, path: path}, true
+}
+
+// joinPath appends a summary's field path below a call-site prefix.
+func joinPath(prefix, path string) string {
+	if prefix == "" {
+		return path
+	}
+	if path == "" {
+		return prefix
+	}
+	return prefix + "." + path
+}
+
+// lockOp classifies call as a sync.Mutex / sync.RWMutex method call and
+// returns the mutex key and whether it acquires (Lock/RLock) or releases
+// (Unlock/RUnlock). Methods promoted from embedded mutexes resolve the same
+// way: the callee is still declared in package sync.
+func lockOp(p *Pass, call *ast.CallExpr) (key lockKey, acquire, ok bool) {
+	fn, isFn := callee(p.Info, call).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockKey{}, false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lockKey{}, false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return lockKey{}, false, false
+	}
+	key, ok = lockKeyOf(p, sel.X)
+	return key, acquire, ok
+}
+
+// slotIndex maps a function's receiver and parameter objects to their
+// summary slots: receiver 0, parameters 1..n.
+func slotIndex(p *Pass, fd *ast.FuncDecl) map[types.Object]int {
+	slots := map[types.Object]int{}
+	bind := func(names []*ast.Ident, slot int) int {
+		for _, name := range names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				slots[obj] = slot
+			}
+			slot++
+		}
+		return slot
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			bind(field.Names, 0)
+		}
+	}
+	slot := 1
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				slot++ // unnamed parameter still occupies a slot
+				continue
+			}
+			slot = bind(field.Names, slot)
+		}
+	}
+	return slots
+}
+
+// effectFor translates an in-function lock key into a caller-mappable
+// effect, or false when the key is rooted in a local variable the caller
+// cannot see.
+func effectFor(p *Pass, slots map[types.Object]int, key lockKey, acquire bool) (lockEffect, bool) {
+	if slot, ok := slots[key.root]; ok {
+		return lockEffect{slot: slot, path: key.path, acquire: acquire}, true
+	}
+	if v, ok := key.root.(*types.Var); ok && v.Parent() == p.Pkg.Scope() {
+		return lockEffect{slot: -1, obj: key.root, path: key.path, acquire: acquire}, true
+	}
+	return lockEffect{}, false
+}
+
+// summarize computes one function's summary from its own statements only —
+// the one-level-deep contract. Lock state is tracked linearly through the
+// body; branch and loop bodies are examined for Unlock coverage but control
+// flow is not joined (a summary records the straight-line net effect, which
+// is what deliberate helpers look like).
+func summarize(p *Pass, fd *ast.FuncDecl) *funcSummary {
+	sum := &funcSummary{}
+	slots := slotIndex(p, fd)
+	held := map[lockKey]bool{}
+	var order []lockKey // deterministic effect order: first-op position
+	pureLockOps := len(fd.Body.List) > 0
+	for _, st := range fd.Body.List {
+		// A deferred unlock (direct or inside a deferred closure) covers the
+		// whole function: the lock is balanced from the caller's view.
+		if ds, isDefer := st.(*ast.DeferStmt); isDefer {
+			pureLockOps = false
+			release := func(call *ast.CallExpr) {
+				if key, acquire, ok := lockOp(p, call); ok && !acquire {
+					delete(held, key)
+				}
+			}
+			release(ds.Call)
+			if fl, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						release(call)
+					}
+					return true
+				})
+			}
+			continue
+		}
+		es, isExpr := st.(*ast.ExprStmt)
+		if !isExpr {
+			pureLockOps = false
+			continue
+		}
+		call, isCall := es.X.(*ast.CallExpr)
+		if !isCall {
+			pureLockOps = false
+			continue
+		}
+		key, acquire, ok := lockOp(p, call)
+		if !ok {
+			pureLockOps = false
+			continue
+		}
+		if acquire {
+			if !held[key] {
+				order = append(order, key)
+			}
+			held[key] = true
+		} else {
+			if held[key] {
+				delete(held, key)
+			} else {
+				// Unlock of a lock this function never took: a release
+				// helper; the caller must hold it.
+				if eff, ok := effectFor(p, slots, key, false); ok {
+					sum.effects = append(sum.effects, eff)
+				}
+			}
+		}
+	}
+	for _, key := range order {
+		if !held[key] {
+			continue
+		}
+		if eff, ok := effectFor(p, slots, key, true); ok {
+			sum.effects = append(sum.effects, eff)
+		}
+	}
+	sum.lockHelper = pureLockOps && len(sum.effects) > 0
+	sum.bounded = returnsBounded(fd)
+	return sum
+}
+
+// returnsBounded reports whether fd has exactly one result and every return
+// expression in its body (outside nested function literals) carries a
+// masking operation: &, %, or >>.
+func returnsBounded(fd *ast.FuncDecl) bool {
+	res := fd.Type.Results
+	if res == nil || res.NumFields() != 1 || len(res.List[0].Names) > 1 {
+		return false
+	}
+	found := false
+	bounded := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		found = true
+		if len(ret.Results) != 1 || !hasMaskingOp(ret.Results[0]) {
+			bounded = false
+		}
+		return true
+	})
+	return found && bounded
+}
+
+// hasMaskingOp reports whether the expression tree contains a &, %, or >>
+// binary operation — the range-reduction idioms a bounds guard recognises.
+func hasMaskingOp(e ast.Expr) bool {
+	masked := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.AND, token.REM, token.SHR:
+				masked = true
+			}
+		}
+		return !masked
+	})
+	return masked
+}
+
+// callSiteKeys maps a summarised callee's effects into the caller's lock
+// keys. Effects whose argument is not a plain variable chain are dropped —
+// the caller cannot track them.
+func callSiteKeys(p *Pass, call *ast.CallExpr, sum *funcSummary) []struct {
+	key     lockKey
+	acquire bool
+} {
+	var out []struct {
+		key     lockKey
+		acquire bool
+	}
+	slotExpr := func(slot int) ast.Expr {
+		if slot == 0 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return sel.X
+			}
+			return nil
+		}
+		if i := slot - 1; i < len(call.Args) {
+			return call.Args[i]
+		}
+		return nil
+	}
+	for _, eff := range sum.effects {
+		var key lockKey
+		if eff.slot == -1 {
+			key = lockKey{root: eff.obj, path: eff.path}
+		} else {
+			arg := slotExpr(eff.slot)
+			if arg == nil {
+				continue
+			}
+			root, ok := lockKeyOf(p, arg)
+			if !ok {
+				continue
+			}
+			key = lockKey{root: root.root, path: joinPath(root.path, eff.path)}
+		}
+		out = append(out, struct {
+			key     lockKey
+			acquire bool
+		}{key, eff.acquire})
+	}
+	return out
+}
+
+// isPanicCall reports whether e is a call to the predeclared panic.
+func isPanicCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestLockFlow pins the lockflow analyzer against its fixture: return- and
+// panic-path leaks, blocking operations under a held lock, one-level helper
+// see-through, and by-value mutex copies.
+func TestLockFlow(t *testing.T) {
+	checkFixture(t, LockFlow, "lockflow", "mosaic/internal/fixture")
+}
+
+// TestCtxFlow pins ctxflow: fresh contexts minted where a ctx is in scope
+// and worker loops that never consult cancellation.
+func TestCtxFlow(t *testing.T) {
+	checkFixture(t, CtxFlow, "ctxflow", "mosaic/internal/fixture")
+}
+
+// TestNarrowConv pins narrowconv: unguarded uint64 narrowing versus the
+// accepted guards (mask, dominating comparison, early exit, prior index,
+// bounded helper).
+func TestNarrowConv(t *testing.T) {
+	checkFixture(t, NarrowConv, "narrowconv", "mosaic/internal/fixture")
+}
+
+// TestLockFlowSkipsExternalPackages: the rule is scoped to the internal
+// tree, like the other library-discipline rules.
+func TestLockFlowSkipsExternalPackages(t *testing.T) {
+	checkFixtureClean(t, LockFlow, "lockflow", "example.com/external")
+	checkFixtureClean(t, CtxFlow, "ctxflow", "example.com/external")
+	checkFixtureClean(t, NarrowConv, "narrowconv", "example.com/external")
+}
+
+// summaryFor finds a function's summary by name in the pass's flow index.
+func summaryFor(t *testing.T, p *Pass, name string) *funcSummary {
+	t.Helper()
+	fi := p.flow()
+	for fn, fd := range fi.decls {
+		if fd.Name.Name == name {
+			return fi.summaries[fn]
+		}
+	}
+	t.Fatalf("no declaration named %s in fixture", name)
+	return nil
+}
+
+// TestSummaryLockHelpers pins the summary engine on the lockflow fixture:
+// pure wrappers are recognised, their effects carry the right slot and
+// path, and ordinary balanced functions summarise to nothing.
+func TestSummaryLockHelpers(t *testing.T) {
+	p := loadFixture(t, "lockflow", "mosaic/internal/fixture")
+
+	lock := summaryFor(t, p, "lock")
+	if !lock.lockHelper {
+		t.Error("lock() not recognised as a lock helper")
+	}
+	if len(lock.effects) != 1 || !lock.effects[0].acquire ||
+		lock.effects[0].slot != 0 || lock.effects[0].path != "mu" {
+		t.Errorf("lock() effects = %+v, want one acquire of receiver field mu", lock.effects)
+	}
+
+	unlock := summaryFor(t, p, "unlock")
+	if !unlock.lockHelper {
+		t.Error("unlock() not recognised as a lock helper")
+	}
+	if len(unlock.effects) != 1 || unlock.effects[0].acquire {
+		t.Errorf("unlock() effects = %+v, want one release", unlock.effects)
+	}
+
+	if s := summaryFor(t, p, "incDeferred"); len(s.effects) != 0 || s.lockHelper {
+		t.Errorf("incDeferred summary = %+v, want balanced (no effects)", s)
+	}
+
+	// One-level contract: lockIndirect only calls a helper, so its own
+	// summary is empty — the acquire does not propagate a second hop.
+	if s := summaryFor(t, p, "lockIndirect"); len(s.effects) != 0 {
+		t.Errorf("lockIndirect effects = %+v, want none (one-level contract)", s.effects)
+	}
+
+	// A package-level lock helper maps to slot -1 with the variable object.
+	g := summaryFor(t, p, "globalHelperLock")
+	if len(g.effects) != 1 || g.effects[0].slot != -1 || g.effects[0].obj == nil {
+		t.Errorf("globalHelperLock effects = %+v, want one package-level acquire", g.effects)
+	}
+	if v, ok := g.effects[0].obj.(*types.Var); !ok || v.Name() != "globalMu" {
+		t.Errorf("globalHelperLock effect obj = %v, want globalMu", g.effects[0].obj)
+	}
+}
+
+// TestSummaryBounded pins the masked-return summary narrowconv relies on.
+func TestSummaryBounded(t *testing.T) {
+	p := loadFixture(t, "narrowconv", "mosaic/internal/fixture")
+	if !summaryFor(t, p, "bounded").bounded {
+		t.Error("bounded() not summarised as range-reduced")
+	}
+	if summaryFor(t, p, "raw").bounded {
+		t.Error("raw() wrongly summarised as range-reduced")
+	}
+	// Multi-result and void functions can never be bounded.
+	if summaryFor(t, p, "direct").bounded {
+		t.Error("direct() (int result, unmasked) wrongly bounded")
+	}
+}
+
+// TestFlowIndexCached: the flow index is built once per pass.
+func TestFlowIndexCached(t *testing.T) {
+	p := loadFixture(t, "lockflow", "mosaic/internal/fixture")
+	if a, b := p.flow(), p.flow(); a != b {
+		t.Error("flow() rebuilt the index instead of caching it")
+	}
+}

@@ -75,9 +75,34 @@ func rngImportEdit(p *Pass, f *ast.File) *TextEdit {
 	return nil
 }
 
+// fixableRandCall reports whether call is the rewritable pattern
+// rand.New(rand.NewSource(seed)).
+func fixableRandCall(p *Pass, call *ast.CallExpr) bool {
+	outer, ok := callee(p.Info, call).(*types.Func)
+	if !ok || outer.Name() != "New" || outer.Pkg().Path() != "math/rand" || len(call.Args) != 1 {
+		return false
+	}
+	src, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok || len(src.Args) != 1 {
+		return false
+	}
+	inner, ok := callee(p.Info, src).(*types.Func)
+	return ok && inner.Name() == "NewSource" && inner.Pkg().Path() == "math/rand"
+}
+
 // randUsedElsewhere reports whether math/rand is referenced in f outside
-// the call being rewritten — if not, the fix can drop the import too.
-func randUsedElsewhere(p *Pass, f *ast.File, call *ast.CallExpr) bool {
+// every fixable rand.New(rand.NewSource(…)) call — if not, the fixes can
+// drop the import too. All fixable calls are excluded, not just the one
+// being rewritten: each fix in the batch rewrites its own call, and the
+// identical import-removal edits they then share are applied once.
+func randUsedElsewhere(p *Pass, f *ast.File) bool {
+	var fixable []*ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && fixableRandCall(p, call) {
+			fixable = append(fixable, call)
+		}
+		return true
+	})
 	used := false
 	ast.Inspect(f, func(n ast.Node) bool {
 		if used {
@@ -88,7 +113,14 @@ func randUsedElsewhere(p *Pass, f *ast.File, call *ast.CallExpr) bool {
 			return true
 		}
 		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "math/rand" {
-			if id.Pos() < call.Pos() || id.Pos() > call.End() {
+			inside := false
+			for _, call := range fixable {
+				if id.Pos() >= call.Pos() && id.Pos() <= call.End() {
+					inside = true
+					break
+				}
+			}
+			if !inside {
 				used = true
 			}
 		}
@@ -145,18 +177,10 @@ func blankLine(p *Pass, f *ast.File, line int) bool {
 // on the global source) need a generator threaded through the call chain,
 // which is not a mechanical rewrite.
 func detRandFix(p *Pass, f *ast.File, call *ast.CallExpr) *Fix {
-	outer, ok := callee(p.Info, call).(*types.Func)
-	if !ok || outer.Name() != "New" || outer.Pkg().Path() != "math/rand" || len(call.Args) != 1 {
+	if !fixableRandCall(p, call) {
 		return nil
 	}
-	src, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
-	if !ok || len(src.Args) != 1 {
-		return nil
-	}
-	inner, ok := callee(p.Info, src).(*types.Func)
-	if !ok || inner.Name() != "NewSource" || inner.Pkg().Path() != "math/rand" {
-		return nil
-	}
+	src := ast.Unparen(call.Args[0]).(*ast.CallExpr)
 	seed := exprText(p.Fset, src.Args[0])
 	if seed == "" {
 		return nil
@@ -176,9 +200,9 @@ func detRandFix(p *Pass, f *ast.File, call *ast.CallExpr) *Fix {
 	if name != "" && name != "rng" {
 		edits[0].NewText = name + ".New(" + seed + ")"
 	}
-	// dropRand: the rewritten call was the file's last use of math/rand, so
-	// that import must go or the fixed file won't compile.
-	dropRand := !randUsedElsewhere(p, f, call)
+	// dropRand: after every fixable call is rewritten nothing in the file
+	// uses math/rand, so that import must go or the fixed file won't compile.
+	dropRand := !randUsedElsewhere(p, f)
 	imp := rngImportEdit(p, f)
 	switch {
 	case name != "":

@@ -10,7 +10,9 @@ import (
 // disk and returns the changed file names (sorted) and the number of fixes
 // applied. A fix whose edits overlap an already-accepted fix in the same
 // run is skipped rather than corrupting the file; re-running mosaiclint
-// -fix converges. Byte offsets refer to the file contents the diagnostics
+// -fix converges. Two fixes contributing a byte-identical edit (two findings
+// in one file each inserting the same import line) share it instead of
+// duplicating it. Byte offsets refer to the file contents the diagnostics
 // were produced from, so all fixes for one file are spliced against one
 // read of it.
 func ApplyFixes(diags []Diagnostic) (changed []string, applied int, err error) {
@@ -25,6 +27,7 @@ func ApplyFixes(diags []Diagnostic) (changed []string, applied int, err error) {
 		}
 		// Accept or reject the fix atomically: every edit must land in a
 		// readable file and must not overlap edits already accepted.
+		// An edit identical to an accepted one is satisfied by it.
 		ok := true
 		for _, e := range d.Fix.Edits {
 			st := files[e.Filename]
@@ -41,7 +44,15 @@ func ApplyFixes(diags []Diagnostic) (changed []string, applied int, err error) {
 					e.Filename, e.Start, e.End, len(st.content))
 			}
 			for _, prev := range st.edits {
+				if prev == e {
+					continue
+				}
 				if e.Start < prev.End && prev.Start < e.End {
+					ok = false
+				}
+				// Two distinct insertions at the same offset would splice in
+				// an unspecified order; keep the first.
+				if e.Start == e.End && prev.Start == prev.End && e.Start == prev.Start {
 					ok = false
 				}
 			}
@@ -50,7 +61,17 @@ func ApplyFixes(diags []Diagnostic) (changed []string, applied int, err error) {
 			continue
 		}
 		for _, e := range d.Fix.Edits {
-			files[e.Filename].edits = append(files[e.Filename].edits, e)
+			st := files[e.Filename]
+			dup := false
+			for _, prev := range st.edits {
+				if prev == e {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				st.edits = append(st.edits, e)
+			}
 		}
 		applied++
 	}

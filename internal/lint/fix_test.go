@@ -65,3 +65,43 @@ func TestApplyFixes(t *testing.T) {
 		t.Errorf("fixed fixture still has findings: %v", ds)
 	}
 }
+
+// TestApplyFixesIdempotent pins the -fix contract the CLI relies on when it
+// re-lints after fixing: a second fix pass over an already-fixed tree applies
+// nothing and leaves every byte in place. Without this, -fix could oscillate
+// between two rewrites and never converge.
+func TestApplyFixesIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "fixapply", "fixapply.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "fixapply.go")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fixOnce := func() (applied int, bytes []byte) {
+		t.Helper()
+		pass := loadFixtureDir(t, dir, "mosaic/internal/fixture")
+		_, applied, err := ApplyFixes(append(pass.Run(DetRand), pass.Run(ErrDrop)...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.ReadFile(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return applied, out
+	}
+	applied1, after1 := fixOnce()
+	if applied1 == 0 {
+		t.Fatal("first pass applied nothing; fixture carries no fixable findings")
+	}
+	applied2, after2 := fixOnce()
+	if applied2 != 0 {
+		t.Errorf("second pass applied %d fix(es); -fix is not a fixed point", applied2)
+	}
+	if string(after1) != string(after2) {
+		t.Errorf("second pass changed bytes:\n--- first ---\n%s\n--- second ---\n%s", after1, after2)
+	}
+}

@@ -1,0 +1,223 @@
+// Package gate implements mosaiclint's compiler-introspection gates: checks
+// that do not inspect source syntax at all but instead drive the Go compiler
+// in a diagnostic mode (`-gcflags=-m`, `-gcflags=-d=ssa/check_bce`,
+// `-gcflags=-m=2`), normalize the diagnostics it emits into named sites, and
+// diff those sites against a checked-in baseline file.
+//
+// The contract every gate shares, extracted from the original hotalloc
+// escape gate:
+//
+//   - a site that is new, or whose count grew, is a regression and fails
+//     the run — the compiler's verdict about the hot path got worse;
+//   - a site that disappeared (or shrank) never fails — it is an
+//     improvement worth banking into the baseline, and the gate only
+//     mentions it on stderr;
+//   - the baseline is regenerated with an explicit -update-* flag after a
+//     reviewed change, and the resulting file diff is the review artifact.
+//
+// What "site" and "count" mean is up to each gate's Normalize function:
+// hotalloc keys heap escapes by file and message with positions collapsed,
+// bcegate keys surviving bounds checks by file and enclosing function,
+// inlinegate keys inlining verdicts by function with the inliner's cost as
+// the count. The framework only insists that keys are stable strings and
+// counts only fail in the growing direction.
+package gate
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Site aggregates identical normalized compiler diagnostics under one key.
+type Site struct {
+	// Count is the gate-defined magnitude at this site: distinct source
+	// positions for hotalloc/bcegate, the inliner's cost for inlinegate.
+	// Diff fails when it grows.
+	Count int
+	// Line is the first (lowest) line reporting the site, for diagnostics;
+	// zero when the baseline (which stores no lines) is the only source.
+	Line int
+}
+
+// Sites is a normalized compiler report: key → site.
+type Sites = map[string]Site
+
+// A Config describes one compiler-introspection gate.
+type Config struct {
+	// Name is the gate's analyzer name ("hotalloc"), used in errors.
+	Name string
+	// BuildFlags are passed to `go build` before the package patterns
+	// (e.g. "-gcflags=-m").
+	BuildFlags []string
+	// Patterns are the package patterns the gate compiles.
+	Patterns []string
+	// Normalize turns raw compiler output into sites. dir is the module
+	// root the build ran from, for gates that need to consult sources
+	// (bcegate parses files to attribute lines to functions).
+	Normalize func(dir string, output []byte) (Sites, error)
+	// Header lines (without the leading "# ") written atop the baseline.
+	Header []string
+	// UpdateFlag is the mosaiclint flag that regenerates the baseline
+	// ("-update-escapes"), quoted in error messages.
+	UpdateFlag string
+}
+
+// A Regression is one site the current tree worsened relative to baseline.
+type Regression struct {
+	// Key is the normalized site key.
+	Key string
+	// Line is the first current line reporting the site (0 if unknown).
+	Line int
+	// Count is the current magnitude; BaseCount the baseline's, with
+	// Known false when the site is absent from the baseline entirely.
+	Count, BaseCount int
+	Known            bool
+}
+
+// A Result is one full gate run: the diff plus both site maps, so callers
+// can render gate-specific messages (inlinegate reports cost deltas).
+type Result struct {
+	Regressions []Regression
+	// Removed are baseline keys that no longer occur (or shrank) —
+	// improvements to bank with the gate's update flag, never failures.
+	Removed  []string
+	Baseline Sites
+	Current  Sites
+}
+
+// Compile runs `go build` with the gate's flags from dir and returns the
+// normalized sites. The build cache replays compiler diagnostics, so
+// repeated runs are cheap and need no forced rebuild.
+func (c Config) Compile(dir string) (Sites, error) {
+	args := append([]string{"build"}, c.BuildFlags...)
+	args = append(args, c.Patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: %s: go %s: %v\n%s", c.Name, strings.Join(args, " "), err, buf.Bytes())
+	}
+	return c.Normalize(dir, buf.Bytes())
+}
+
+// sortedKeys returns site keys in lexical order, so every fold over a site
+// map is iteration-order independent.
+func sortedKeys(sites Sites) []string {
+	keys := make([]string, 0, len(sites))
+	for k := range sites {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Format renders sites in the baseline file format: a self-describing
+// header, then one "count<TAB>key" line per site, sorted.
+func Format(header []string, sites Sites) []byte {
+	var b bytes.Buffer
+	for _, h := range header {
+		fmt.Fprintf(&b, "# %s\n", h)
+	}
+	for _, k := range sortedKeys(sites) {
+		fmt.Fprintf(&b, "%d\t%s\n", sites[k].Count, k)
+	}
+	return b.Bytes()
+}
+
+// Parse reads a baseline previously written by Format.
+func Parse(data []byte) (Sites, error) {
+	sites := make(Sites)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		count, key, ok := strings.Cut(line, "\t")
+		n, err := strconv.Atoi(count)
+		if !ok || err != nil || n <= 0 {
+			return nil, fmt.Errorf("gate: baseline line %d: want count<TAB>site, got %q", lineno, line)
+		}
+		sites[key] = Site{Count: n}
+	}
+	return sites, nil
+}
+
+// Diff compares current sites against the baseline: a new site or a grown
+// count is a regression; a site that disappeared or shrank is listed as
+// removed (bankable, never a failure).
+func Diff(baseline, current Sites) (regressions []Regression, removed []string) {
+	for _, key := range sortedKeys(current) {
+		cur := current[key]
+		base, known := baseline[key]
+		if known && cur.Count <= base.Count {
+			continue
+		}
+		regressions = append(regressions, Regression{
+			Key:       key,
+			Line:      cur.Line,
+			Count:     cur.Count,
+			BaseCount: base.Count,
+			Known:     known,
+		})
+	}
+	for _, key := range sortedKeys(baseline) {
+		if cur, ok := current[key]; !ok || cur.Count < baseline[key].Count {
+			removed = append(removed, key)
+		}
+	}
+	return regressions, removed
+}
+
+// Run executes the full gate from the module root dir against the baseline
+// at path. A missing baseline file is an error — the gate only means
+// something against a reviewed reference point.
+func (c Config) Run(dir, path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s baseline: %v (run mosaiclint %s to create it)", c.Name, err, c.UpdateFlag)
+	}
+	baseline, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	current, err := c.Compile(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Tripwire against a vacuous pass: an empty compile against a non-empty
+	// baseline would diff as "every site improved" and sail through
+	// silently. A tree whose hot-path diagnostics all vanish at once is not
+	// plausible — the likely cause is the build cache skipping the compile
+	// without replaying its output — so fail loudly and let the operator
+	// decide (a genuine wholesale improvement is banked with the update
+	// flag, which bypasses the diff).
+	if len(current) == 0 && len(baseline) > 0 {
+		return nil, fmt.Errorf(
+			"lint: %s: compiler produced no diagnostics but the baseline has %d site(s); "+
+				"suspected build-cache anomaly — rerun after `go clean -cache`, or run mosaiclint %s if the tree really improved",
+			c.Name, len(baseline), c.UpdateFlag)
+	}
+	reg, removed := Diff(baseline, current)
+	return &Result{Regressions: reg, Removed: removed, Baseline: baseline, Current: current}, nil
+}
+
+// Update regenerates the baseline at path from the current tree.
+func (c Config) Update(dir, path string) error {
+	sites, err := c.Compile(dir)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, Format(c.Header, sites), 0o644)
+}

@@ -1,0 +1,128 @@
+package gate
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	in := Sites{
+		"a.go: f: Found IsInBounds": {Count: 3, Line: 10},
+		"b.go: g: cannot inline":    {Count: 95},
+	}
+	header := []string{"test baseline", "second header line"}
+	data := Format(header, in)
+	if !bytes.HasPrefix(data, []byte("# test baseline\n")) {
+		t.Errorf("header not rendered:\n%s", data)
+	}
+	out, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost sites: %v", out)
+	}
+	for k, v := range in {
+		if out[k].Count != v.Count {
+			t.Errorf("site %q: count %d, want %d", k, out[k].Count, v.Count)
+		}
+	}
+	// Lines are deliberately not stored in the baseline.
+	if out["a.go: f: Found IsInBounds"].Line != 0 {
+		t.Error("baseline should not carry line numbers")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"x\ty\n", "0\tsite\n", "-1\tsite\n", "3 site-no-tab\n"} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("malformed baseline %q accepted", bad)
+		}
+	}
+}
+
+func TestDiffDirections(t *testing.T) {
+	baseline := Sites{"keep": {Count: 2}, "shrink": {Count: 3}, "gone": {Count: 1}}
+	current := Sites{"keep": {Count: 2}, "shrink": {Count: 1}, "new": {Count: 1, Line: 7}, "grown": {Count: 4}}
+	// "grown" also exists in baseline with a smaller count.
+	baseline["grown"] = Site{Count: 2}
+
+	reg, removed := Diff(baseline, current)
+	if len(reg) != 2 {
+		t.Fatalf("got %d regressions, want 2 (new, grown): %+v", len(reg), reg)
+	}
+	byKey := map[string]Regression{}
+	for _, r := range reg {
+		byKey[r.Key] = r
+	}
+	if r := byKey["new"]; r.Known || r.Line != 7 {
+		t.Errorf("new-site regression wrong: %+v", r)
+	}
+	if r := byKey["grown"]; !r.Known || r.Count != 4 || r.BaseCount != 2 {
+		t.Errorf("grown-site regression wrong: %+v", r)
+	}
+	want := map[string]bool{"shrink": true, "gone": true}
+	if len(removed) != 2 || !want[removed[0]] || !want[removed[1]] {
+		t.Errorf("removed = %v, want shrink+gone", removed)
+	}
+}
+
+func TestDiffSelfClean(t *testing.T) {
+	s := Sites{"a": {Count: 1}, "b": {Count: 9}}
+	if reg, removed := Diff(s, s); len(reg) != 0 || len(removed) != 0 {
+		t.Errorf("self-diff not clean: %v / %v", reg, removed)
+	}
+}
+
+// TestRunEmptyCompileTrips: a compile that yields zero sites against a
+// non-empty baseline must be an error, not a pass — otherwise a build-cache
+// anomaly that swallows the compiler's diagnostics reads as "every site
+// improved" and the gate goes vacuously green.
+func TestRunEmptyCompileTrips(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"go.mod": "module tmpgate\n\ngo 1.24\n",
+		"a.go":   "package a\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	baseline := filepath.Join(dir, "test.baseline")
+	if err := os.WriteFile(baseline, Format(nil, Sites{"a.go: x escapes": {Count: 1}}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := Config{
+		Name:       "test",
+		Patterns:   []string{"."},
+		Normalize:  func(string, []byte) (Sites, error) { return Sites{}, nil },
+		UpdateFlag: "-update-test",
+	}
+	_, err := c.Run(dir, baseline)
+	if err == nil || !strings.Contains(err.Error(), "no diagnostics") {
+		t.Errorf("empty compile against non-empty baseline should trip, got %v", err)
+	}
+
+	// An empty baseline with an empty compile is legitimately clean.
+	if err := os.WriteFile(baseline, Format(nil, Sites{}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(dir, baseline)
+	if err != nil {
+		t.Fatalf("empty-vs-empty should pass: %v", err)
+	}
+	if len(res.Regressions) != 0 || len(res.Removed) != 0 {
+		t.Errorf("empty-vs-empty not clean: %+v", res)
+	}
+}
+
+func TestRunMissingBaseline(t *testing.T) {
+	c := Config{Name: "test", UpdateFlag: "-update-test"}
+	_, err := c.Run(t.TempDir(), "no/such/baseline")
+	if err == nil || !strings.Contains(err.Error(), "-update-test") {
+		t.Errorf("missing baseline error should name the update flag, got %v", err)
+	}
+}

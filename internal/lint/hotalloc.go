@@ -5,12 +5,11 @@ import (
 	"bytes"
 	"fmt"
 	"go/token"
-	"os"
-	"os/exec"
 	"regexp"
-	"sort"
 	"strconv"
 	"strings"
+
+	"mosaic/internal/lint/gate"
 )
 
 // HotAlloc is the escape-analysis budget gate: it drives the compiler's
@@ -30,15 +29,16 @@ import (
 //
 // HotAlloc is tree-level (it shells out to the compiler rather than
 // inspecting one pass), so its Run is nil and the driver invokes
-// RunHotAlloc directly.
+// RunHotAlloc directly. The shared baseline-diff mechanics live in
+// internal/lint/gate, which bcegate and inlinegate reuse.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	ID:   "ML008",
 	Doc:  "heap-escape sites in the hot-path packages must not regress internal/lint/escapes.baseline",
 }
 
-// HotPathPackages are the build patterns the gate compiles with escape
-// diagnostics: the packages on the per-reference simulation path.
+// HotPathPackages are the build patterns the compiler gates drive with
+// diagnostics enabled: the packages on the per-reference simulation path.
 var HotPathPackages = []string{
 	"./internal/memsim",
 	"./internal/tlb",
@@ -50,22 +50,14 @@ var HotPathPackages = []string{
 // root.
 const EscapeBaselineFile = "internal/lint/escapes.baseline"
 
-// An escapeSite aggregates identical normalized escape messages.
-type escapeSite struct {
-	// Count is how many distinct source positions report this site.
-	Count int
-	// Line is the first (lowest) line reporting it, for diagnostics.
-	Line int
-}
-
 // escapeLineRE matches one compiler diagnostic: file:line:col: message.
 var escapeLineRE = regexp.MustCompile(`^(\S+\.go):(\d+):(\d+): (.+)$`)
 
-// parseEscapes extracts heap-escape sites from `go build -gcflags=-m`
+// normalizeEscapes extracts heap-escape sites from `go build -gcflags=-m`
 // output. Only allocation decisions count ("escapes to heap", "moved to
 // heap"); inlining chatter and parameter-leak notes are ignored.
-func parseEscapes(output []byte) map[string]escapeSite {
-	sites := make(map[string]escapeSite)
+func normalizeEscapes(_ string, output []byte) (gate.Sites, error) {
+	sites := make(gate.Sites)
 	sc := bufio.NewScanner(bytes.NewReader(output))
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -86,114 +78,71 @@ func parseEscapes(output []byte) map[string]escapeSite {
 		}
 		sites[key] = s
 	}
-	return sites
+	return sites, nil
+}
+
+// hotAllocGate builds the gate.Config for the escape budget over patterns.
+func hotAllocGate(patterns []string) gate.Config {
+	return gate.Config{
+		Name:       HotAlloc.Name,
+		BuildFlags: []string{"-gcflags=-m"},
+		Patterns:   patterns,
+		Normalize:  normalizeEscapes,
+		Header: []string{
+			"mosaiclint hotalloc escape baseline.",
+			"One line per heap-escape site in the hot-path packages: count<TAB>file: message.",
+			"Regenerate after a reviewed allocation change: go run ./cmd/mosaiclint -update-escapes",
+		},
+		UpdateFlag: "-update-escapes",
+	}
 }
 
 // EscapeSites compiles patterns in dir with -gcflags=-m and returns the
-// normalized heap-escape sites. The build cache replays compiler
-// diagnostics, so repeated runs are cheap and need no forced rebuild.
-func EscapeSites(dir string, patterns []string) (map[string]escapeSite, error) {
-	args := append([]string{"build", "-gcflags=-m"}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	var buf bytes.Buffer
-	cmd.Stdout = &buf
-	cmd.Stderr = &buf
-	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, buf.Bytes())
-	}
-	return parseEscapes(buf.Bytes()), nil
+// normalized heap-escape sites.
+func EscapeSites(dir string, patterns []string) (gate.Sites, error) {
+	return hotAllocGate(patterns).Compile(dir)
 }
 
-// FormatEscapeBaseline renders sites in the baseline file format: one
-// "count<TAB>site" line per site, sorted, with a self-describing header.
-func FormatEscapeBaseline(sites map[string]escapeSite) []byte {
-	keys := make([]string, 0, len(sites))
-	for k := range sites {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b bytes.Buffer
-	b.WriteString("# mosaiclint hotalloc escape baseline.\n")
-	b.WriteString("# One line per heap-escape site in the hot-path packages: count<TAB>file: message.\n")
-	b.WriteString("# Regenerate after a reviewed allocation change: go run ./cmd/mosaiclint -update-escapes\n")
-	for _, k := range keys {
-		fmt.Fprintf(&b, "%d\t%s\n", sites[k].Count, k)
-	}
-	return b.Bytes()
+// FormatEscapeBaseline renders sites in the baseline file format.
+func FormatEscapeBaseline(sites gate.Sites) []byte {
+	return gate.Format(hotAllocGate(nil).Header, sites)
 }
 
 // ParseEscapeBaseline reads a baseline previously written by
 // FormatEscapeBaseline.
-func ParseEscapeBaseline(data []byte) (map[string]escapeSite, error) {
-	sites := make(map[string]escapeSite)
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	lineno := 0
-	for sc.Scan() {
-		lineno++
-		line := sc.Text()
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		count, site, ok := strings.Cut(line, "\t")
-		n, err := strconv.Atoi(count)
-		if !ok || err != nil || n <= 0 {
-			return nil, fmt.Errorf("lint: escape baseline line %d: want count<TAB>site, got %q", lineno, line)
-		}
-		sites[site] = escapeSite{Count: n}
-	}
-	return sites, nil
+func ParseEscapeBaseline(data []byte) (gate.Sites, error) {
+	return gate.Parse(data)
 }
 
 // WriteEscapeBaseline regenerates the baseline file from the current tree.
 func WriteEscapeBaseline(dir, path string, patterns []string) error {
-	sites, err := EscapeSites(dir, patterns)
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, FormatEscapeBaseline(sites), 0o644)
+	return hotAllocGate(patterns).Update(dir, path)
 }
 
-// sortedSiteKeys returns the site keys in lexical order, so every fold over
-// an escape-site map is iteration-order independent.
-func sortedSiteKeys(sites map[string]escapeSite) []string {
-	keys := make([]string, 0, len(sites))
-	for k := range sites {
-		keys = append(keys, k)
+// escapeDiag renders one escape regression as a hotalloc diagnostic.
+func escapeDiag(r gate.Regression) Diagnostic {
+	file, msg, _ := strings.Cut(r.Key, ": ")
+	detail := "not in baseline"
+	if r.Known {
+		detail = fmt.Sprintf("%d site(s), baseline has %d", r.Count, r.BaseCount)
 	}
-	sort.Strings(keys)
-	return keys
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: r.Line},
+		Analyzer: HotAlloc.Name,
+		ID:       HotAlloc.ID,
+		Message: fmt.Sprintf("new heap escape on a hot path: %s (%s); keep the allocation off the per-reference path or update %s",
+			msg, detail, EscapeBaselineFile),
+	}
 }
 
 // DiffEscapes compares current sites against the baseline and returns one
 // diagnostic per regression — a new site, or a site whose count grew —
 // plus the list of baseline sites that no longer occur (improvements worth
 // banking with -update-escapes; never a failure).
-func DiffEscapes(baseline, current map[string]escapeSite) (regressions []Diagnostic, removed []string) {
-	for _, key := range sortedSiteKeys(current) {
-		cur := current[key]
-		base, known := baseline[key]
-		if known && cur.Count <= base.Count {
-			continue
-		}
-		file, msg, _ := strings.Cut(key, ": ")
-		detail := "not in baseline"
-		if known {
-			detail = fmt.Sprintf("%d site(s), baseline has %d", cur.Count, base.Count)
-		}
-		regressions = append(regressions, Diagnostic{
-			Pos:      token.Position{Filename: file, Line: cur.Line},
-			Analyzer: HotAlloc.Name,
-			ID:       HotAlloc.ID,
-			Message: fmt.Sprintf("new heap escape on a hot path: %s (%s); keep the allocation off the per-reference path or update %s",
-				msg, detail, EscapeBaselineFile),
-		})
-	}
-	for _, key := range sortedSiteKeys(baseline) {
-		if cur, ok := current[key]; !ok || cur.Count < baseline[key].Count {
-			removed = append(removed, key)
-		}
+func DiffEscapes(baseline, current gate.Sites) (regressions []Diagnostic, removed []string) {
+	reg, removed := gate.Diff(baseline, current)
+	for _, r := range reg {
+		regressions = append(regressions, escapeDiag(r))
 	}
 	return regressions, removed
 }
@@ -203,18 +152,12 @@ func DiffEscapes(baseline, current map[string]escapeSite) (regressions []Diagnos
 // baseline file is an error — the gate only means something against a
 // reviewed reference point.
 func RunHotAlloc(dir, path string, patterns []string) (regressions []Diagnostic, removed []string, err error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, nil, fmt.Errorf("lint: hotalloc baseline: %v (run mosaiclint -update-escapes to create it)", err)
-	}
-	baseline, err := ParseEscapeBaseline(data)
+	res, err := hotAllocGate(patterns).Run(dir, path)
 	if err != nil {
 		return nil, nil, err
 	}
-	current, err := EscapeSites(dir, patterns)
-	if err != nil {
-		return nil, nil, err
+	for _, r := range res.Regressions {
+		regressions = append(regressions, escapeDiag(r))
 	}
-	regressions, removed = DiffEscapes(baseline, current)
-	return regressions, removed, nil
+	return regressions, res.Removed, nil
 }

@@ -5,12 +5,14 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"mosaic/internal/lint/gate"
 )
 
 // escapeFixture copies testdata/hotalloc/<variant> into a throwaway module
 // and returns its escape sites — a hermetic stand-in for the hot-path
 // packages, so the gate's behaviour is testable without mutating the tree.
-func escapeFixture(t *testing.T, variant string) (dir string, sites map[string]escapeSite) {
+func escapeFixture(t *testing.T, variant string) (dir string, sites gate.Sites) {
 	t.Helper()
 	dir = t.TempDir()
 	src, err := os.ReadFile(filepath.Join("testdata", "hotalloc", variant, "hot.go"))
@@ -98,7 +100,7 @@ func TestHotAllocImprovementsNeverFail(t *testing.T) {
 
 // TestEscapeBaselineRoundTrip pins the baseline file format.
 func TestEscapeBaselineRoundTrip(t *testing.T) {
-	in := map[string]escapeSite{
+	in := gate.Sites{
 		"internal/tlb/set.go: g.Entries escapes to heap":       {Count: 2, Line: 175},
 		"internal/cache/cache.go: &Level{...} escapes to heap": {Count: 1, Line: 40},
 	}

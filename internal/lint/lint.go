@@ -23,9 +23,28 @@
 //   - sweepsafe:  closures handed to sweep.Run or go statements must not
 //     write shared package- or struct-level state outside a lock set, nor
 //     capture pre-loop variables that later iterations mutate.
+//   - lockflow:   mutex Lock/Unlock balance is tracked through every
+//     function (and one level of same-package helper calls): a lock must be
+//     released on every return and panic path, never held across a blocking
+//     operation, and never copied by value.
+//   - ctxflow:    a function holding a context must propagate it rather
+//     than minting context.Background(), and worker goroutine loops must
+//     consult cancellation.
+//   - narrowconv: uint64-derived values (PFNs, virtual addresses, refill
+//     indices) must be masked, reduced, or bounds-checked before narrowing
+//     to int/uint32-class types.
 //   - hotalloc:   a tree-level escape-analysis budget gate — heap-escape
 //     sites in the hot-path packages are diffed against
 //     internal/lint/escapes.baseline and regressions fail the run.
+//   - bcegate:    a tree-level bounds-check gate — surviving bounds checks
+//     reported by -d=ssa/check_bce in the hot-path packages are diffed
+//     against internal/lint/bce.baseline.
+//   - inlinegate: a tree-level inlining gate — the pinned hot functions in
+//     InlinePins must stay inlinable, and cost growth against
+//     internal/lint/inline.baseline is reported.
+//
+// lockflow, ctxflow, and narrowconv share the interprocedural summary
+// engine in dataflow.go, which resolves same-package calls one level deep.
 //
 // Every analyzer has a stable diagnostic ID (ML001…), used as the rule ID
 // in the machine-readable -json and -sarif output modes.
@@ -68,13 +87,13 @@ type Analyzer struct {
 
 // All returns the per-package analyzer suite in output order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, NoPanic, CPFNBounds, ErrDrop, ObsNames, MapOrder, SweepSafe}
+	return []*Analyzer{DetRand, NoPanic, CPFNBounds, ErrDrop, ObsNames, MapOrder, SweepSafe, LockFlow, CtxFlow, NarrowConv}
 }
 
 // Catalog returns every analyzer mosaiclint can report under, including
-// the tree-level hotalloc gate, for -list output and SARIF rule metadata.
+// the tree-level compiler gates, for -list output and SARIF rule metadata.
 func Catalog() []*Analyzer {
-	return append(All(), HotAlloc, directiveInfo)
+	return append(All(), HotAlloc, BCEGate, InlineGate, directiveInfo)
 }
 
 // directiveInfo describes the pseudo-analyzer that reports malformed
@@ -131,6 +150,7 @@ type Pass struct {
 
 	ignores       map[ignoreKey]bool
 	badDirectives []Diagnostic
+	flowOnce      *flowInfo
 }
 
 type ignoreKey struct {

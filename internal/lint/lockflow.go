@@ -1,0 +1,529 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockFlow tracks mutex acquire/release balance through each function body:
+// a Lock (or a call to a same-package lock helper, via the one-level summary
+// engine in dataflow.go) must be matched by an Unlock — immediate or
+// deferred — on every return path, and must not still be held when the
+// function panics without a deferred unlock. Holding a lock across a
+// blocking operation (channel send/receive, select, sweep.Run) is flagged
+// too: the sweep engine's workers would serialize behind it, and a
+// same-goroutine receive can deadlock outright. Copying a mutex by value —
+// through a by-value receiver or parameter of a lock-bearing struct, or an
+// explicit dereference copy — silently forks the lock state and is always
+// reported.
+//
+// The analysis is a linear must-walk: branch bodies are walked with copied
+// lock state and the continuing states unioned, loop bodies are examined
+// with copied state that is discarded at the join (a lock balanced within
+// one iteration stays balanced). Helpers are seen through exactly one level;
+// a function whose body is nothing but lock-management statements is a
+// deliberate wrapper and is summarised for its callers instead of being
+// flagged itself.
+var LockFlow = &Analyzer{
+	Name: "lockflow",
+	ID:   "ML011",
+	Doc:  "mutex Lock must be balanced by Unlock on every return and panic path, not held across blocking operations, and never copied by value",
+	Run:  runLockFlow,
+}
+
+// lockState is the set of mutexes held at a program point, keyed by mutex
+// identity, valued by the position of the acquiring call (where leaks are
+// reported, so a function with three early returns yields one finding).
+type lockState map[lockKey]token.Pos
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// lockWalker carries one function's walk. reported dedupes return-path
+// leaks by acquiring position.
+type lockWalker struct {
+	p        *Pass
+	fi       *flowInfo
+	diags    *[]Diagnostic
+	reported map[token.Pos]bool
+	// exemptLeaks suppresses return-path findings: set for lock-helper
+	// wrappers, whose imbalance is the caller's to settle.
+	exemptLeaks bool
+}
+
+// heldNames renders the held set for a message, deterministically.
+func heldNames(held lockState, deferred map[lockKey]bool, skipDeferred bool) string {
+	var names []string
+	for k := range held {
+		if skipDeferred && deferred[k] {
+			continue
+		}
+		names = append(names, k.String())
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// blockingOp reports every lock held at a blocking operation. Deferred
+// unlocks do not help here — the defer has not run yet.
+func (w *lockWalker) blockingOp(held lockState, pos token.Pos, what string) {
+	if len(held) == 0 {
+		return
+	}
+	*w.diags = append(*w.diags, w.p.diag("lockflow", pos,
+		"%s held across %s: the critical section spans a blocking operation; release the lock first or move the operation out",
+		heldNames(held, nil, false), what))
+}
+
+// atReturn reports locks still held at a return (explicit or the implicit
+// one at the end of the body) that no deferred unlock covers. Findings
+// anchor at the acquiring Lock call.
+func (w *lockWalker) atReturn(held lockState, deferred map[lockKey]bool, retPos token.Pos) {
+	if w.exemptLeaks {
+		return
+	}
+	for key, lockPos := range held {
+		if deferred[key] || w.reported[lockPos] {
+			continue
+		}
+		w.reported[lockPos] = true
+		ret := w.p.Fset.Position(retPos)
+		*w.diags = append(*w.diags, w.p.diag("lockflow", lockPos,
+			"%s.Lock() is never unlocked on the return path at line %d; unlock before returning or defer the unlock",
+			key, ret.Line))
+	}
+}
+
+// atPanic reports locks held at an explicit panic call. A deferred unlock
+// runs during panicking, so it does cover this path.
+func (w *lockWalker) atPanic(held lockState, deferred map[lockKey]bool, pos token.Pos) {
+	names := heldNames(held, deferred, true)
+	if names == "" {
+		return
+	}
+	*w.diags = append(*w.diags, w.p.diag("lockflow", pos,
+		"panic while holding %s with no deferred unlock: the lock stays held in any recovering caller",
+		names))
+}
+
+// applyCall folds one call expression's lock effects into the state:
+// direct sync.Mutex methods, summarised same-package helpers, and the
+// blocking sweep.Run entry point.
+func (w *lockWalker) applyCall(call *ast.CallExpr, held lockState, deferred map[lockKey]bool) {
+	if key, acquire, ok := lockOp(w.p, call); ok {
+		if acquire {
+			held[key] = call.Pos()
+		} else {
+			delete(held, key)
+		}
+		return
+	}
+	if isSweepRunCall(w.p, call) {
+		w.blockingOp(held, call.Pos(), "sweep.Run")
+		return
+	}
+	if fn := w.p.localCallee(call); fn != nil {
+		if sum := w.fi.summaries[fn]; sum != nil {
+			for _, eff := range callSiteKeys(w.p, call, sum) {
+				if eff.acquire {
+					held[eff.key] = call.Pos()
+				} else {
+					delete(held, eff.key)
+				}
+			}
+		}
+	}
+}
+
+// applyDefer folds a defer statement into the deferred-unlock set: a direct
+// deferred Unlock, a deferred release helper, or a deferred closure whose
+// body unlocks.
+func (w *lockWalker) applyDefer(st *ast.DeferStmt, deferred map[lockKey]bool) {
+	if key, acquire, ok := lockOp(w.p, st.Call); ok {
+		if !acquire {
+			deferred[key] = true
+		}
+		return
+	}
+	if fl, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, acquire, ok := lockOp(w.p, call); ok && !acquire {
+					deferred[key] = true
+				}
+			}
+			return true
+		})
+		return
+	}
+	if fn := w.p.localCallee(st.Call); fn != nil {
+		if sum := w.fi.summaries[fn]; sum != nil {
+			for _, eff := range callSiteKeys(w.p, st.Call, sum) {
+				if !eff.acquire {
+					deferred[eff.key] = true
+				}
+			}
+		}
+	}
+}
+
+// scanExpr walks an expression for lock-relevant events: calls (lock ops,
+// helpers, sweep.Run) and blocking channel receives. Function literals are
+// not descended into — their bodies run elsewhere and are analysed as
+// independent functions by runLockFlow.
+func (w *lockWalker) scanExpr(e ast.Expr, held lockState, deferred map[lockKey]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			// Arguments evaluate before the call itself takes effect.
+			for _, arg := range x.Args {
+				w.scanExpr(arg, held, deferred)
+			}
+			w.applyCall(x, held, deferred)
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.blockingOp(held, x.Pos(), "channel receive")
+			}
+		}
+		return true
+	})
+}
+
+// block walks a statement list, mutating held and deferred in place, and
+// reports whether every path through it terminates (returns or panics).
+func (w *lockWalker) block(stmts []ast.Stmt, held lockState, deferred map[lockKey]bool) bool {
+	for _, s := range stmts {
+		if w.stmt(s, held, deferred) {
+			return true
+		}
+	}
+	return false
+}
+
+// branch walks one alternative on copied state; the caller merges.
+func (w *lockWalker) branch(stmts []ast.Stmt, held lockState, deferred map[lockKey]bool) (lockState, map[lockKey]bool, bool) {
+	h := held.clone()
+	d := make(map[lockKey]bool, len(deferred))
+	for k, v := range deferred {
+		d[k] = v
+	}
+	term := w.block(stmts, h, d)
+	return h, d, term
+}
+
+// merge replaces held/deferred with the union of the continuing branches —
+// the conservative join: a lock possibly held continues to be tracked, so a
+// later return without its unlock is still reported.
+func merge(held lockState, deferred map[lockKey]bool, branches []lockState, defs []map[lockKey]bool) {
+	for k := range held {
+		delete(held, k)
+	}
+	for k := range deferred {
+		delete(deferred, k)
+	}
+	for _, b := range branches {
+		for k, pos := range b {
+			if _, ok := held[k]; !ok {
+				held[k] = pos
+			}
+		}
+	}
+	for _, d := range defs {
+		for k := range d {
+			deferred[k] = true
+		}
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held lockState, deferred map[lockKey]bool) bool {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if isPanicCall(w.p.Info, st.X) {
+			w.atPanic(held, deferred, st.Pos())
+			return true
+		}
+		w.scanExpr(st.X, held, deferred)
+	case *ast.DeferStmt:
+		w.applyDefer(st, deferred)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.scanExpr(r, held, deferred)
+		}
+		w.atReturn(held, deferred, st.Pos())
+		return true
+	case *ast.AssignStmt:
+		for _, r := range st.Rhs {
+			w.scanExpr(r, held, deferred)
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(st.X, held, deferred)
+	case *ast.SendStmt:
+		w.scanExpr(st.Value, held, deferred)
+		w.blockingOp(held, st.Pos(), "channel send")
+	case *ast.GoStmt:
+		for _, arg := range st.Call.Args {
+			w.scanExpr(arg, held, deferred)
+		}
+		// The goroutine body runs concurrently with its own lock state;
+		// runLockFlow analyses every function literal independently.
+	case *ast.BlockStmt:
+		return w.block(st.List, held, deferred)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held, deferred)
+		}
+		w.scanExpr(st.Cond, held, deferred)
+		var branches []lockState
+		var defs []map[lockKey]bool
+		hb, db, tb := w.branch(st.Body.List, held, deferred)
+		if !tb {
+			branches, defs = append(branches, hb), append(defs, db)
+		}
+		te := false
+		if st.Else != nil {
+			he, de, t := w.branch([]ast.Stmt{st.Else}, held, deferred)
+			te = t
+			if !te {
+				branches, defs = append(branches, he), append(defs, de)
+			}
+		} else {
+			branches, defs = append(branches, held.clone()), append(defs, cloneSet(deferred))
+		}
+		merge(held, deferred, branches, defs)
+		return tb && st.Else != nil && te
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		var body *ast.BlockStmt
+		switch sw := st.(type) {
+		case *ast.SwitchStmt:
+			if sw.Init != nil {
+				w.stmt(sw.Init, held, deferred)
+			}
+			if sw.Tag != nil {
+				w.scanExpr(sw.Tag, held, deferred)
+			}
+			body = sw.Body
+		case *ast.TypeSwitchStmt:
+			body = sw.Body
+		case *ast.SelectStmt:
+			w.blockingOp(held, sw.Pos(), "select")
+			body = sw.Body
+		}
+		var branches []lockState
+		var defs []map[lockKey]bool
+		hasDefault := false
+		allTerm := true
+		for _, c := range body.List {
+			var list []ast.Stmt
+			switch cc := c.(type) {
+			case *ast.CaseClause:
+				if cc.List == nil {
+					hasDefault = true
+				}
+				list = cc.Body
+			case *ast.CommClause:
+				if cc.Comm == nil {
+					hasDefault = true
+				}
+				list = cc.Body
+			}
+			h, d, term := w.branch(list, held, deferred)
+			if !term {
+				allTerm = false
+				branches, defs = append(branches, h), append(defs, d)
+			}
+		}
+		if !hasDefault {
+			branches, defs = append(branches, held.clone()), append(defs, cloneSet(deferred))
+		}
+		if len(branches) > 0 {
+			merge(held, deferred, branches, defs)
+		}
+		return hasDefault && allTerm && len(body.List) > 0
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held, deferred)
+		}
+		if st.Cond != nil {
+			w.scanExpr(st.Cond, held, deferred)
+		}
+		// One iteration on copied state: in-loop findings (blocking ops
+		// under an outer lock, returns while holding) still fire; a lock
+		// balanced within the iteration leaves no residue at the join.
+		w.branch(st.Body.List, held, deferred)
+	case *ast.RangeStmt:
+		w.scanExpr(st.X, held, deferred)
+		w.branch(st.Body.List, held, deferred)
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, held, deferred)
+	}
+	return false
+}
+
+func cloneSet(m map[lockKey]bool) map[lockKey]bool {
+	out := make(map[lockKey]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// walkFunc analyses one function body end to end, including the implicit
+// return at the closing brace.
+func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
+	held := lockState{}
+	deferred := map[lockKey]bool{}
+	if !w.block(body.List, held, deferred) {
+		w.atReturn(held, deferred, body.Rbrace)
+	}
+}
+
+// containsMutex reports whether t (a value of it, not a pointer to it)
+// embeds lock state: sync.Mutex, sync.RWMutex, or a struct holding one.
+func containsMutex(t types.Type) bool {
+	return containsMutexDepth(t, 0)
+}
+
+func containsMutexDepth(t types.Type, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	if namedFrom(t, "sync", "Mutex") || namedFrom(t, "sync", "RWMutex") {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if containsMutexDepth(st.Field(i).Type(), depth+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexCopies flags by-value receivers and parameters of lock-bearing
+// types, and explicit dereference copies of lock-bearing structs.
+func mutexCopies(p *Pass, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	checkFields := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok || !containsMutex(tv.Type) {
+				continue
+			}
+			name := ""
+			if len(field.Names) > 0 {
+				name = field.Names[0].Name + " "
+			}
+			out = append(out, p.diag("lockflow", field.Pos(),
+				"%s %scopies %s — and its mutex — by value; every call forks the lock state, so pass a pointer",
+				what, name, types.TypeString(tv.Type, types.RelativeTo(p.Pkg))))
+		}
+	}
+	checkFields(fd.Recv, "receiver")
+	checkFields(fd.Type.Params, "parameter")
+	if fd.Body == nil {
+		return out
+	}
+	// Dereference copies: *p of a lock-bearing struct in a value context.
+	// (*p).field selections are fine — no copy is made.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		star, ok := n.(*ast.StarExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[star]
+		if !ok || !tv.IsValue() || !containsMutex(tv.Type) {
+			return true
+		}
+		// Climb out of parentheses: ((*p)).field is still a selection.
+		pi := len(stack) - 2
+		for pi >= 0 {
+			if _, isParen := stack[pi].(*ast.ParenExpr); !isParen {
+				break
+			}
+			pi--
+		}
+		if pi >= 0 {
+			switch parent := stack[pi].(type) {
+			case *ast.SelectorExpr:
+				return true // (*p).field — a selection, not a copy
+			case *ast.UnaryExpr:
+				if parent.Op == token.AND {
+					return true // &*p — re-taking the address, not a copy
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range parent.Lhs {
+					if lhs == n {
+						return true // *p = v writes through; the RHS copy is caught on its own visit
+					}
+				}
+			}
+		}
+		out = append(out, p.diag("lockflow", star.Pos(),
+			"dereferencing copies %s — and its mutex — by value; the copy's lock state is divorced from the original",
+			types.TypeString(tv.Type, types.RelativeTo(p.Pkg))))
+		return true
+	})
+	return out
+}
+
+func runLockFlow(p *Pass) []Diagnostic {
+	if !p.internalPkg() {
+		return nil
+	}
+	fi := p.flow()
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			out = append(out, mutexCopies(p, fd)...)
+			if fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{p: p, fi: fi, diags: &out, reported: map[token.Pos]bool{}}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				if sum := fi.summaries[fn]; sum != nil && sum.lockHelper {
+					w.exemptLeaks = true
+				}
+			}
+			w.walkFunc(fd.Body)
+			// Function literals run in their own context (goroutines,
+			// callbacks): each is analysed as an independent function.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					lw := &lockWalker{p: p, fi: fi, diags: &out, reported: map[token.Pos]bool{}}
+					lw.walkFunc(fl.Body)
+					// Keep descending: nested literals are analysed on
+					// their own visit (walkFunc never enters them).
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -2,8 +2,11 @@ package lint
 
 import (
 	"bytes"
+	"go/token"
+	"io"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -80,6 +83,46 @@ func TestGoldenSARIF(t *testing.T) {
 		t.Error("partial fingerprint key missing")
 	}
 	checkGolden(t, "golden.sarif", buf.Bytes())
+}
+
+// TestFingerprintLineIndependent proves the identity property end to end:
+// two findings that differ only in position — the same analyzer reporting
+// the same message in the same file after code above it moved — encode with
+// identical fingerprints in both machine formats, so trackers keyed on the
+// fingerprint follow the finding across the move.
+func TestFingerprintLineIndependent(t *testing.T) {
+	mk := func(line, col int) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: "internal/tlb/set.go", Line: line, Column: col},
+			Analyzer: "lockflow",
+			ID:       "ML011",
+			Message:  "s.mu.Lock() is never unlocked on the return path at line 9",
+		}
+	}
+	for _, write := range []struct {
+		name string
+		fn   func(w io.Writer, root string, diags []Diagnostic) error
+	}{{"json", WriteJSON}, {"sarif", WriteSARIF}} {
+		var buf bytes.Buffer
+		if err := write.fn(&buf, "", []Diagnostic{mk(17, 2), mk(402, 9)}); err != nil {
+			t.Fatal(err)
+		}
+		prints := regexp.MustCompile(`[0-9a-f]{16}`).FindAllString(buf.String(), -1)
+		if len(prints) != 2 {
+			t.Fatalf("%s: found %d fingerprints, want 2", write.name, len(prints))
+		}
+		if prints[0] != prints[1] {
+			t.Errorf("%s: fingerprints differ across a pure line move: %s vs %s",
+				write.name, prints[0], prints[1])
+		}
+	}
+	// The converse: a different message is a different finding.
+	other := mk(17, 2)
+	other.Message = "different"
+	if fingerprint(other.Analyzer, other.Pos.Filename, other.Message) ==
+		fingerprint("lockflow", "internal/tlb/set.go", mk(17, 2).Message) {
+		t.Error("distinct messages collided")
+	}
 }
 
 // TestFingerprintStability pins the fingerprint function itself: it must

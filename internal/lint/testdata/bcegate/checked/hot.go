@@ -1,0 +1,29 @@
+// Package hot is the bcegate fixture in its regressed form: the same
+// bucket scan as the hoisted variant, but indexing the flat arrays through
+// base+s directly. The prove pass cannot relate base+s to either array's
+// length, so an IsInBounds check survives on every iteration of the scan —
+// the regression the gate exists to catch.
+package hot
+
+type table struct {
+	keys []uint64
+	used []bool
+	f    int
+}
+
+func (t *table) get(bucket, key uint64) (int, bool) {
+	base := int(bucket%4) * t.f
+	for s := 0; s < t.f; s++ {
+		if t.used[base+s] && t.keys[base+s] == key {
+			return base + s, true
+		}
+	}
+	return 0, false
+}
+
+var sink bool
+
+func drive() {
+	t := &table{keys: make([]uint64, 32), used: make([]bool, 32), f: 8}
+	_, sink = t.get(3, 7)
+}

@@ -1,0 +1,30 @@
+// Package hot is the bcegate fixture in its healthy form: the bucket-scan
+// loop re-slices the flat arrays to a common length before scanning, so the
+// prove pass eliminates every bounds check inside the loop. Only the hoisted
+// IsSliceInBounds checks survive, and those are the baseline.
+package hot
+
+type table struct {
+	keys []uint64
+	used []bool
+	f    int
+}
+
+func (t *table) get(bucket, key uint64) (int, bool) {
+	base := int(bucket%4) * t.f
+	used := t.used[base : base+t.f]
+	keys := t.keys[base : base+t.f]
+	for s := range used {
+		if used[s] && keys[s] == key {
+			return base + s, true
+		}
+	}
+	return 0, false
+}
+
+var sink bool
+
+func drive() {
+	t := &table{keys: make([]uint64, 32), used: make([]bool, 32), f: 8}
+	_, sink = t.get(3, 7)
+}

@@ -1,0 +1,26 @@
+// Package hot is the inlinegate fixture in its regressed form: step grew a
+// defer, which the inliner refuses outright ("unhandled op DEFER"), so the
+// verdict flips to "cannot inline" and every iteration of the driver loop
+// pays a call — the regression the gate exists to catch.
+package hot
+
+type counter struct {
+	n, max, last uint64
+}
+
+func (c *counter) step() bool {
+	defer func() { c.last = c.n }()
+	c.n++
+	return c.n < c.max
+}
+
+var sink int
+
+func drive() {
+	c := &counter{max: 1 << 10}
+	calls := 0
+	for c.step() {
+		calls++
+	}
+	sink = calls
+}

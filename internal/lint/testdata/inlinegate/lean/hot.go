@@ -1,0 +1,24 @@
+// Package hot is the inlinegate fixture in its healthy form: step is a
+// small counting method, comfortably under the inliner's budget, so its
+// verdict is "can inline" and the driver loop carries no call overhead.
+package hot
+
+type counter struct {
+	n, max uint64
+}
+
+func (c *counter) step() bool {
+	c.n++
+	return c.n < c.max
+}
+
+var sink int
+
+func drive() {
+	c := &counter{max: 1 << 10}
+	calls := 0
+	for c.step() {
+		calls++
+	}
+	sink = calls
+}

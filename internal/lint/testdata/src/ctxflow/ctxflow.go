@@ -1,0 +1,116 @@
+package fixture
+
+import "context"
+
+func blockingWork(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// propagates hands its own ctx on — no finding.
+func propagates(ctx context.Context, ch chan int) int {
+	return blockingWork(ctx, ch)
+}
+
+// dropsCtx mints a fresh Background even though it holds a ctx.
+func dropsCtx(ctx context.Context, ch chan int) int {
+	return blockingWork(context.Background(), ch) // want "context.Background passed while ctx is in scope"
+}
+
+// dropsCtxTODO is the same with TODO.
+func dropsCtxTODO(ctx context.Context, ch chan int) int {
+	return blockingWork(context.TODO(), ch) // want "context.TODO passed while ctx is in scope"
+}
+
+// dropsCtxDerived buries the fresh context under a With wrapper.
+func dropsCtxDerived(ctx context.Context, ch chan int) int {
+	sub, cancel := context.WithCancel(context.Background()) // want "context.Background passed while ctx is in scope"
+	defer cancel()
+	return blockingWork(sub, ch)
+}
+
+// noCtxAvailable has no context to propagate: minting one is the only
+// option and is not flagged.
+func noCtxAvailable(ch chan int) int {
+	return blockingWork(context.Background(), ch)
+}
+
+// closureInherits: the closure captures the enclosing ctx, so minting a
+// fresh one inside it still breaks the chain.
+func closureInherits(ctx context.Context, ch chan int) func() int {
+	return func() int {
+		return blockingWork(context.Background(), ch) // want "context.Background passed while ctx is in scope"
+	}
+}
+
+// workerIgnoresCancel spins forever without consulting the captured ctx.
+func workerIgnoresCancel(ctx context.Context, ch chan int) {
+	go func() {
+		for { // want "worker goroutine loops forever without consulting ctx"
+			ch <- 1
+		}
+	}()
+}
+
+// workerSelectsDone consults ctx through a Done arm — no finding.
+func workerSelectsDone(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ch <- 1:
+			}
+		}
+	}()
+}
+
+// workerPollsErr consults ctx by polling Err — no finding.
+func workerPollsErr(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			ch <- 1
+		}
+	}()
+}
+
+// workerOwnCtx receives its own context parameter; the closure's signature
+// is its contract — no finding.
+func workerOwnCtx(ctx context.Context, ch chan int) {
+	run := func(ctx context.Context) {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			ch <- 1
+		}
+	}
+	go run(ctx)
+}
+
+// boundedWorker's loop has a condition: it terminates on its own and is
+// not an unconditional spin.
+func boundedWorker(ctx context.Context, ch chan int) {
+	go func() {
+		for i := 0; i < 8; i++ {
+			ch <- i
+		}
+	}()
+}
+
+// noCtxWorker has no context in scope at the go statement — nothing to
+// consult.
+func noCtxWorker(ch chan int) {
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}

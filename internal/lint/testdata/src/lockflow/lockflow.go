@@ -1,0 +1,214 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+
+	"mosaic/internal/sweep"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// incDeferred is the canonical balanced form.
+func (c *counter) incDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// incExplicit balances without defer; every path unlocks.
+func (c *counter) incExplicit() int {
+	c.mu.Lock()
+	c.n++
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// leakEarlyReturn takes the lock and forgets it on the early-return path.
+func (c *counter) leakEarlyReturn() int {
+	c.mu.Lock() // want "never unlocked on the return path"
+	if c.n > 0 {
+		return c.n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// leakImplicit leaks at the implicit return at the closing brace.
+func (c *counter) leakImplicit() {
+	c.mu.Lock() // want "never unlocked on the return path"
+	c.n++
+}
+
+// branchBalanced unlocks on both arms — no finding.
+func (c *counter) branchBalanced(flip bool) {
+	c.mu.Lock()
+	if flip {
+		c.n++
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+}
+
+// panicWhileHeld panics with the lock held and no deferred unlock.
+func (c *counter) panicWhileHeld() {
+	c.mu.Lock()
+	if c.n < 0 {
+		panic("negative") // want "panic while holding c.mu"
+	}
+	c.mu.Unlock()
+}
+
+// panicCoveredByDefer is fine: the deferred unlock runs while panicking.
+func (c *counter) panicCoveredByDefer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n < 0 {
+		panic("negative")
+	}
+}
+
+// sendWhileHeld holds the lock across a channel send.
+func (c *counter) sendWhileHeld(ch chan int) {
+	c.mu.Lock()
+	ch <- c.n // want "held across channel send"
+	c.mu.Unlock()
+}
+
+// recvWhileHeld holds the lock across a channel receive.
+func (c *counter) recvWhileHeld(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = <-ch // want "held across channel receive"
+}
+
+// selectWhileHeld holds the lock across a select.
+func (c *counter) selectWhileHeld(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select { // want "held across select"
+	case v := <-ch:
+		c.n = v
+	default:
+	}
+}
+
+// sendAfterUnlock releases before the send — no finding.
+func (c *counter) sendAfterUnlock(ch chan int) {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	ch <- v
+}
+
+// sweepWhileHeld holds the lock across the whole sweep.
+func (c *counter) sweepWhileHeld(ctx context.Context, pts []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, _ = sweep.Run(ctx, pts, func(_ context.Context, _ int, p int) (int, error) { // want "held across sweep.Run"
+		return p, nil
+	}, sweep.Options{})
+}
+
+// lock and unlock are deliberate wrappers: summarised for callers, not
+// flagged themselves.
+func (c *counter) lock()   { c.mu.Lock() }
+func (c *counter) unlock() { c.mu.Unlock() }
+
+// helperLeak acquires through the one-level summary and never releases.
+func (c *counter) helperLeak() {
+	c.lock() // want "never unlocked on the return path"
+	c.n++
+}
+
+// helperBalanced pairs the helpers; the deferred release helper covers the
+// return path.
+func (c *counter) helperBalanced() {
+	c.lock()
+	defer c.unlock()
+	c.n++
+}
+
+// helperExplicit pairs the helpers without defer.
+func (c *counter) helperExplicit() {
+	c.lock()
+	c.n++
+	c.unlock()
+}
+
+// deferredClosureUnlock is covered by the unlock inside the deferred
+// closure.
+func (c *counter) deferredClosureUnlock() {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// goroutineLeak leaks inside a function literal, which is analysed as its
+// own function.
+func (c *counter) goroutineLeak() {
+	go func() {
+		c.mu.Lock() // want "never unlocked on the return path"
+		c.n++
+	}()
+}
+
+// byValueReceiver copies the mutex with every call.
+func (c counter) byValueReceiver() int { // want "copies counter — and its mutex — by value"
+	return c.n
+}
+
+// byValueParam copies the mutex through the parameter.
+func byValueParam(c counter) int { // want "copies counter — and its mutex — by value"
+	return c.n
+}
+
+// derefCopy copies the mutex by dereferencing.
+func derefCopy(c *counter) counter {
+	return *c // want "dereferencing copies counter"
+}
+
+// pointerUses are all fine: no copy is made.
+func pointerUses(c *counter) int {
+	d := c
+	return (*d).n
+}
+
+// lockIndirect wraps the wrapper; the one-level walk sees the acquire and
+// flags the missing unlock here, where it is visible.
+func lockIndirect(c *counter) {
+	c.lock() // want "never unlocked on the return path"
+}
+
+// twoLevelNotSeen: by the one-level precision contract the acquire two
+// hops down is invisible to this caller — deliberately not a finding; the
+// leak is reported in lockIndirect itself, where it is one hop away.
+func twoLevelNotSeen(c *counter) {
+	lockIndirect(c)
+	c.n++
+}
+
+var globalMu sync.Mutex
+
+// globalHelperLock is a wrapper over a package-level mutex; callers inherit
+// the obligation with no argument mapping.
+func globalHelperLock() { globalMu.Lock() }
+
+// globalLeak acquires the package-level lock through the helper.
+func globalLeak() {
+	globalHelperLock() // want "never unlocked on the return path"
+}
+
+// globalBalanced releases it directly.
+func globalBalanced() {
+	globalHelperLock()
+	defer globalMu.Unlock()
+}

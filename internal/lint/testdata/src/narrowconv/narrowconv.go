@@ -1,0 +1,97 @@
+package fixture
+
+// pfn mirrors core.PFN: a named type with underlying uint64.
+type pfn uint64
+
+// direct narrows with no guard at all.
+func direct(x uint64) int {
+	return int(x) // want "uint64 narrowed to int without a bounds guard"
+}
+
+// directNamed narrows a named uint64 type.
+func directNamed(p pfn) uint32 {
+	return uint32(p) // want "pfn narrowed to uint32 without a bounds guard"
+}
+
+// masked reduces with % first — the iceberg bucket-index idiom.
+func masked(x uint64, buckets int) int {
+	return int(x % uint64(buckets))
+}
+
+// anded masks with & first.
+func anded(x uint64) int {
+	return int(x & 0xfff)
+}
+
+// shifted reduces with >> first.
+func shifted(x uint64) uint32 {
+	return uint32(x >> 40)
+}
+
+// guardedIf converts inside a branch taken on a predicate over x.
+func guardedIf(x uint64, n int) int {
+	if x < uint64(n) {
+		return int(x)
+	}
+	return 0
+}
+
+// guardedEarlyExit uses the early-return guard idiom.
+func guardedEarlyExit(x uint64, n int) int {
+	if x >= uint64(n) {
+		return -1
+	}
+	return int(x)
+}
+
+// guardedByIndex narrows after an index with the same variable: the
+// runtime bounds check has already passed.
+func guardedByIndex(xs []int, p pfn) int {
+	v := xs[p]
+	return v + int(p)
+}
+
+// mapIndexProvesNothing: a map lookup is not a bounds check.
+func mapIndexProvesNothing(m map[pfn]int, p pfn) int {
+	v := m[p]
+	return v + int(p) // want "pfn narrowed to int without a bounds guard"
+}
+
+// bounded is a masked single-result helper: its summary marks the result
+// range-reduced.
+func bounded(x uint64) uint64 {
+	return x & 0xffff
+}
+
+// viaBoundedHelper narrows the result of a helper whose every return is
+// masked — the one-level summary sees through the call.
+func viaBoundedHelper(x uint64) int {
+	return int(bounded(x))
+}
+
+// raw is not bounded: no mask on its return.
+func raw(x uint64) uint64 {
+	return x + 1
+}
+
+// viaRawHelper narrows an unbounded helper result.
+func viaRawHelper(x uint64) int {
+	return int(raw(x)) // want "uint64 narrowed to int without a bounds guard"
+}
+
+// toInt64 reinterprets the sign bit but loses no magnitude bits — the
+// seed-plumbing idiom, not flagged.
+func toInt64(x uint64) int64 {
+	return int64(x)
+}
+
+// constConv is the compiler's to check.
+func constConv() int {
+	const big = uint64(1 << 20)
+	return int(big)
+}
+
+// widening loses nothing.
+func widening(x uint32) uint64 {
+	return uint64(x)
+}

@@ -39,13 +39,31 @@ func newSet[P any](ways int) *set[P] {
 	return s
 }
 
+// lookup returns the slot holding tag without touching recency. It is the
+// probe half of get, kept to a bare map access so the inliner flattens it
+// (and therefore the whole TLB probe) into Lookup — inlinegate pins this.
+func (s *set[P]) lookup(tag uint64) (int32, bool) {
+	i, ok := s.index[tag]
+	return i, ok
+}
+
+// touch promotes slot i to MRU. The head comparison is the hit fast path
+// (repeated lookups of the same tag do no list surgery); only a genuine
+// reordering pays the promote call. touch stays under the inlining budget
+// precisely because the slow path is a call — inlinegate pins this too.
+func (s *set[P]) touch(i int32) {
+	if s.head != i {
+		s.promote(i)
+	}
+}
+
 // get returns a pointer to the payload for tag, promoting it to MRU.
 func (s *set[P]) get(tag uint64) (*P, bool) {
-	i, ok := s.index[tag]
+	i, ok := s.lookup(tag)
 	if !ok {
 		return nil, false
 	}
-	s.promote(i)
+	s.touch(i)
 	return &s.payload[i], true
 }
 

@@ -76,7 +76,13 @@ func NewGraph500(cfg Graph500Config) *Graph500 {
 		if cfg.TargetBytes == 0 {
 			cfg.TargetBytes = 32 << 20
 		}
-		cfg.Vertices = int(cfg.TargetBytes / perVertex)
+		if v := cfg.TargetBytes / perVertex; v < 1<<32 {
+			cfg.Vertices = int(v)
+		} else {
+			// A 4G-vertex graph is far beyond any simulated footprint;
+			// clamping keeps the narrowing safe for absurd targets.
+			cfg.Vertices = 1 << 32
+		}
 	}
 	if cfg.Vertices < 16 {
 		cfg.Vertices = 16
@@ -180,12 +186,23 @@ func (g *Graph500) buildCSR(sink trace.Sink) {
 		s := int(g.edgeSrc.Get(sink, i))
 		d := int(g.edgeDst.Get(sink, i))
 		cs := g.parent.Get(sink, s)
-		g.adjncy.Set(sink, int(cs), uint64(d))
+		g.adjncy.Set(sink, g.adjOff(cs), uint64(d))
 		g.parent.Set(sink, s, cs+1)
 		cd := g.parent.Get(sink, d)
-		g.adjncy.Set(sink, int(cd), uint64(s))
+		g.adjncy.Set(sink, g.adjOff(cd), uint64(s))
 		g.parent.Set(sink, d, cd+1)
 	}
+}
+
+// adjOff converts a stored adjacency offset — a kernel-1 write cursor or an
+// xadj prefix entry, both at most len(adjncy) — back to an int index.
+// Offsets are in range by construction; it panics on a corrupted arena
+// value rather than narrowing it silently.
+func (g *Graph500) adjOff(x uint64) int {
+	if x > uint64(g.adjncy.Len()) {
+		panic(fmt.Sprintf("workloads: adjacency offset %d exceeds %d", x, g.adjncy.Len()))
+	}
+	return int(x)
 }
 
 // noParent marks unvisited vertices.
@@ -202,8 +219,8 @@ func (g *Graph500) bfs(sink trace.Sink, root int) {
 	for head < tail {
 		u := int(g.queue.Get(sink, head))
 		head++
-		start := int(g.xadj.Get(sink, u))
-		end := int(g.xadj.Get(sink, u+1))
+		start := g.adjOff(g.xadj.Get(sink, u))
+		end := g.adjOff(g.xadj.Get(sink, u+1))
 		for k := start; k < end; k++ {
 			v := int(g.adjncy.Get(sink, k))
 			if g.parent.Get(sink, v) == noParent {

@@ -87,7 +87,7 @@ func NewXSBench(cfg XSBenchConfig) *XSBench {
 		// Enough lookups to sweep the index grid (the footprint's bulk)
 		// several times — XSBench's particle counts similarly dwarf the
 		// grid size.
-		pages := int(x.arena.Size() / core.PageSize)
+		pages := int(x.arena.Size() >> core.PageShift)
 		cfg.Lookups = 5 * pages
 		if cfg.Lookups < 2*cfg.GridPoints {
 			cfg.Lookups = 2 * cfg.GridPoints

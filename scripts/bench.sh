@@ -29,10 +29,11 @@ go test -run '^$' -bench 'BenchmarkFigure6(Sequential|Parallel)|BenchmarkRunLimi
 	tee /dev/stderr |
 	go run ./cmd/mosaicstat bench -parse -o BENCH_parallel.json
 
-# Lint cost: a full mosaiclint load-and-analyze pass over the module.
-# Recorded so new analyzers pay for their wall clock visibly — diff with
+# Lint cost: a full mosaiclint load-and-analyze pass over the module, plus
+# the warm-cache wall clock of the three compiler gates. Recorded so new
+# analyzers and gates pay for their wall clock visibly — diff with
 # `go run ./cmd/mosaicstat bench BENCH_lint.json`.
-go test -run '^$' -bench 'BenchmarkMosaiclintTree' -benchmem \
+go test -run '^$' -bench 'BenchmarkMosaiclintTree|BenchmarkCompilerGates' -benchmem \
 	-benchtime "${BENCHTIME:-1s}" ./internal/lint |
 	tee /dev/stderr |
 	go run ./cmd/mosaicstat bench -parse -o BENCH_lint.json

@@ -9,7 +9,17 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+# The whole-module run includes the three compiler gates (hotalloc escape
+# budget, bcegate bounds checks, inlinegate pinned hot functions) on top
+# of the per-package analyzers.
 go run ./cmd/mosaiclint ./...
+# Baseline sync: regenerating every gate baseline from the current tree
+# must be a no-op. A diff here means someone changed hot-path code and
+# banked neither the improvement nor the regression — the working tree is
+# left holding the regenerated files so the diff shows exactly what moved.
+go run ./cmd/mosaiclint -update-escapes -update-bce -update-inline
+git diff --exit-code -- internal/lint/escapes.baseline \
+	internal/lint/bce.baseline internal/lint/inline.baseline
 # The machine-readable modes must stay encodable end to end (the golden
 # tests pin the bytes; this pins the exit path on the real tree).
 go run ./cmd/mosaiclint -sarif ./... >/dev/null
