@@ -1,0 +1,94 @@
+// Command mosaicd is the live-telemetry daemon: it accepts streaming
+// trace sessions over HTTP, runs each through an isolated memory-system
+// simulator on a bounded worker pool, and serves Prometheus metrics for
+// all of them while they run.
+//
+// Usage:
+//
+//	mosaicd [-addr 127.0.0.1:7077] [-workers N] [-queue N] [-sample N]
+//	        [-addrfile path] [-final results.json]
+//
+// Feed it sessions with tracegen:
+//
+//	tracegen -workload gups -footprint 64 -post http://127.0.0.1:7077
+//
+// and watch them with mosaicstat:
+//
+//	mosaicstat watch http://127.0.0.1:7077
+//
+// On SIGTERM/SIGINT the daemon drains: it stops admitting sessions,
+// finishes the in-flight ones, writes the -final results file (the same
+// schema-versioned format every batch driver emits), and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mosaic/internal/daemon"
+	"mosaic/internal/results"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7077", "listen address (port 0 picks a free port)")
+	addrfile := flag.String("addrfile", "", "write the bound address to this file once listening (for scripts using port 0)")
+	workers := flag.Int("workers", 0, "concurrent sessions (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 8, "sessions queued beyond the running ones before 503 (-1 = none)")
+	sample := flag.Uint64("sample", 1<<16, "default per-session sampling/publication window in references")
+	final := flag.String("final", "", "write the drain-time merged results file here on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *addrfile, *workers, *queue, *sample, *final); err != nil {
+		fmt.Fprintf(os.Stderr, "mosaicd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrfile string, workers, queue int, sample uint64, final string) error {
+	srv := daemon.New(daemon.Config{Workers: workers, Queue: queue, SampleEvery: sample})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrfile != "" {
+		if err := os.WriteFile(addrfile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("mosaicd: listening on http://%s (POST /sessions, GET /metrics)\n", bound)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("mosaicd: %v — draining\n", sig)
+	}
+
+	// Drain first (finish in-flight sessions, refuse new ones with 503),
+	// then capture the final artifact, then stop serving scrapes.
+	srv.Drain()
+	if final != "" {
+		if err := results.Write(final, srv.ResultsFile()); err != nil {
+			return err
+		}
+		fmt.Printf("mosaicd: wrote %s\n", final)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return hs.Shutdown(ctx)
+}

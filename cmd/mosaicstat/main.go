@@ -8,6 +8,7 @@
 //	mosaicstat diff -changed old.json new.json  only metrics that moved
 //	mosaicstat bench BENCH_obs.json             pretty-print benchmark JSON
 //	go test -bench . | mosaicstat bench -parse -o BENCH_obs.json
+//	mosaicstat watch http://127.0.0.1:7077      live windowed rates (vmstat-style)
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 		err = diff(args[1:])
 	case "bench":
 		err = bench(args[1:])
+	case "watch":
+		err = watch(args[1:])
 	default:
 		// Bare file argument: treat as show for convenience.
 		if _, statErr := os.Stat(args[0]); statErr == nil {
@@ -57,6 +60,7 @@ func usage() {
   mosaicstat diff [-changed] <a.json> <b.json>
   mosaicstat bench <bench.json>
   mosaicstat bench -parse [-o out.json]   (go test -bench output on stdin)
+  mosaicstat watch [-interval 1s] [-count N] <mosaicd URL | results.json>
 `)
 }
 

@@ -1,0 +1,294 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mosaic/internal/results"
+)
+
+// watch follows a running simulation and renders windowed deltas — refs/s,
+// per-design TLB hit rate, swap I/O rate — vmstat-style, one line per
+// polling interval. The target is either a mosaicd base URL (the newest
+// session is followed as sessions come and go), a specific results URL
+// under the daemon, or a results JSON file being rewritten by a driver.
+//
+//	mosaicstat watch http://127.0.0.1:7077
+//	mosaicstat watch http://127.0.0.1:7077/sessions/3/results.json
+//	mosaicstat watch -interval 500ms -count 20 results/fig6.json
+func watch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	interval := fs.Duration("interval", time.Second, "polling interval")
+	count := fs.Int("count", 0, "stop after this many rows (0 = run until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("watch needs exactly one target (mosaicd URL or results file)")
+	}
+	return runWatch(os.Stdout, newWatchSource(fs.Arg(0)), *interval, *count)
+}
+
+// watchSource is one pollable metrics origin.
+type watchSource interface {
+	// fetch returns the current final-metrics map. A nil map with a nil
+	// error means "nothing to report yet" (daemon with no sessions, file
+	// not written yet) — the watcher waits instead of failing.
+	fetch() (map[string]float64, error)
+	describe() string
+}
+
+// newWatchSource classifies the target: URLs poll a daemon, anything else
+// polls a results file on disk.
+func newWatchSource(target string) watchSource {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		return &httpSource{target: target}
+	}
+	return fileSource{path: target}
+}
+
+// fileSource re-reads a results file each poll, so a driver that rewrites
+// its -json output periodically can be watched like a live session.
+type fileSource struct{ path string }
+
+func (s fileSource) describe() string { return s.path }
+
+func (s fileSource) fetch() (map[string]float64, error) {
+	f, err := results.Read(s.path)
+	if err != nil {
+		return nil, nil // not written yet (or mid-rewrite); keep waiting
+	}
+	return metricsMap(f), nil
+}
+
+// httpSource polls a mosaicd. A bare base URL follows the newest session
+// (re-resolved every poll, so a freshly posted session takes over the
+// watch); a URL with a path is fetched verbatim as a results file.
+type httpSource struct {
+	target string
+	client http.Client
+}
+
+func (s *httpSource) describe() string { return s.target }
+
+func (s *httpSource) fetch() (map[string]float64, error) {
+	url := strings.TrimSuffix(s.target, "/")
+	rest := strings.TrimPrefix(strings.TrimPrefix(url, "https://"), "http://")
+	if !strings.Contains(rest, "/") {
+		// Bare daemon base: follow the newest session.
+		data, ok, err := s.get(url + "/sessions")
+		if err != nil || !ok {
+			return nil, err
+		}
+		var infos []struct {
+			ID int `json:"id"`
+		}
+		if err := json.Unmarshal(data, &infos); err != nil {
+			return nil, err
+		}
+		if len(infos) == 0 {
+			return nil, nil // daemon is up, no sessions yet
+		}
+		latest := infos[0].ID
+		for _, inf := range infos {
+			if inf.ID > latest {
+				latest = inf.ID
+			}
+		}
+		url = fmt.Sprintf("%s/sessions/%d/results.json", url, latest)
+	}
+	data, ok, err := s.get(url)
+	if err != nil || !ok {
+		// Non-200 (queued session not yet published, failed run) reads as
+		// "nothing to report yet"; transport errors (daemon gone) do fail.
+		return nil, err
+	}
+	f, err := results.Decode(data, url)
+	if err != nil {
+		return nil, err
+	}
+	return metricsMap(f), nil
+}
+
+// get fetches url; ok=false flags a non-200 answer.
+func (s *httpSource) get(url string) ([]byte, bool, error) {
+	resp, err := s.client.Get(url)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, resp.StatusCode == http.StatusOK, nil
+}
+
+func metricsMap(f *results.File) map[string]float64 {
+	m := make(map[string]float64, len(f.Metrics))
+	for name, v := range f.Metrics {
+		m[name] = float64(v)
+	}
+	return m
+}
+
+// watchSample is one poll: when it was taken and what the metrics said.
+type watchSample struct {
+	when time.Time
+	m    map[string]float64
+}
+
+// totalRefs extracts the reference clock: the live sim.refs.total gauge
+// when the session publishes one, the vm.access counter otherwise.
+func totalRefs(m map[string]float64) float64 {
+	if v, ok := m["sim.refs.total"]; ok {
+		return v
+	}
+	return m["vm.access"]
+}
+
+// watchDesigns discovers the TLB design points present in a metrics map,
+// sorted: live gauges (tlb.<d>.live.lookups) while running, finalized
+// counters (tlb.<d>.hit) afterwards.
+func watchDesigns(m map[string]float64) []string {
+	set := map[string]bool{}
+	for name := range m {
+		rest, ok := strings.CutPrefix(name, "tlb.")
+		if !ok {
+			continue
+		}
+		if d, ok := strings.CutSuffix(rest, ".live.lookups"); ok {
+			set[d] = true
+		} else if d, ok := strings.CutSuffix(rest, ".hit"); ok && !strings.Contains(d, ".") {
+			set[d] = true
+		}
+	}
+	ds := make([]string, 0, len(set))
+	for d := range set {
+		ds = append(ds, d)
+	}
+	sort.Strings(ds)
+	return ds
+}
+
+// designCounts returns a design's cumulative hits and lookups.
+func designCounts(m map[string]float64, d string) (hits, lookups float64) {
+	if v, ok := m["tlb."+d+".live.hits"]; ok {
+		return v, m["tlb."+d+".live.lookups"]
+	}
+	h := m["tlb."+d+".hit"]
+	return h, h + m["tlb."+d+".miss"]
+}
+
+// watchRow renders one interval's windowed deltas. Rates use the wall
+// clock between the two samples; hit rates are within-window (delta hits
+// over delta lookups), so a phase change shows up immediately instead of
+// being averaged into the whole run.
+func watchRow(prev, cur watchSample, ds []string) []string {
+	dt := cur.when.Sub(prev.when).Seconds()
+	refs := totalRefs(cur.m)
+	cells := []string{
+		fmt.Sprintf("%.0f", refs),
+		rateCell(refs-totalRefs(prev.m), dt),
+	}
+	for _, d := range ds {
+		ph, pl := designCounts(prev.m, d)
+		ch, cl := designCounts(cur.m, d)
+		cells = append(cells, pctCell(ch-ph, cl-pl))
+	}
+	cells = append(cells, rateCell(cur.m["swap.io.total"]-prev.m["swap.io.total"], dt))
+	return cells
+}
+
+// rateCell renders delta/dt compactly (12.3k, 4.5M).
+func rateCell(delta, dt float64) string {
+	if dt <= 0 || delta < 0 {
+		return "-"
+	}
+	r := delta / dt
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.0f", r)
+	}
+}
+
+// pctCell renders a windowed hit percentage, "-" for an idle window.
+func pctCell(hits, lookups float64) string {
+	if lookups <= 0 || math.IsNaN(hits) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", 100*hits/lookups)
+}
+
+// runWatch is the poll-render loop, split from flag parsing so tests can
+// drive it with a fake source and a buffer.
+func runWatch(w io.Writer, src watchSource, interval time.Duration, count int) error {
+	fmt.Fprintf(w, "watching %s every %v\n", src.describe(), interval)
+	var prev *watchSample
+	var ds []string
+	rows := 0
+	for tick := 0; ; tick++ {
+		if tick > 0 {
+			time.Sleep(interval)
+		}
+		m, err := src.fetch()
+		if err != nil {
+			return err
+		}
+		if m == nil {
+			fmt.Fprintln(w, "(waiting for data)")
+			continue
+		}
+		cur := watchSample{when: time.Now(), m: m}
+		if prev == nil {
+			// First sample is the baseline; also fixes the column set so
+			// rows stay aligned even as the session finalizes.
+			ds = watchDesigns(m)
+			printWatchHeader(w, ds)
+		} else {
+			printCells(w, watchRow(*prev, cur, ds))
+			rows++
+			if count > 0 && rows >= count {
+				return nil
+			}
+		}
+		prev = &cur
+		if rows > 0 && rows%20 == 0 {
+			printWatchHeader(w, ds)
+		}
+	}
+}
+
+const watchColWidth = 12
+
+func printWatchHeader(w io.Writer, ds []string) {
+	cells := []string{"refs", "refs/s"}
+	for _, d := range ds {
+		cells = append(cells, d+"_hit%")
+	}
+	cells = append(cells, "swap_io/s")
+	printCells(w, cells)
+}
+
+func printCells(w io.Writer, cells []string) {
+	var b strings.Builder
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%*s", watchColWidth, c)
+	}
+	fmt.Fprintln(w, b.String())
+}

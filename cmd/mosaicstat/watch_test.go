@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mosaic/internal/results"
+)
+
+// fakeSource replays a scripted sequence of metric maps.
+type fakeSource struct {
+	seq []map[string]float64
+	i   int
+}
+
+func (s *fakeSource) describe() string { return "fake" }
+
+func (s *fakeSource) fetch() (map[string]float64, error) {
+	if s.i >= len(s.seq) {
+		return s.seq[len(s.seq)-1], nil
+	}
+	m := s.seq[s.i]
+	s.i++
+	return m, nil
+}
+
+func liveMetrics(refs, vanHits, mosHits, swap float64) map[string]float64 {
+	return map[string]float64{
+		"sim.refs.total":            refs,
+		"tlb.vanilla.live.hits":     vanHits,
+		"tlb.vanilla.live.lookups":  refs,
+		"tlb.mosaic_4.live.hits":    mosHits,
+		"tlb.mosaic_4.live.lookups": refs,
+		"swap.io.total":             swap,
+	}
+}
+
+// TestWatchRowDeltas: rates and hit percentages are windowed, not
+// cumulative — a window where mosaic hits everything shows 100% even
+// though its cumulative rate is lower.
+func TestWatchRowDeltas(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	prev := watchSample{when: base, m: liveMetrics(1000, 500, 600, 10)}
+	cur := watchSample{when: base.Add(2 * time.Second), m: liveMetrics(3000, 1500, 2600, 50)}
+	ds := watchDesigns(cur.m)
+	if want := []string{"mosaic_4", "vanilla"}; fmt.Sprint(ds) != fmt.Sprint(want) {
+		t.Fatalf("watchDesigns = %v, want %v", ds, want)
+	}
+	cells := watchRow(prev, cur, ds)
+	want := []string{"3000", "1.0k", "100.0", "50.0", "20"}
+	if fmt.Sprint(cells) != fmt.Sprint(want) {
+		t.Errorf("watchRow = %v, want %v", cells, want)
+	}
+}
+
+// TestWatchRowFinalized: after FinalizeMetrics the live gauges give way to
+// the finalized hit/miss counters and the same row logic still works.
+func TestWatchRowFinalized(t *testing.T) {
+	base := time.Now()
+	mk := func(hit, miss float64) map[string]float64 {
+		return map[string]float64{
+			"vm.access":        hit + miss,
+			"tlb.vanilla.hit":  hit,
+			"tlb.vanilla.miss": miss,
+		}
+	}
+	prev := watchSample{when: base, m: mk(80, 20)}
+	cur := watchSample{when: base.Add(time.Second), m: mk(170, 30)}
+	ds := watchDesigns(cur.m)
+	if len(ds) != 1 || ds[0] != "vanilla" {
+		t.Fatalf("watchDesigns = %v, want [vanilla]", ds)
+	}
+	cells := watchRow(prev, cur, ds)
+	// window: 100 refs, 90 hits → 90.0%; no swap metric → idle "-"… swap
+	// delta 0 over 1s renders as rate 0.
+	want := []string{"200", "100", "90.0", "0"}
+	if fmt.Sprint(cells) != fmt.Sprint(want) {
+		t.Errorf("watchRow = %v, want %v", cells, want)
+	}
+}
+
+// TestWatchIdleWindow: an idle window renders "-" hit rates, not NaN or
+// divide-by-zero garbage.
+func TestWatchIdleWindow(t *testing.T) {
+	base := time.Now()
+	m := liveMetrics(1000, 500, 600, 10)
+	prev := watchSample{when: base, m: m}
+	cur := watchSample{when: base.Add(time.Second), m: m}
+	cells := watchRow(prev, cur, watchDesigns(m))
+	want := []string{"1000", "0", "-", "-", "0"}
+	if fmt.Sprint(cells) != fmt.Sprint(want) {
+		t.Errorf("watchRow = %v, want %v", cells, want)
+	}
+}
+
+// TestRunWatchCount: the loop renders a header, waits through empty
+// fetches, emits exactly -count rows, and stops.
+func TestRunWatchCount(t *testing.T) {
+	src := &fakeSource{seq: []map[string]float64{
+		nil, // daemon up, nothing yet
+		liveMetrics(1000, 500, 600, 0),
+		liveMetrics(2000, 1200, 1500, 0),
+		liveMetrics(3000, 2000, 2500, 0),
+	}}
+	var buf bytes.Buffer
+	if err := runWatch(&buf, src, time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// watching… / (waiting for data) / header / two rows
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "waiting for data") {
+		t.Errorf("line 2 = %q, want waiting notice", lines[1])
+	}
+	for _, col := range []string{"refs", "refs/s", "vanilla_hit%", "mosaic_4_hit%", "swap_io/s"} {
+		if !strings.Contains(lines[2], col) {
+			t.Errorf("header %q missing column %q", lines[2], col)
+		}
+	}
+	if !strings.Contains(lines[3], "2000") || !strings.Contains(lines[4], "3000") {
+		t.Errorf("rows did not track the ref clock:\n%s", out)
+	}
+}
+
+// TestWatchHTTPSource: a bare base URL follows the newest session; a
+// non-200 results answer reads as "waiting", not an error.
+func TestWatchHTTPSource(t *testing.T) {
+	published := false
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `[{"id":1},{"id":2}]`)
+	})
+	mux.HandleFunc("GET /sessions/2/results.json", func(w http.ResponseWriter, r *http.Request) {
+		if !published {
+			http.Error(w, "not yet", http.StatusConflict)
+			return
+		}
+		fmt.Fprint(w, `{"schema_version":1,"experiment":"mosaicd-session","metrics":{"sim.refs.total":4096}}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	src := newWatchSource(ts.URL)
+	if m, err := src.fetch(); err != nil || m != nil {
+		t.Fatalf("unpublished newest session: fetch = %v, %v; want nil, nil", m, err)
+	}
+	published = true
+	m, err := src.fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["sim.refs.total"] != 4096 {
+		t.Errorf("followed session metrics = %v, want sim.refs.total 4096", m)
+	}
+
+	// A full URL is fetched verbatim.
+	direct := newWatchSource(ts.URL + "/sessions/2/results.json")
+	if m, err := direct.fetch(); err != nil || m["sim.refs.total"] != 4096 {
+		t.Errorf("direct fetch = %v, %v", m, err)
+	}
+}
+
+// TestWatchFileSource: a results file is pollable; a missing file waits.
+func TestWatchFileSource(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	src := newWatchSource(path)
+	if m, err := src.fetch(); err != nil || m != nil {
+		t.Fatalf("missing file: fetch = %v, %v; want nil, nil", m, err)
+	}
+	f := results.New("fig6")
+	f.SetMetric("vm.access", 123)
+	if err := results.Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	m, err := src.fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["vm.access"] != 123 {
+		t.Errorf("file metrics = %v, want vm.access 123", m)
+	}
+}

@@ -25,9 +25,15 @@ var ObsNames = &Analyzer{
 // obsNameMethods maps receiver type → methods whose first argument is a
 // metric name.
 var obsNameMethods = map[string]map[string]bool{
-	"Registry": {"Counter": true, "Gauge": true, "Histogram": true},
-	"Sampler":  {"Gauge": true, "Rate": true, "Ratio": true},
+	"Registry":  {"Counter": true, "Gauge": true, "Histogram": true},
+	"Sampler":   {"Gauge": true, "Rate": true, "Ratio": true},
+	"Publisher": {"Gauge": true},
 }
+
+// obsSpanFuncs are package-level internal/obs functions whose first
+// argument is a span name — a single lowercase segment (obs.ValidSpanName)
+// rather than the dotted metric grammar.
+var obsSpanFuncs = map[string]bool{"NewSpan": true}
 
 // obsRecvName resolves the receiver's named type (unwrapping the pointer)
 // when it is declared in mosaic/internal/obs, and "" otherwise.
@@ -67,9 +73,13 @@ func runObsNames(p *Pass) []Diagnostic {
 			if !ok {
 				return true
 			}
-			methods := obsNameMethods[obsRecvName(sig)]
-			if methods == nil || !methods[fn.Name()] {
-				return true
+			span := sig.Recv() == nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "mosaic/internal/obs" && obsSpanFuncs[fn.Name()]
+			if !span {
+				methods := obsNameMethods[obsRecvName(sig)]
+				if methods == nil || !methods[fn.Name()] {
+					return true
+				}
 			}
 			// Only constant-foldable names are checked statically; the
 			// registry validates the rest when they are registered.
@@ -77,7 +87,13 @@ func runObsNames(p *Pass) []Diagnostic {
 			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
 				return true
 			}
-			if name := constant.StringVal(tv.Value); !obs.ValidName(name) {
+			name := constant.StringVal(tv.Value)
+			switch {
+			case span && !obs.ValidSpanName(name):
+				out = append(out, p.diag("obsnames", call.Args[0].Pos(),
+					"span name %q is not a lowercase span identifier (like %q)",
+					name, "warmup"))
+			case !span && !obs.ValidName(name):
 				out = append(out, p.diag("obsnames", call.Args[0].Pos(),
 					"metric name %q is not a lowercase dotted identifier (like %q)",
 					name, "vm.fault.minor"))

@@ -333,6 +333,26 @@ func (s *Simulator) Metrics() *obs.Registry { return s.metrics }
 // Sampler exposes the time-series sampler, nil when sampling is disabled.
 func (s *Simulator) Sampler() *obs.Sampler { return s.sampler }
 
+// RegisterLive wires publish-time gauges for the simulator state that is
+// not already a registry instrument — the reference clock, per-unit TLB
+// counters, swap I/O totals — so every published snapshot carries enough
+// to compute windowed rates (refs/s, hit rate, swap I/O rate) from two
+// scrapes alone. The probes are evaluated only at publication (window
+// boundaries), on the simulator thread; the per-reference path is
+// untouched. Call once, before the run, on the thread that will drive
+// the simulator.
+func (s *Simulator) RegisterLive(p *obs.Publisher) {
+	p.Gauge("sim.refs.total", func() float64 { return float64(s.os.Clock()) })
+	p.Gauge("swap.io.total", func() float64 { return float64(s.os.Device().TotalIO()) })
+	for _, u := range s.units {
+		u := u
+		pfx := "tlb." + slug(u.spec.Label())
+		p.Gauge(pfx+".live.hits", func() float64 { return float64(u.stats().Hits) })
+		p.Gauge(pfx+".live.misses", func() float64 { return float64(u.stats().Misses) })
+		p.Gauge(pfx+".live.lookups", func() float64 { return float64(u.stats().Lookups()) })
+	}
+}
+
 // FinalizeMetrics records each unit's end-of-run TLB breakdown and walk
 // totals into the registry (tlb.<design>.hit, .miss, .walk.refs, …) and
 // flushes any partial sampler window. It is idempotent: only the first

@@ -71,6 +71,11 @@ type Gauge struct {
 // Set replaces the value.
 func (g *Gauge) Set(v float64) { g.v = v }
 
+// Add shifts the value by delta (negative to decrease) — the
+// occupancy-style update, so call sites tracking a level do one call
+// instead of a read-modify-write Set(g.Value()+delta).
+func (g *Gauge) Add(delta float64) { g.v += delta }
+
 // Value is the current value.
 func (g *Gauge) Value() float64 { return g.v }
 
@@ -188,7 +193,11 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return float64(s.Max)
 }
 
-// bucketBounds returns the [lo, hi) value range of bucket b.
+// bucketBounds returns the [lo, hi) value range of bucket b. The top
+// bucket (b = 64) holds samples in [2^63, 2^64); its upper bound does not
+// fit a uint64 shift (1<<64 wraps to 0, which would collapse the bucket
+// and make Quantile interpolate downward into garbage), so it is clamped
+// to MaxUint64.
 func bucketBounds(b int) (lo, hi float64) {
 	if b == 0 {
 		return 0, 0
@@ -196,7 +205,24 @@ func bucketBounds(b int) (lo, hi float64) {
 	if b == 1 {
 		return 1, 2
 	}
-	return float64(uint64(1) << uint(b-1)), float64(uint64(1) << uint(b))
+	lo = float64(uint64(1) << uint(b-1))
+	if b >= 64 {
+		return lo, float64(math.MaxUint64)
+	}
+	return lo, float64(uint64(1) << uint(b))
+}
+
+// bucketUpper returns bucket b's inclusive integer upper bound (samples
+// are integers, so bucket b's largest member is 2^b − 1), used by the
+// Prometheus encoder's cumulative le= bounds.
+func bucketUpper(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 64 {
+		return math.MaxUint64
+	}
+	return uint64(1)<<uint(b) - 1
 }
 
 // Registry is an ordered, named set of instruments. Lookups by name happen

@@ -36,6 +36,50 @@ func TestCounterGauge(t *testing.T) {
 	}
 }
 
+// TestGaugeAdd: occupancy-style call sites shift the level in one call
+// instead of a read-modify-write Set(g.Value()+d).
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(3)
+	g.Add(-1.5)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge after Add(3), Add(-1.5) = %v, want 1.5", g.Value())
+	}
+	g.Set(10)
+	g.Add(1)
+	if g.Value() != 11 {
+		t.Fatalf("gauge after Set(10), Add(1) = %v, want 11", g.Value())
+	}
+}
+
+// TestQuantileTopBucket: samples in the top log bucket (≥ 2^63) must not
+// collapse the bucket's upper bound to a wrapped 0 — the quantile has to
+// interpolate upward within [2^63, MaxUint64], never below its own
+// bucket's lower bound.
+func TestQuantileTopBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(1 << 63)
+	h.Observe(math.MaxUint64)
+	s := h.Snapshot()
+	lo := math.Ldexp(1, 63)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		v := s.Quantile(q)
+		if v < lo || v > math.Ldexp(1, 64) {
+			t.Errorf("Quantile(%v) = %v, want within [2^63, 2^64)", q, v)
+		}
+	}
+	// Quantiles are monotone in q even inside the top bucket.
+	if s.Quantile(0.9) < s.Quantile(0.1) {
+		t.Errorf("top-bucket quantiles not monotone: q0.9 = %v < q0.1 = %v", s.Quantile(0.9), s.Quantile(0.1))
+	}
+	// A mixed stream still interpolates the top bucket sanely.
+	h.Observe(1)
+	h.Observe(2)
+	if v := h.Snapshot().Quantile(0.99); v < lo {
+		t.Errorf("p99 with top-bucket samples = %v, want ≥ 2^63", v)
+	}
+}
+
 // TestHistogramBucketBoundaries pins the log-bucket layout: bucket 0 holds
 // only zero, bucket k holds [2^(k-1), 2^k).
 func TestHistogramBucketBoundaries(t *testing.T) {

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) for snapshots. The
+// encoding is deterministic — byte-for-byte stable for a given snapshot —
+// so goldens can pin it and merged scrapes diff cleanly:
+//
+//   - Dotted metric names map to underscores ("tlb.miss" → "tlb_miss");
+//     the name grammar (lowercase segments) guarantees the result is a
+//     valid Prometheus metric name and that the mapping never collides
+//     with another instrument (underscores only ever join segments).
+//   - Metrics are emitted in sorted order of their exposition name, each
+//     preceded by its # TYPE line.
+//   - Counters and gauges are emitted verbatim; non-finite gauge values
+//     use Prometheus spellings (NaN, +Inf, -Inf).
+//   - Histograms expand to cumulative <name>_bucket{le="..."} series with
+//     inclusive integer upper bounds from the log-scaled buckets (bucket b
+//     holds samples in [2^(b-1), 2^b), so its le bound is 2^b − 1; the top
+//     bucket clamps to MaxUint64), up to the highest non-empty bucket,
+//     followed by the mandatory le="+Inf", <name>_sum, and <name>_count.
+
+// PromContentType is the Content-Type an HTTP handler serving this
+// encoding should set.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName maps a dotted metric name to its Prometheus exposition form.
+func PromName(name string) string { return strings.ReplaceAll(name, ".", "_") }
+
+// promFloat renders a float the way the exposition format spells it.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promRow is one instrument scheduled for encoding, sorted by exposition
+// name so output order is deterministic regardless of map iteration.
+type promRow struct {
+	name string // exposition name
+	kind byte   // 'c', 'g', 'h'
+	key  string // original dotted name
+}
+
+// Prometheus renders the snapshot as Prometheus text exposition.
+func (s Snapshot) Prometheus() string {
+	rows := make([]promRow, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		rows = append(rows, promRow{name: PromName(n), kind: 'c', key: n})
+	}
+	for n := range s.Gauges {
+		rows = append(rows, promRow{name: PromName(n), kind: 'g', key: n})
+	}
+	for n := range s.Histograms {
+		rows = append(rows, promRow{name: PromName(n), kind: 'h', key: n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+
+	var b strings.Builder
+	for _, r := range rows {
+		switch r.kind {
+		case 'c':
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", r.name, r.name, s.Counters[r.key])
+		case 'g':
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", r.name, r.name, promFloat(s.Gauges[r.key]))
+		case 'h':
+			writePromHistogram(&b, r.name, s.Histograms[r.key])
+		}
+	}
+	return b.String()
+}
+
+// writePromHistogram emits one histogram's cumulative bucket series.
+func writePromHistogram(b *strings.Builder, name string, h HistogramSnapshot) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	top := -1
+	for i, n := range h.Counts {
+		if n > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += h.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", name, bucketUpper(i), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(b, "%s_sum %d\n", name, h.Sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count)
+}

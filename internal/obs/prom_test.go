@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the text exposition byte-for-byte: metric
+// ordering, name mangling, # TYPE lines, NaN spelling, and the cumulative
+// histogram expansion with inclusive integer le= bounds.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tlb.miss").Add(42)
+	r.Counter("vm.access").Add(100000)
+	r.Gauge("vm.utilization").Set(0.75)
+	r.Gauge("iceberg.backyard.occupancy").Set(math.NaN())
+	h := r.Histogram("sim.phase.duration")
+	for _, v := range []uint64{0, 1, 3, 9} {
+		h.Observe(v)
+	}
+
+	const want = `# TYPE iceberg_backyard_occupancy gauge
+iceberg_backyard_occupancy NaN
+# TYPE sim_phase_duration histogram
+sim_phase_duration_bucket{le="0"} 1
+sim_phase_duration_bucket{le="1"} 2
+sim_phase_duration_bucket{le="3"} 3
+sim_phase_duration_bucket{le="7"} 3
+sim_phase_duration_bucket{le="15"} 4
+sim_phase_duration_bucket{le="+Inf"} 4
+sim_phase_duration_sum 13
+sim_phase_duration_count 4
+# TYPE tlb_miss counter
+tlb_miss 42
+# TYPE vm_access counter
+vm_access 100000
+# TYPE vm_utilization gauge
+vm_utilization 0.75
+`
+	if got := r.Snapshot().Prometheus(); got != want {
+		t.Errorf("Prometheus() mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusTopBucket pins the clamped le= bound of the top log
+// bucket: samples ≥ 2^63 cumulate under le="MaxUint64", not a wrapped 0.
+func TestPrometheusTopBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("tlb.walk.latency")
+	h.Observe(1 << 63)
+	h.Observe(math.MaxUint64)
+	got := r.Snapshot().Prometheus()
+	if !strings.Contains(got, `tlb_walk_latency_bucket{le="18446744073709551615"} 2`) {
+		t.Errorf("top bucket bound not clamped to MaxUint64:\n%s", got)
+	}
+	if strings.Contains(got, `{le="0"} 2`) {
+		t.Errorf("top bucket collapsed to zero bound:\n%s", got)
+	}
+}
+
+// TestPrometheusNonFinite pins the exposition spellings for the three
+// non-finite gauge values.
+func TestPrometheusNonFinite(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("a.nan").Set(math.NaN())
+	r.Gauge("b.posinf").Set(math.Inf(1))
+	r.Gauge("c.neginf").Set(math.Inf(-1))
+	got := r.Snapshot().Prometheus()
+	for _, want := range []string{"a_nan NaN\n", "b_posinf +Inf\n", "c_neginf -Inf\n"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestPrometheusEmptyHistogram: a registered histogram with no samples
+// still emits the mandatory +Inf bucket, sum, and count.
+func TestPrometheusEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("vm.fault.latency")
+	const want = `# TYPE vm_fault_latency histogram
+vm_fault_latency_bucket{le="+Inf"} 0
+vm_fault_latency_sum 0
+vm_fault_latency_count 0
+`
+	if got := r.Snapshot().Prometheus(); got != want {
+		t.Errorf("empty histogram exposition = %q, want %q", got, want)
+	}
+}
+
+func BenchmarkPromEncode(b *testing.B) {
+	r := NewRegistry()
+	for _, n := range []string{"tlb.miss", "tlb.hit", "vm.access", "vm.fault.minor", "vm.fault.major", "swap.io.read"} {
+		r.Counter(n).Add(123456)
+	}
+	for _, n := range []string{"vm.utilization", "iceberg.frontyard.occupancy", "iceberg.backyard.occupancy"} {
+		r.Gauge(n).Set(0.5)
+	}
+	h := r.Histogram("sim.phase.duration")
+	for i := uint64(0); i < 1000; i++ {
+		h.Observe(i * i)
+	}
+	snap := r.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := snap.Prometheus(); len(s) == 0 {
+			b.Fatal("empty exposition")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Publisher turns a single-threaded Registry into something concurrent
+// readers can scrape while the simulator runs. The memory model is the
+// whole design:
+//
+//   - The WRITER is the simulator thread. At every sampler window boundary
+//     (never per reference) it evaluates its publish-time gauge probes,
+//     deep-copies the registry into a fresh Published value, and stores a
+//     pointer to it with one atomic store. The registry itself is touched
+//     by no one else, so the hot path keeps its zero-lock, zero-alloc
+//     instrument handles.
+//   - READERS (HTTP scrape handlers, mosaicstat watch) do one atomic load
+//     and get an immutable, torn-free snapshot — values that were all
+//     current at the same window boundary. They never observe the live
+//     registry, never take a lock the writer could contend on, and a slow
+//     reader can never stall the simulation.
+//
+// Published snapshots are immutable by contract: readers may Merge and
+// encode them (both allocate fresh state) but must not mutate the maps.
+type Publisher struct {
+	reg    *Registry
+	probes []pubProbe
+	seq    uint64
+	cur    atomic.Pointer[Published]
+}
+
+// pubProbe is one publish-time gauge: fn is evaluated at each publication
+// and its value Set on the pre-registered gauge handle.
+type pubProbe struct {
+	g  *Gauge
+	fn func() float64
+}
+
+// Published is one torn-free publication of a registry.
+type Published struct {
+	// Seq is the publication sequence number, 1-based and monotonic, so a
+	// poller can tell "new window" from "same window re-read".
+	Seq uint64
+	// Refs is the reference clock at the window boundary that produced
+	// this snapshot.
+	Refs uint64
+	// Wall is the wall-clock publication time (rate denominators for
+	// watchers; never serialized into results files).
+	Wall time.Time
+	// Snap is the deep-copied registry state. Immutable.
+	Snap Snapshot
+}
+
+// NewPublisher wraps a registry. The registry stays owned by the single
+// simulator thread; only Publish (called on that thread) reads it.
+func NewPublisher(reg *Registry) *Publisher {
+	return &Publisher{reg: reg}
+}
+
+// Gauge registers a publish-time probe: at every publication fn is
+// evaluated on the simulator thread and its value recorded in the named
+// registry gauge. This is how live simulator state that is not already an
+// instrument (TLB unit counters, the reference clock) enters published
+// snapshots without adding any per-reference cost. The name must be a
+// lowercase dotted identifier, or Gauge panics (registration is
+// configuration, enforced statically by mosaiclint obsnames).
+func (p *Publisher) Gauge(name string, fn func() float64) {
+	p.probes = append(p.probes, pubProbe{g: p.reg.Gauge(name), fn: fn})
+}
+
+// Publish evaluates the publish-time probes, snapshots the registry, and
+// atomically replaces the current publication. Writer-side only: it must
+// be called from the thread that owns the registry. Nil-safe, so a
+// session wired without a publisher costs one pointer compare per window.
+func (p *Publisher) Publish(refs uint64) {
+	if p == nil {
+		return
+	}
+	for _, pr := range p.probes {
+		pr.g.Set(pr.fn())
+	}
+	p.seq++
+	p.cur.Store(&Published{Seq: p.seq, Refs: refs, Wall: time.Now(), Snap: p.reg.Snapshot()})
+}
+
+// Load returns the latest publication, or ok=false before the first
+// Publish. Safe for any number of concurrent callers; nil-safe.
+func (p *Publisher) Load() (Published, bool) {
+	if p == nil {
+		return Published{}, false
+	}
+	pub := p.cur.Load()
+	if pub == nil {
+		return Published{}, false
+	}
+	return *pub, true
+}
+
+// AttachSampler ties publication to the sampler's window cadence: every
+// completed (or flushed partial) window republishes. Call it once, during
+// wiring, on the simulator thread.
+func (p *Publisher) AttachSampler(s *Sampler) {
+	s.OnWindow(p.Publish)
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPublisherLifecycle: no publication before the first Publish, then
+// monotone sequence numbers and publish-time gauge evaluation.
+func TestPublisherLifecycle(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tlb.miss")
+	p := NewPublisher(r)
+	live := 0.0
+	p.Gauge("sim.refs.total", func() float64 { return live })
+
+	if _, ok := p.Load(); ok {
+		t.Fatal("Load reported a publication before the first Publish")
+	}
+
+	c.Add(7)
+	live = 100
+	p.Publish(100)
+	pub, ok := p.Load()
+	if !ok {
+		t.Fatal("Load found nothing after Publish")
+	}
+	if pub.Seq != 1 || pub.Refs != 100 {
+		t.Errorf("publication seq=%d refs=%d, want 1, 100", pub.Seq, pub.Refs)
+	}
+	if got := pub.Snap.Counters["tlb.miss"]; got != 7 {
+		t.Errorf("published tlb.miss = %d, want 7", got)
+	}
+	if got := pub.Snap.Gauges["sim.refs.total"]; got != 100 {
+		t.Errorf("published sim.refs.total = %v, want 100 (publish-time probe)", got)
+	}
+
+	// The published snapshot is a deep copy: later mutation is invisible.
+	c.Add(1000)
+	if got := pub.Snap.Counters["tlb.miss"]; got != 7 {
+		t.Errorf("snapshot saw later mutation: tlb.miss = %d, want 7", got)
+	}
+
+	live = 200
+	p.Publish(200)
+	pub2, _ := p.Load()
+	if pub2.Seq != 2 || pub2.Snap.Counters["tlb.miss"] != 1007 {
+		t.Errorf("second publication seq=%d tlb.miss=%d, want 2, 1007", pub2.Seq, pub2.Snap.Counters["tlb.miss"])
+	}
+}
+
+// TestPublisherNilSafe: the disabled path is one pointer compare.
+func TestPublisherNilSafe(t *testing.T) {
+	var p *Publisher
+	p.Publish(1)
+	if _, ok := p.Load(); ok {
+		t.Error("nil publisher reported a publication")
+	}
+}
+
+// TestPublisherAttachSampler: publications ride the sampler's window
+// boundaries, including the partial window Flush closes.
+func TestPublisherAttachSampler(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("vm.access")
+	s := NewSampler(10)
+	p := NewPublisher(r)
+	p.AttachSampler(s)
+
+	for i := 0; i < 25; i++ {
+		c.Inc()
+		s.Tick()
+	}
+	pub, ok := p.Load()
+	if !ok || pub.Seq != 2 || pub.Refs != 20 {
+		t.Fatalf("after 25 ticks at window 10: seq=%d refs=%d ok=%v, want 2, 20, true", pub.Seq, pub.Refs, ok)
+	}
+	if got := pub.Snap.Counters["vm.access"]; got != 20 {
+		t.Errorf("published vm.access = %d, want 20 (the window-boundary value)", got)
+	}
+	s.Flush()
+	pub, _ = p.Load()
+	if pub.Seq != 3 || pub.Refs != 25 {
+		t.Errorf("flush publication seq=%d refs=%d, want 3, 25", pub.Seq, pub.Refs)
+	}
+}
+
+// TestPublisherRaceHammer is the -race proof of the publication memory
+// model: one writer thread ticking instruments and publishing at window
+// boundaries, N reader goroutines concurrently scraping, encoding, and
+// merging whatever they load. Any shared mutable state would trip the
+// race detector; torn snapshots would break the seq/refs invariants.
+func TestPublisherRaceHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tlb.miss")
+	h := r.Histogram("tlb.walk.latency")
+	s := NewSampler(64)
+	p := NewPublisher(r)
+	p.Gauge("sim.refs.total", func() float64 { return float64(s.Refs()) })
+	p.AttachSampler(s)
+
+	const (
+		readers = 4
+		ticks   = 100_000
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastSeq uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pub, ok := p.Load()
+				if !ok {
+					continue
+				}
+				if pub.Seq < lastSeq {
+					t.Error("publication sequence went backwards")
+					return
+				}
+				lastSeq = pub.Seq
+				// A torn snapshot could violate this: the refs gauge is set
+				// at the same boundary the snapshot is taken.
+				if got := pub.Snap.Gauges["sim.refs.total"]; got != float64(pub.Refs) {
+					t.Errorf("torn snapshot: sim.refs.total = %v, refs = %d", got, pub.Refs)
+					return
+				}
+				_ = pub.Snap.Prometheus()
+				_ = pub.Snap.Merge(pub.Snap)
+			}
+		}()
+	}
+
+	for i := 0; i < ticks; i++ {
+		c.Inc()
+		h.Observe(uint64(i & 1023))
+		s.Tick()
+	}
+	close(stop)
+	wg.Wait()
+
+	pub, ok := p.Load()
+	if !ok || pub.Refs != (ticks/64)*64 {
+		t.Fatalf("final publication refs = %d, want %d", pub.Refs, (ticks/64)*64)
+	}
+}
+
+// BenchmarkPublisherSnapshot is the writer-side cost of one publication
+// over a realistic registry — paid once per sample window, not per
+// reference, so window=65536 amortizes this to fractions of a ns/ref.
+func BenchmarkPublisherSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for _, n := range []string{"tlb.miss", "tlb.hit", "vm.access", "vm.fault.minor", "vm.fault.major", "swap.io.read"} {
+		r.Counter(n).Add(123456)
+	}
+	for _, n := range []string{"vm.utilization", "iceberg.frontyard.occupancy", "iceberg.backyard.occupancy"} {
+		r.Gauge(n).Set(0.5)
+	}
+	h := r.Histogram("sim.phase.duration")
+	for i := uint64(0); i < 1000; i++ {
+		h.Observe(i * i)
+	}
+	p := NewPublisher(r)
+	p.Gauge("sim.refs.total", func() float64 { return float64(len(r.names)) })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Publish(uint64(i))
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSpanRecord: a finished span lands in the phase-duration histogram
+// and the event log with both axes intact.
+func TestSpanRecord(t *testing.T) {
+	o := NewObserver(0)
+	base := time.Unix(1000, 0)
+	sp := &Span{Name: "warmup", StartRef: 100, EndRef: 2500, Start: base, End: base.Add(1500 * time.Microsecond)}
+	sp.Record(o)
+
+	snap := o.Metrics.Snapshot()
+	h, ok := snap.Histograms[PhaseDurationMetric]
+	if !ok || h.Count != 1 {
+		t.Fatalf("phase histogram count = %d (present %v), want 1 sample", h.Count, ok)
+	}
+	if h.Sum != 1500 {
+		t.Errorf("phase duration sum = %d µs, want 1500", h.Sum)
+	}
+
+	evs := o.Events.Events()
+	if len(evs) != 1 {
+		t.Fatalf("event log has %d events, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Kind != "phase.warmup" || e.Ref != 2500 || e.Severity != Info {
+		t.Errorf("event = %+v, want kind phase.warmup at ref 2500", e)
+	}
+	if e.Fields["start_ref"] != 100 || e.Fields["end_ref"] != 2500 || e.Fields["micros"] != 1500 {
+		t.Errorf("event fields = %v, want start_ref=100 end_ref=2500 micros=1500", e.Fields)
+	}
+}
+
+// TestSpanFinishStamps: NewSpan/Finish stamp monotone wall times and the
+// end reference index.
+func TestSpanFinishStamps(t *testing.T) {
+	o := NewObserver(0)
+	sp := NewSpan("run", 10)
+	if sp.Start.IsZero() {
+		t.Fatal("NewSpan left Start unstamped")
+	}
+	sp.Finish(o, 90)
+	if sp.EndRef != 90 || sp.End.Before(sp.Start) {
+		t.Errorf("Finish: EndRef=%d End=%v Start=%v, want 90 and End >= Start", sp.EndRef, sp.End, sp.Start)
+	}
+	if got := o.Metrics.Snapshot().Histograms[PhaseDurationMetric].Count; got != 1 {
+		t.Errorf("phase histogram count = %d, want 1", got)
+	}
+}
+
+// TestSpanRecordNilSafe: recording on a nil or empty observer is a no-op.
+func TestSpanRecordNilSafe(t *testing.T) {
+	sp := NewSpan("report", 0)
+	sp.Finish(nil, 1)
+	sp.Record(&Observer{})
+}
+
+// TestSpanNameValidation: the grammar is one lowercase segment.
+func TestSpanNameValidation(t *testing.T) {
+	for name, want := range map[string]bool{
+		"warmup":   true,
+		"run":      true,
+		"report":   true,
+		"phase_2a": true,
+		"Warmup":   false,
+		"warm up":  false,
+		"sim.run":  false,
+		"2fast":    false,
+		"":         false,
+	} {
+		if got := ValidSpanName(name); got != want {
+			t.Errorf("ValidSpanName(%q) = %v, want %v", name, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSpan accepted a malformed name")
+		}
+	}()
+	NewSpan("Not A Span", 0)
+}

@@ -6,8 +6,10 @@
 #   BENCHTIME=2s scripts/bench.sh    # longer, steadier runs
 #
 # The suite covers the per-reference simulator path with observability
-# off and on (internal/memsim BenchmarkAccess*) and the sampler tick
-# itself (internal/obs BenchmarkSampler*). Compare two runs with
+# off and on (internal/memsim BenchmarkAccess*), the sampler tick itself
+# (internal/obs BenchmarkSampler*), and the publication layer — snapshot
+# cost per window (BenchmarkPublisherSnapshot) and Prometheus encode cost
+# per scrape (BenchmarkPromEncode). Compare two runs with
 # `go run ./cmd/mosaicstat bench BENCH_obs.json`.
 set -eu
 
@@ -15,8 +17,8 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_obs.json}"
 
-go test -run '^$' -bench 'BenchmarkAccess|BenchmarkSampler' -benchmem \
-	-benchtime "${BENCHTIME:-1s}" ./internal/memsim ./internal/obs |
+go test -run '^$' -bench 'BenchmarkAccess|BenchmarkSampler|BenchmarkPublisherSnapshot|BenchmarkPromEncode' \
+	-benchmem -benchtime "${BENCHTIME:-1s}" ./internal/memsim ./internal/obs |
 	tee /dev/stderr |
 	go run ./cmd/mosaicstat bench -parse -o "$out"
 

@@ -42,3 +42,29 @@ go run ./cmd/fig6 -workload gups -footprint 8 -maxrefs 200000 \
 	-sample 50000 -o "$tmp/fig6-smoke.json" >/dev/null
 go run ./cmd/mosaicstat show "$tmp/fig6-smoke.json" >/dev/null
 go run ./cmd/mosaicstat diff "$tmp/fig6-smoke.json" "$tmp/fig6-smoke.json" >/dev/null
+
+# Smoke-test the live-telemetry path end to end: start mosaicd on an
+# ephemeral port, stream one tracegen session into it, scrape the merged
+# Prometheus view, render two watch rows, then drain with SIGTERM and
+# check the final results artifact parses.
+go build -o "$tmp/mosaicd" ./cmd/mosaicd
+go build -o "$tmp/tracegen" ./cmd/tracegen
+go build -o "$tmp/mosaicstat" ./cmd/mosaicstat
+"$tmp/mosaicd" -addr 127.0.0.1:0 -addrfile "$tmp/addr" -sample 10000 \
+	-final "$tmp/mosaicd-final.json" >"$tmp/mosaicd.log" 2>&1 &
+mosaicd_pid=$!
+trap 'kill "$mosaicd_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+for _ in $(seq 1 50); do
+	[ -s "$tmp/addr" ] && break
+	sleep 0.1
+done
+addr="$(cat "$tmp/addr")"
+"$tmp/tracegen" -workload gups -footprint 8 -maxrefs 200000 \
+	-post "http://$addr" >/dev/null
+curl -sf "http://$addr/metrics" | grep -q '^mosaicd_sessions_completed 1$'
+curl -sf "http://$addr/metrics" | grep -q '^vm_access 200000$'
+curl -sf "http://$addr/sessions/1/results.json" >/dev/null
+"$tmp/mosaicstat" watch -interval 0.2s -count 2 "http://$addr" >/dev/null
+kill -TERM "$mosaicd_pid"
+wait "$mosaicd_pid"
+"$tmp/mosaicstat" show "$tmp/mosaicd-final.json" >/dev/null
