@@ -17,6 +17,7 @@ package mosaic
 // `go test -bench=. ./...`.
 
 import (
+	"bytes"
 	"testing"
 
 	"mosaic/internal/trace"
@@ -223,6 +224,25 @@ func (s streamWorkload) Run(sink Sink) {
 	}
 }
 
+// RunBatches emits the identical stream as Run in whole batches
+// (trace.BatchRunner), so BenchmarkRunBatch measures the fully batched
+// engine — batch-native producer through batch consumer, no per-reference
+// dynamic call anywhere.
+func (s streamWorkload) RunBatches(sink trace.BatchSink) {
+	buf := make(trace.Batch, trace.DefaultBatchSize)
+	for i := uint64(0); i < s.n; {
+		b := buf
+		if left := s.n - i; left < uint64(len(b)) {
+			b = b[:left]
+		}
+		for j := range b {
+			b[j] = trace.MakeRef((i+uint64(j))*64, false)
+		}
+		i += uint64(len(b))
+		sink.ProcessBatch(b)
+	}
+}
+
 // countSink is the minimal terminal sink: one field update per reference.
 type countSink struct{ n uint64 }
 
@@ -272,6 +292,66 @@ func BenchmarkRunLimitedClosure(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(1<<20)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+// batchCountSink is countSink's batch twin: one interface call and one
+// length add per batch, so BenchmarkRunBatch measures the batched harness's
+// dispatch cost against BenchmarkRunLimited's scalar path.
+type batchCountSink struct{ n uint64 }
+
+func (s *batchCountSink) ProcessBatch(b trace.Batch) { s.n += uint64(len(b)) }
+
+func BenchmarkRunBatch(b *testing.B) {
+	w := streamWorkload{n: 1 << 21}
+	var s batchCountSink
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := RunBatch(w, &s, 1<<20); got != 1<<20 {
+			b.Fatalf("delivered %d refs, want %d", got, 1<<20)
+		}
+	}
+	b.ReportMetric(float64(1<<20)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+// BenchmarkBatchDecode measures v2 frame decoding alone — the trace-replay
+// bound when the simulator is out of the picture.
+func BenchmarkBatchDecode(b *testing.B) {
+	var buf bytes.Buffer
+	bw, err := trace.NewBatchWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const refs = 1 << 20
+	batch := make(trace.Batch, trace.DefaultBatchSize)
+	for off := 0; off < refs; off += len(batch) {
+		for i := range batch {
+			batch[i] = trace.MakeRef(uint64(off+i)*64, i%7 == 0)
+		}
+		if err := bw.WriteBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewBatchReader(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s batchCountSink
+		n, err := r.ReplayBatches(&s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != refs {
+			b.Fatalf("decoded %d refs, want %d", n, refs)
+		}
+	}
+	b.ReportMetric(float64(refs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
 }
 
 func BenchmarkAblateTimestamps(b *testing.B) {

@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"mosaic/internal/results"
 	"mosaic/internal/stats"
@@ -147,11 +149,56 @@ func bench(args []string) error {
 		return err
 	}
 	tb := stats.NewTable(fmt.Sprintf("%s (schema v%d)", fs.Arg(0), f.SchemaVersion),
-		"Benchmark", "Iterations", "ns/op", "B/op", "allocs/op")
+		"Benchmark", "Iterations", "ns/op", "B/op", "allocs/op", "custom")
 	for _, r := range f.Benchmarks {
 		tb.AddRow(r.Name, r.N, fmt.Sprintf("%.2f", r.NsPerOp),
-			fmt.Sprintf("%.0f", r.BytesPerOp), fmt.Sprintf("%.0f", r.AllocsPerOp))
+			fmt.Sprintf("%.0f", r.BytesPerOp), fmt.Sprintf("%.0f", r.AllocsPerOp),
+			customMetrics(r))
 	}
 	fmt.Println(tb.String())
+	if line := replayThroughput(f.Benchmarks); line != "" {
+		fmt.Println(line)
+	}
 	return nil
+}
+
+// customMetrics renders a benchmark's ReportMetric columns, sorted by unit.
+func customMetrics(r results.BenchResult) string {
+	if len(r.Metrics) == 0 {
+		return ""
+	}
+	units := make([]string, 0, len(r.Metrics))
+	for u := range r.Metrics {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	parts := make([]string, 0, len(units))
+	for _, u := range units {
+		parts = append(parts, fmt.Sprintf("%.1f %s", r.Metrics[u], u))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// replayThroughput summarizes the batched-vs-scalar replay engine headline
+// when both harness benchmarks are present.
+func replayThroughput(benches []results.BenchResult) string {
+	rate := func(name string) (float64, bool) {
+		for _, r := range benches {
+			if r.Name == name || strings.HasPrefix(r.Name, name+"-") {
+				return r.Metric("Mrefs/s")
+			}
+		}
+		return 0, false
+	}
+	scalar, ok1 := rate("BenchmarkRunLimited")
+	batch, ok2 := rate("BenchmarkRunBatch")
+	if !ok1 || !ok2 || scalar <= 0 {
+		return ""
+	}
+	line := fmt.Sprintf("replay engine: batch %.0f Mrefs/s vs scalar %.0f Mrefs/s (%.1f×)",
+		batch, scalar, batch/scalar)
+	if decode, ok := rate("BenchmarkBatchDecode"); ok {
+		line += fmt.Sprintf(", v2 decode %.0f Mrefs/s", decode)
+	}
+	return line
 }

@@ -3,10 +3,14 @@
 // the memory-system simulator. Traces let a reference stream be simulated
 // many times (or inspected) without re-running the workload.
 //
+// Captures default to the delta-encoded v2 format (-format v1 keeps the
+// fixed-record v1 encoding); replay sniffs the magic and accepts both.
+//
 // Usage:
 //
 //	tracegen -workload graph500 -footprint 32 -out graph500.trace
 //	tracegen -replay graph500.trace [-entries 256] [-arity 4]
+//	tracegen -convert old-v1.trace -out new-v2.trace
 //	tracegen -workload gups -stats          # just count/summarize
 //	tracegen -workload gups -post http://127.0.0.1:7077   # stream to mosaicd
 package main
@@ -35,6 +39,8 @@ func main() {
 	maxRefs := flag.Uint64("maxrefs", 0, "cap on captured references (0 = full run)")
 	out := flag.String("out", "", "output trace file (capture mode)")
 	replay := flag.String("replay", "", "trace file to replay through the simulator")
+	convert := flag.String("convert", "", "v1 trace file to re-encode as v2 into -out")
+	format := flag.String("format", "v2", "capture format: v2 (delta-encoded) or v1 (fixed records)")
 	entries := flag.Int("entries", 256, "TLB entries for replay")
 	arity := flag.Int("arity", 4, "mosaic arity for replay")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -59,12 +65,19 @@ func main() {
 		if err := replayTrace(*replay, *entries, *arity); err != nil {
 			fail(err)
 		}
+	case *convert != "":
+		if *out == "" {
+			fail(fmt.Errorf("-convert needs -out"))
+		}
+		if err := convertTrace(*convert, *out); err != nil {
+			fail(err)
+		}
 	case *workload != "" && *post != "":
 		if err := postSession(*post, *workload, *footprint<<20, *maxRefs, *seed, *entries, *arity, *sample); err != nil {
 			fail(err)
 		}
 	case *workload != "" && (*out != "" || *statsOnly):
-		if err := capture(*workload, *footprint<<20, *maxRefs, *seed, *out, *statsOnly); err != nil {
+		if err := capture(*workload, *footprint<<20, *maxRefs, *seed, *out, *format, *statsOnly); err != nil {
 			fail(err)
 		}
 	default:
@@ -73,7 +86,7 @@ func main() {
 	}
 }
 
-func capture(name string, footprint, maxRefs, seed uint64, out string, statsOnly bool) error {
+func capture(name string, footprint, maxRefs, seed uint64, out, format string, statsOnly bool) error {
 	w, err := mosaic.NewWorkload(name, footprint, seed)
 	if err != nil {
 		return err
@@ -87,35 +100,87 @@ func capture(name string, footprint, maxRefs, seed uint64, out string, statsOnly
 		}
 	})}
 
-	var tw *trace.Writer
+	// Both encoders hide behind Sink so the stats tee stays format-blind;
+	// the v2 path batches records in front of the frame encoder.
+	var (
+		flush func() error
+		count func() uint64
+	)
 	if !statsOnly {
 		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		tw, err = trace.NewWriter(f)
-		if err != nil {
-			return err
+		switch format {
+		case "v2":
+			bw, err := trace.NewBatchWriter(f)
+			if err != nil {
+				return err
+			}
+			batcher := trace.NewBatcher(bw, trace.DefaultBatchSize)
+			sinks = append(sinks, batcher)
+			flush = func() error { batcher.Flush(); return bw.Flush() }
+			count = bw.Count
+		case "v1":
+			tw, err := trace.NewWriter(f)
+			if err != nil {
+				return err
+			}
+			sinks = append(sinks, tw)
+			flush = tw.Flush
+			count = tw.Count
+		default:
+			return fmt.Errorf("unknown -format %q (want v1 or v2)", format)
 		}
-		sinks = append(sinks, tw)
 	}
 
 	mosaic.RunLimited(w, trace.Tee(sinks...), maxRefs)
 	progress.Done()
 	fmt.Printf("%s: %d refs (%d reads, %d writes), %d pages touched, footprint %d MiB\n",
 		name, counter.Total(), counter.Reads, counter.Writes, len(pages), w.FootprintBytes()>>20)
-	if tw != nil {
-		if err := tw.Flush(); err != nil {
+	if flush != nil {
+		if err := flush(); err != nil {
 			return err
 		}
 		info, err := os.Stat(out)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s: %d records, %d bytes (%.2f bytes/record)\n",
-			out, tw.Count(), info.Size(), float64(info.Size())/float64(tw.Count()))
+		fmt.Printf("wrote %s (%s): %d records, %d bytes (%.2f bytes/record)\n",
+			out, format, count(), info.Size(), float64(info.Size())/float64(count()))
 	}
+	return nil
+}
+
+// convertTrace re-encodes a v1 capture as a v2 delta-encoded trace.
+func convertTrace(in, out string) error {
+	src, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	dst, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	progress.Stepf("tracegen: converting %s → %s", in, out)
+	n, err := trace.ConvertV1(dst, src)
+	if err != nil {
+		return err
+	}
+	progress.Done()
+	si, err := os.Stat(in)
+	if err != nil {
+		return err
+	}
+	so, err := os.Stat(out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %d records: %d → %d bytes (%.1f%% of v1)\n",
+		n, si.Size(), so.Size(), 100*float64(so.Size())/float64(si.Size()))
 	return nil
 }
 
@@ -125,7 +190,7 @@ func replayTrace(path string, entries, arity int) error {
 		return err
 	}
 	defer f.Close()
-	tr, err := trace.NewReader(f)
+	tr, err := trace.Open(f)
 	if err != nil {
 		return err
 	}
@@ -140,7 +205,7 @@ func replayTrace(path string, entries, arity int) error {
 		return err
 	}
 	progress.Stepf("tracegen: replaying %s", path)
-	n, err := tr.ReplayAll(sim)
+	n, err := tr.ReplayBatches(sim)
 	if err != nil {
 		return err
 	}
@@ -174,20 +239,23 @@ func postSession(base, name string, footprint, maxRefs, seed uint64, entries, ar
 	pr, pw := io.Pipe()
 	werr := make(chan error, 1)
 	go func() {
-		tw, err := trace.NewWriter(pw)
+		// Stream the capture in the v2 format; the daemon sniffs the magic.
+		bw, err := trace.NewBatchWriter(pw)
 		if err != nil {
 			werr <- err
 			pw.CloseWithError(err)
 			return
 		}
+		batcher := trace.NewBatcher(bw, trace.DefaultBatchSize)
 		var n uint64
-		mosaic.RunLimited(w, trace.Tee(tw, trace.SinkFunc(func(uint64, bool) {
+		mosaic.RunLimited(w, trace.Tee(batcher, trace.SinkFunc(func(uint64, bool) {
 			n++
 			if n%(1<<20) == 0 {
 				progress.Stepf("tracegen %s: %d M refs streamed", name, n>>20)
 			}
 		})), maxRefs)
-		err = tw.Flush()
+		batcher.Flush()
+		err = bw.Flush()
 		werr <- err
 		pw.CloseWithError(err)
 	}()

@@ -36,8 +36,13 @@ func (s *limitSink) Access(va uint64, write bool) {
 
 // RunLimited drives a workload into sink, stopping after maxRefs
 // references (0 means unlimited). It returns the number of references
-// delivered.
+// delivered. A sink with a batch path (trace.BatchSink — the Simulator
+// among them) is driven through RunBatch instead, which delivers the
+// identical reference stream while amortizing per-reference dispatch.
 func RunLimited(w Workload, sink Sink, maxRefs uint64) (n uint64) {
+	if bs, ok := sink.(trace.BatchSink); ok {
+		return RunBatch(w, bs, maxRefs)
+	}
 	if maxRefs == 0 {
 		var c trace.Counter
 		w.Run(trace.Tee(&c, sink))
@@ -53,6 +58,89 @@ func RunLimited(w Workload, sink Sink, maxRefs uint64) (n uint64) {
 		}
 	}()
 	w.Run(&ls)
+	return ls.n
+}
+
+// batchLimitSink is RunBatch's step: references accumulate into a
+// preallocated batch, and both the limit check and the downstream dispatch
+// happen once per batch rather than once per reference. The delivered
+// stream is exactly the first max references — the final batch is trimmed
+// before delivery, then the workload is aborted — so any BatchSink that
+// observes references in order sees the same stream RunLimited's scalar
+// path would deliver.
+type batchLimitSink struct {
+	next trace.BatchSink
+	buf  trace.Batch
+	i    int
+	n    uint64 // delivered references
+	max  uint64
+}
+
+func (s *batchLimitSink) Access(va uint64, write bool) {
+	s.buf[s.i] = trace.MakeRef(va, write)
+	s.i++
+	if s.i == len(s.buf) {
+		s.flush()
+	}
+}
+
+// flush delivers the buffered batch, trimming it to the limit and aborting
+// the workload once max references are out.
+func (s *batchLimitSink) flush() {
+	if s.n+uint64(s.i) >= s.max {
+		s.next.ProcessBatch(s.buf[:s.max-s.n])
+		s.n = s.max
+		panic(limitReached{})
+	}
+	s.next.ProcessBatch(s.buf[:s.i])
+	s.n += uint64(s.i)
+	s.i = 0
+}
+
+// ProcessBatch is the batch-producer leg: whole batches from a
+// trace.BatchRunner pass straight through, trimmed at the limit. A
+// producer uses either Access or ProcessBatch for a whole run, never both,
+// so the two legs share the counters but not the buffer.
+func (s *batchLimitSink) ProcessBatch(b trace.Batch) {
+	if s.n+uint64(len(b)) >= s.max {
+		s.next.ProcessBatch(b[:s.max-s.n])
+		s.n = s.max
+		panic(limitReached{})
+	}
+	s.next.ProcessBatch(b)
+	s.n += uint64(len(b))
+}
+
+// RunBatch drives a workload into a batch sink, stopping after maxRefs
+// references (0 means unlimited), and returns the number delivered. The
+// sink observes the identical reference stream as RunLimited's scalar
+// path — same references, same order, same cutoff — batched into
+// trace.DefaultBatchSize runs. A workload that can produce batches
+// natively (trace.BatchRunner) skips per-reference packing entirely: its
+// batches flow through with only the limit trim in between.
+func RunBatch(w Workload, sink trace.BatchSink, maxRefs uint64) (n uint64) {
+	if maxRefs == 0 {
+		maxRefs = 1<<64 - 1
+	}
+	ls := batchLimitSink{next: sink, max: maxRefs}
+	defer func() {
+		n = ls.n
+		if r := recover(); r != nil {
+			if _, ok := r.(limitReached); !ok {
+				panic(r)
+			}
+		}
+	}()
+	if br, ok := w.(trace.BatchRunner); ok {
+		br.RunBatches(&ls)
+		return ls.n
+	}
+	ls.buf = make(trace.Batch, trace.DefaultBatchSize)
+	w.Run(&ls)
+	if ls.i > 0 { // workload ended before the limit: deliver the tail
+		ls.next.ProcessBatch(ls.buf[:ls.i])
+		ls.n += uint64(ls.i)
+	}
 	return ls.n
 }
 

@@ -66,10 +66,15 @@ type line struct {
 	lru   uint64 // smaller = older
 }
 
-// Level is a single cache.
+// Level is a single cache. The lines of all sets live in one flat backing
+// array indexed by set*ways+way, so a probe computes its set base with one
+// multiply instead of loading a per-set slice header — the same
+// struct-of-arrays discipline the TLB sets use, and the layout the batched
+// replay hot path leans on.
 type Level struct {
 	cfg       Config
-	sets      [][]line
+	lines     []line
+	ways      int
 	setMask   uint64
 	lineShift uint
 	tick      uint64
@@ -82,18 +87,24 @@ func NewLevel(cfg Config) (*Level, error) {
 		return nil, err
 	}
 	numSets := cfg.Size / cfg.LineSize / cfg.Ways
-	l := &Level{cfg: cfg, setMask: uint64(numSets - 1)}
+	l := &Level{cfg: cfg, ways: cfg.Ways, setMask: uint64(numSets - 1)}
 	shift := uint(0)
 	for 1<<shift < cfg.LineSize {
 		shift++
 	}
 	l.lineShift = shift
-	l.sets = make([][]line, numSets)
-	backing := make([]line, numSets*cfg.Ways)
-	for i := range l.sets {
-		l.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
-	}
+	l.lines = make([]line, numSets*cfg.Ways)
 	return l, nil
+}
+
+// set returns the ways of the set holding tag as a full-capacity subslice.
+// The three-index form keeps neighbouring sets unreachable and gives the
+// probe loops a slice whose length the compiler knows is exactly ways, so
+// the range loops in lookup and fill run without bounds checks (bcegate
+// pins this).
+func (l *Level) set(tag uint64) []line {
+	base := int(tag&l.setMask) * l.ways
+	return l.lines[base : base+l.ways : base+l.ways]
 }
 
 // Config returns the level's configuration (with defaults applied).
@@ -106,7 +117,7 @@ func (l *Level) Stats() Stats { return l.stats }
 // dirtiness.
 func (l *Level) lookup(pa uint64, write bool) bool {
 	tag := pa >> l.lineShift
-	set := l.sets[tag&l.setMask]
+	set := l.set(tag)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			l.tick++
@@ -126,7 +137,7 @@ func (l *Level) lookup(pa uint64, write bool) bool {
 // and dirtiness if a valid line was evicted.
 func (l *Level) fill(pa uint64, dirty bool) (victimPA uint64, victimDirty, evicted bool) {
 	tag := pa >> l.lineShift
-	set := l.sets[tag&l.setMask]
+	set := l.set(tag)
 	victim := 0
 	for i := range set {
 		if !set[i].valid {
@@ -150,7 +161,7 @@ place:
 // contains probes without updating any state (test helper).
 func (l *Level) contains(pa uint64) bool {
 	tag := pa >> l.lineShift
-	for _, ln := range l.sets[tag&l.setMask] {
+	for _, ln := range l.set(tag) {
 		if ln.valid && ln.tag == tag {
 			return true
 		}
@@ -236,7 +247,7 @@ func (h *Hierarchy) writeBack(i int, pa uint64) {
 	}
 	l := h.levels[i]
 	tag := pa >> l.lineShift
-	set := l.sets[tag&l.setMask]
+	set := l.set(tag)
 	for j := range set {
 		if set[j].valid && set[j].tag == tag {
 			set[j].dirty = true

@@ -149,13 +149,13 @@ func (sess *Session) run(body io.Reader) {
 	sess.ob.Sampler.OnWindow(func(refs uint64) { sess.refs.Store(refs) })
 	sess.pub.AttachSampler(sess.ob.Sampler)
 
-	tr, err := trace.NewReader(body)
+	tr, err := trace.Open(body)
 	if err != nil {
 		sess.fail(err)
 		return
 	}
 	run := obs.NewSpan("run", 0)
-	n, err := tr.ReplayAll(sim)
+	n, err := tr.ReplayBatches(sim)
 	if err != nil {
 		sess.fail(fmt.Errorf("after %d refs: %w", n, err))
 		return

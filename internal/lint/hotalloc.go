@@ -44,6 +44,7 @@ var HotPathPackages = []string{
 	"./internal/tlb",
 	"./internal/cache",
 	"./internal/iceberg",
+	"./internal/trace",
 }
 
 // EscapeBaselineFile is the checked-in baseline, relative to the module

@@ -66,6 +66,9 @@ var InlinePins = []InlinePin{
 	{"internal/iceberg/iceberg.go", "(*Table).Contains", "iceberg membership wrapper around Get"},
 	{"internal/memsim/memsim.go", "(*Simulator).Access", "per-reference entry point: delegates to AccessFrom"},
 	{"figure6.go", "(*limitSink).Access", "RunLimited's step: the reference-counting shim every figure driver replays through"},
+	{"internal/trace/batch.go", "Ref.VA", "batch consumers unpack the VA in their inner loop"},
+	{"internal/trace/batch.go", "Ref.Write", "batch consumers unpack the write bit in their inner loop"},
+	{"internal/trace/batch.go", "MakeRef", "batch producers pack references in their inner loop"},
 }
 
 // InlineGatePatterns are the build patterns the gate compiles: the hot-path

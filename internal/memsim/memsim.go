@@ -460,36 +460,7 @@ func (s *Simulator) Access(va uint64, write bool) {
 // TLB entries are ASID-tagged (PCID-style), so entries from several
 // processes coexist; use FlushTLBs to model untagged context switches.
 func (s *Simulator) AccessFrom(asid core.ASID, va uint64, write bool) {
-	vpn := core.VPNOf(va)
-	res := s.os.Touch(asid, vpn, write)
-	if res != vm.Hit {
-		// New mapping: install it in the page tables.
-		pfn, ok := s.os.Translate(asid, vpn)
-		if !ok {
-			//lint:ignore nopanic Touch just returned non-Hit, so the OS faulted the page in; an absent mapping here means vm residency is corrupt
-			panic("memsim: page absent immediately after fault")
-		}
-		cpfn, ok := s.os.CPFNFor(asid, vpn)
-		if !ok {
-			//lint:ignore nopanic same residency guarantee as the Translate above
-			panic("memsim: CPFN absent immediately after fault")
-		}
-		s.vanillaPT(asid).Set(vpn, pfn)
-		for arity := range s.arities {
-			s.mosaicPT(asid, arity).SetCPFN(vpn, cpfn)
-		}
-	}
-
-	pfn, _ := s.os.Translate(asid, vpn)
-	pa := uint64(pfn)*core.PageSize + core.PageOffset(va)
-
-	for _, u := range s.units {
-		s.lookupAndFill(u, asid, vpn)
-		if u.caches != nil {
-			u.caches.Access(pa, write)
-		}
-	}
-
+	s.step(asid, va, write)
 	if s.cfg.CheckEvery > 0 {
 		s.sinceCheck++
 		if s.sinceCheck >= s.cfg.CheckEvery {
@@ -499,6 +470,76 @@ func (s *Simulator) AccessFrom(asid core.ASID, va uint64, write bool) {
 	}
 	if s.sampler != nil {
 		s.sampler.Tick()
+	}
+}
+
+// step is the per-reference core shared by the scalar and batch paths:
+// touch the OS, translate, and drive every TLB unit. The per-reference
+// sampler tick and invariant cadence live in the callers, so the batch
+// path can hoist their checks out of its inner loop.
+func (s *Simulator) step(asid core.ASID, va uint64, write bool) {
+	vpn := core.VPNOf(va)
+	var pfn core.PFN
+	if res := s.os.Touch(asid, vpn, write); res != vm.Hit {
+		pfn = s.fault(asid, vpn)
+	} else {
+		pfn, _ = s.os.Translate(asid, vpn)
+	}
+	pa := uint64(pfn)*core.PageSize + core.PageOffset(va)
+
+	for _, u := range s.units {
+		s.lookupAndFill(u, asid, vpn)
+		if u.caches != nil {
+			u.caches.Access(pa, write)
+		}
+	}
+}
+
+// fault installs a freshly faulted mapping in the page tables. It is the
+// cold half of step, outlined so the hot loop stays compact, and it
+// returns the PFN it already has in hand so the hit path's translate is
+// not repeated after a fault.
+func (s *Simulator) fault(asid core.ASID, vpn core.VPN) core.PFN {
+	pfn, ok := s.os.Translate(asid, vpn)
+	if !ok {
+		//lint:ignore nopanic Touch just returned non-Hit, so the OS faulted the page in; an absent mapping here means vm residency is corrupt
+		panic("memsim: page absent immediately after fault")
+	}
+	cpfn, ok := s.os.CPFNFor(asid, vpn)
+	if !ok {
+		//lint:ignore nopanic same residency guarantee as the Translate above
+		panic("memsim: CPFN absent immediately after fault")
+	}
+	s.vanillaPT(asid).Set(vpn, pfn)
+	for arity := range s.arities {
+		s.mosaicPT(asid, arity).SetCPFN(vpn, cpfn)
+	}
+	return pfn
+}
+
+// ProcessBatch implements trace.BatchSink: a whole batch of references
+// from the configured default address space, observing exactly the same
+// logical reference order — and therefore byte-identical counters,
+// histograms, sampler windows, and event ref-indices — as the equivalent
+// Access calls.
+func (s *Simulator) ProcessBatch(b trace.Batch) {
+	s.ProcessBatchFrom(s.cfg.ASID, b)
+}
+
+// ProcessBatchFrom is the batched AccessFrom. When neither the sampler
+// nor the invariant cadence needs a per-reference tick, the fault check,
+// translate, and unit dispatch run in a tight loop with the observer
+// branches hoisted out; otherwise each reference takes the full scalar
+// path so window boundaries land on identical reference indices.
+func (s *Simulator) ProcessBatchFrom(asid core.ASID, b trace.Batch) {
+	if s.sampler != nil || s.cfg.CheckEvery > 0 {
+		for _, r := range b {
+			s.AccessFrom(asid, r.VA(), r.Write())
+		}
+		return
+	}
+	for _, r := range b {
+		s.step(asid, r.VA(), r.Write())
 	}
 }
 
@@ -723,4 +764,7 @@ func (s *Simulator) ResultFor(label string) (Result, bool) {
 	return Result{}, false
 }
 
-var _ trace.Sink = (*Simulator)(nil)
+var (
+	_ trace.Sink      = (*Simulator)(nil)
+	_ trace.BatchSink = (*Simulator)(nil)
+)

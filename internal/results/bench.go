@@ -14,11 +14,22 @@ type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds the b.ReportMetric custom columns (Mrefs/s, MB/s,
+	// reduction-%, …) keyed by unit, so throughput comparisons like
+	// batch-vs-scalar replay survive into BENCH_*.json.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Metric returns a custom metric by unit name.
+func (b BenchResult) Metric(unit string) (float64, bool) {
+	v, ok := b.Metrics[unit]
+	return v, ok
 }
 
 // ParseGoBench extracts benchmark results from `go test -bench` output.
 // Lines that are not benchmark results (package headers, PASS, ok) are
-// skipped. It tolerates the optional -benchmem columns.
+// skipped. It tolerates the optional -benchmem columns and records any
+// custom b.ReportMetric columns under Metrics.
 func ParseGoBench(r io.Reader) ([]BenchResult, error) {
 	var out []BenchResult
 	sc := bufio.NewScanner(r)
@@ -39,7 +50,7 @@ func ParseGoBench(r io.Reader) ([]BenchResult, error) {
 			if err != nil {
 				break
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				br.NsPerOp = v
 				ok = true
@@ -47,6 +58,11 @@ func ParseGoBench(r io.Reader) ([]BenchResult, error) {
 				br.BytesPerOp = v
 			case "allocs/op":
 				br.AllocsPerOp = v
+			default:
+				if br.Metrics == nil {
+					br.Metrics = make(map[string]float64)
+				}
+				br.Metrics[unit] = v
 			}
 		}
 		if ok {

@@ -21,7 +21,7 @@ import (
 type Coalesced struct {
 	geom   Geometry
 	maxRun int
-	sets   []*set[coalescedEntry]
+	sets   []set[coalescedEntry]
 	mask   uint64
 	stats  Stats
 	// CoalescedFills counts fills whose run covered more than one page.
@@ -48,10 +48,7 @@ func NewCoalesced(geom Geometry, maxRun int) *Coalesced {
 		panic(fmt.Sprintf("tlb: coalescing run length %d not a power of two in [1,64]", maxRun))
 	}
 	t := &Coalesced{geom: geom, maxRun: maxRun, mask: uint64(geom.Sets() - 1)}
-	t.sets = make([]*set[coalescedEntry], geom.Sets())
-	for i := range t.sets {
-		t.sets[i] = newSet[coalescedEntry](geom.Ways)
-	}
+	t.sets = newSets[coalescedEntry](geom.Sets(), geom.Ways)
 	return t
 }
 
@@ -81,7 +78,7 @@ func (t *Coalesced) group(vpn core.VPN) (base core.VPN, off int) {
 }
 
 func (t *Coalesced) set(base core.VPN) *set[coalescedEntry] {
-	return t.sets[(uint64(base)/uint64(t.maxRun))&t.mask]
+	return &t.sets[(uint64(base)/uint64(t.maxRun))&t.mask]
 }
 
 // Lookup translates vpn: a hit requires an entry for vpn's aligned group

@@ -23,20 +23,43 @@ type set[P any] struct {
 }
 
 func newSet[P any](ways int) *set[P] {
-	s := &set[P]{
-		index:   make(map[uint64]int32, ways),
-		tags:    make([]uint64, ways),
-		payload: make([]P, ways),
-		prev:    make([]int32, ways),
-		next:    make([]int32, ways),
-		free:    make([]int32, 0, ways),
-		head:    -1,
-		tail:    -1,
+	sets := newSets[P](1, ways)
+	return &sets[0]
+}
+
+// newSets builds all of a TLB's sets at once, carving every per-slot array
+// out of one shared backing allocation per field. The per-set state is
+// struct-of-arrays and contiguous across sets — tags with tags, payloads
+// with payloads — so a probe touches a handful of adjacent cache lines
+// instead of chasing a heap pointer per set, and a whole TLB costs five
+// slice allocations (plus the per-set tag indexes) rather than six per
+// set. Each set's slices are full-capacity subslices (three-index), so the
+// in-place append in invalidate/clear can never write into a neighbour.
+func newSets[P any](numSets, ways int) []set[P] {
+	n := numSets * ways
+	var (
+		tags    = make([]uint64, n)
+		payload = make([]P, n)
+		prev    = make([]int32, n)
+		next    = make([]int32, n)
+		free    = make([]int32, n)
+	)
+	sets := make([]set[P], numSets)
+	for i := range sets {
+		lo, hi := i*ways, (i+1)*ways
+		s := &sets[i]
+		s.index = make(map[uint64]int32, ways)
+		s.tags = tags[lo:hi:hi]
+		s.payload = payload[lo:hi:hi]
+		s.prev = prev[lo:hi:hi]
+		s.next = next[lo:hi:hi]
+		s.free = free[lo:lo:hi]
+		for j := ways - 1; j >= 0; j-- {
+			s.free = append(s.free, int32(j))
+		}
+		s.head, s.tail = -1, -1
 	}
-	for i := ways - 1; i >= 0; i-- {
-		s.free = append(s.free, int32(i))
-	}
-	return s
+	return sets
 }
 
 // lookup returns the slot holding tag without touching recency. It is the

@@ -10,7 +10,7 @@ import (
 // the paper's baseline x86 configuration.
 type Vanilla struct {
 	geom  Geometry
-	sets  []*set[core.PFN]
+	sets  []set[core.PFN]
 	mask  uint64
 	stats Stats
 }
@@ -21,10 +21,7 @@ func NewVanilla(geom Geometry) *Vanilla {
 		panic(err)
 	}
 	t := &Vanilla{geom: geom, mask: uint64(geom.Sets() - 1)}
-	t.sets = make([]*set[core.PFN], geom.Sets())
-	for i := range t.sets {
-		t.sets[i] = newSet[core.PFN](geom.Ways)
-	}
+	t.sets = newSets[core.PFN](geom.Sets(), geom.Ways)
 	return t
 }
 
@@ -35,7 +32,7 @@ func (t *Vanilla) Geometry() Geometry { return t.geom }
 func (t *Vanilla) Stats() Stats { return t.stats }
 
 func (t *Vanilla) set(vpn core.VPN) *set[core.PFN] {
-	return t.sets[uint64(vpn)&t.mask]
+	return &t.sets[uint64(vpn)&t.mask]
 }
 
 // Lookup translates vpn, counting a hit or a miss.
@@ -105,7 +102,7 @@ type ToC []core.CPFN
 type Mosaic struct {
 	geom  Geometry
 	arity int
-	sets  []*set[ToC]
+	sets  []set[ToC]
 	mask  uint64
 	stats Stats
 }
@@ -121,10 +118,7 @@ func NewMosaic(geom Geometry, arity int) *Mosaic {
 		panic(fmt.Sprintf("tlb: arity %d is not a positive power of two", arity))
 	}
 	t := &Mosaic{geom: geom, arity: arity, mask: uint64(geom.Sets() - 1)}
-	t.sets = make([]*set[ToC], geom.Sets())
-	for i := range t.sets {
-		t.sets[i] = newSet[ToC](geom.Ways)
-	}
+	t.sets = newSets[ToC](geom.Sets(), geom.Ways)
 	return t
 }
 
@@ -138,7 +132,7 @@ func (t *Mosaic) Arity() int { return t.arity }
 func (t *Mosaic) Stats() Stats { return t.stats }
 
 func (t *Mosaic) set(m core.MVPN) *set[ToC] {
-	return t.sets[uint64(m)&t.mask]
+	return &t.sets[uint64(m)&t.mask]
 }
 
 // Lookup translates vpn. A hit requires both the mosaic entry to be present

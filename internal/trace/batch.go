@@ -1,0 +1,120 @@
+package trace
+
+// Batched replay: the scalar Sink interface costs one dynamic dispatch per
+// reference, which caps replay throughput long before the simulator's own
+// work does. A Batch packs many references into one contiguous []Ref so the
+// stream crosses interface boundaries once per few thousand references, the
+// consumer's inner loop runs over cache-resident words, and decoders can
+// reuse one buffer for the life of a replay.
+
+// Ref packs one reference into a single word: VA<<1 | writeBit. The VA must
+// be canonical (below 2^62, as the binary trace formats already require), so
+// the shifted form always fits.
+type Ref uint64
+
+// MakeRef packs a reference.
+func MakeRef(va uint64, write bool) Ref {
+	r := Ref(va << 1)
+	if write {
+		r |= 1
+	}
+	return r
+}
+
+// VA is the reference's virtual address.
+func (r Ref) VA() uint64 { return uint64(r) >> 1 }
+
+// Write reports whether the reference is a store.
+func (r Ref) Write() bool { return r&1 != 0 }
+
+// Batch is a run of packed references in stream order.
+type Batch []Ref
+
+// DefaultBatchSize is the batch granularity the replay engine uses when the
+// caller does not choose one: 4096 refs = 32 KiB of packed words, small
+// enough to stay L1/L2-resident while amortizing per-batch dispatch to
+// nothing.
+const DefaultBatchSize = 4096
+
+// BatchSink consumes whole batches. The references in a batch are in stream
+// order and must be observed exactly as if delivered one Access at a time:
+// a BatchSink implementation may amortize dispatch and per-reference
+// branching, but not reorder or drop.
+type BatchSink interface {
+	ProcessBatch(b Batch)
+}
+
+// BatchRunner is implemented by reference producers that can emit whole
+// batches natively — trace decoders and generators whose inner loop can
+// fill a []Ref directly. A BatchRunner must deliver the identical reference
+// stream its scalar Run would, batched at whatever granularity suits the
+// producer; the replay harness prefers this path because it removes the
+// last per-reference dynamic call from the pipeline.
+type BatchRunner interface {
+	RunBatches(sink BatchSink)
+}
+
+// Replay delivers the batch to a scalar sink in order.
+func (b Batch) Replay(sink Sink) {
+	for _, r := range b {
+		sink.Access(r.VA(), r.Write())
+	}
+}
+
+// sinkBatcher adapts a scalar Sink to BatchSink by unrolling batches.
+type sinkBatcher struct{ sink Sink }
+
+func (a sinkBatcher) ProcessBatch(b Batch) { b.Replay(a.sink) }
+
+// BatchSinkOf returns the sink's native batch path when it has one, and a
+// scalar-unrolling adapter otherwise, so replay loops can always be written
+// against BatchSink.
+func BatchSinkOf(s Sink) BatchSink {
+	if bs, ok := s.(BatchSink); ok {
+		return bs
+	}
+	return sinkBatcher{sink: s}
+}
+
+// Batcher is a Sink that accumulates references into a fixed-capacity batch
+// and hands full batches to Next. The per-reference cost is one packed store
+// and a boundary compare — no dynamic dispatch until a batch fills. Call
+// Flush after the stream ends to deliver the partial tail.
+type Batcher struct {
+	// Next receives each full batch and the flushed tail.
+	Next BatchSink
+	buf  Batch
+	i    int
+}
+
+// NewBatcher builds a Batcher delivering batches of the given size
+// (DefaultBatchSize when size <= 0) to next.
+func NewBatcher(next BatchSink, size int) *Batcher {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &Batcher{Next: next, buf: make(Batch, size)}
+}
+
+// Access implements Sink.
+func (b *Batcher) Access(va uint64, write bool) {
+	b.buf[b.i] = MakeRef(va, write)
+	b.i++
+	if b.i == len(b.buf) {
+		b.Next.ProcessBatch(b.buf)
+		b.i = 0
+	}
+}
+
+// Flush delivers the buffered tail, if any.
+func (b *Batcher) Flush() {
+	if b.i > 0 {
+		b.Next.ProcessBatch(b.buf[:b.i])
+		b.i = 0
+	}
+}
+
+var (
+	_ Sink      = (*Batcher)(nil)
+	_ BatchSink = sinkBatcher{}
+)

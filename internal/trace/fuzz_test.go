@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzBatchEncodeDecode drives the v2 format from both ends. The input
+// bytes are interpreted twice:
+//
+//  1. As a VA/write stream: chunks of 9 bytes become (VA, write) records,
+//     which must survive delta-encode → frame → decode byte-identically,
+//     whatever the deltas look like.
+//  2. As a raw v2 stream body: appended after the magic, arbitrary frames
+//     must decode or fail with ErrNonCanonical — truncation and header
+//     lies yield errors, never panics or miscounted records.
+func FuzzBatchEncodeDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x00})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	seed := []byte{}
+	for i := 0; i < 32; i++ {
+		seed = append(seed, byte(i*7), byte(i), 0, 0, byte(i*13), 0, 0, 0, byte(i%2))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Leg 1: arbitrary canonical VA streams round-trip exactly.
+		var in Batch
+		for i := 0; i+9 <= len(data); i += 9 {
+			va := uint64(0)
+			for j := 0; j < 8; j++ {
+				va = va<<8 | uint64(data[i+j])
+			}
+			in = append(in, MakeRef(va%(1<<62), data[i+8]&1 == 1))
+		}
+		if len(in) > 0 {
+			var buf bytes.Buffer
+			w, err := NewBatchWriter(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Uneven batch splits exercise frame-boundary delta resets.
+			split := 1 + len(in)%97
+			for off := 0; off < len(in); off += split {
+				end := off + split
+				if end > len(in) {
+					end = len(in)
+				}
+				if err := w.WriteBatch(in[off:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewBatchReader(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got Batch
+			b := make(Batch, 0, split)
+			for {
+				b, err = r.ReadBatch(b)
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					t.Fatalf("round-trip decode failed: %v", err)
+				}
+				got = append(got, b...)
+			}
+			if len(got) != len(in) {
+				t.Fatalf("round-trip decoded %d records, want %d", len(got), len(in))
+			}
+			for i := range got {
+				if got[i] != in[i] {
+					t.Fatalf("record %d = %#x, want %#x", i, got[i], in[i])
+				}
+			}
+		}
+
+		// Leg 2: arbitrary bytes after the magic never panic the reader.
+		stream := append(append([]byte{}, magicV2[:]...), data...)
+		r, err := NewBatchReader(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatalf("valid magic rejected: %v", err)
+		}
+		var n uint64
+		buf := make(Batch, 0, 64)
+		for {
+			b, err := r.ReadBatch(buf)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrNonCanonical) {
+					t.Fatalf("decode error %v, want ErrNonCanonical", err)
+				}
+				break
+			}
+			if len(b) == 0 {
+				t.Fatal("ReadBatch returned an empty batch without error")
+			}
+			n += uint64(len(b))
+			buf = b
+		}
+		if r.Count() != n {
+			t.Fatalf("Count() = %d, want %d", r.Count(), n)
+		}
+	})
+}

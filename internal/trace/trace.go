@@ -108,9 +108,13 @@ var magic = [4]byte{'M', 'T', 'R', '1'}
 // ErrBadTrace reports a malformed trace stream.
 var ErrBadTrace = errors.New("trace: malformed trace")
 
-// ErrNonCanonical reports an access whose virtual address exceeds the
-// canonical 62-bit range the record format can represent.
-var ErrNonCanonical = errors.New("trace: virtual address exceeds the canonical 62-bit range")
+// ErrNonCanonical reports a stream outside the canonical encoding: an
+// access whose virtual address exceeds the canonical 62-bit range the
+// record format can represent, or (format v2) a frame whose bytes do not
+// decode to exactly its declared shape — truncated header or payload,
+// varints that under- or over-fill the declared length, or a decoded VA
+// beyond the canonical range.
+var ErrNonCanonical = errors.New("trace: stream outside the canonical encoding")
 
 // Writer streams accesses to an io.Writer in the binary format.
 type Writer struct {

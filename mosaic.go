@@ -114,6 +114,13 @@ type (
 	Sink = trace.Sink
 	// SinkFunc adapts a function to Sink.
 	SinkFunc = trace.SinkFunc
+	// Ref is one packed reference (VA<<1 | writeBit).
+	Ref = trace.Ref
+	// Batch is a run of packed references in stream order.
+	Batch = trace.Batch
+	// BatchSink consumes whole batches; the Simulator implements it, and
+	// RunLimited routes through the batched engine for any sink that does.
+	BatchSink = trace.BatchSink
 )
 
 // NewWorkload builds one of the paper's four workloads ("graph500",

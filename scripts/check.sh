@@ -32,6 +32,12 @@ go run ./cmd/mosaiclint -json ./... >/dev/null
 go test -race -timeout 120s ./internal/sweep/... ./internal/obs/...
 go test -race -timeout 300s ./...
 go test -run='^$' -fuzz=Fuzz -fuzztime=3s ./internal/iceberg
+go test -run='^$' -fuzz=FuzzBatchEncodeDecode -fuzztime=3s ./internal/trace
+# Scalar ≡ batch equivalence gate: the batched replay engine must produce a
+# byte-identical results file (counters, series, event ref-indices) to the
+# scalar Access path, for a fig6-style replay and a multiprogram
+# quantum-sliced replay.
+go test -run 'TestBatchReplayMatchesScalar' -count=1 .
 
 # Smoke-test the machine-readable results path: a tiny fig6 run must
 # produce JSON that parses and carries the current schema version
