@@ -77,11 +77,22 @@ type batchLimitSink struct {
 }
 
 func (s *batchLimitSink) Access(va uint64, write bool) {
+	if s.buf == nil {
+		s.lazyBuf()
+	}
 	s.buf[s.i] = trace.MakeRef(va, write)
 	s.i++
 	if s.i == len(s.buf) {
 		s.flush()
 	}
+}
+
+// lazyBuf allocates the Access-leg buffer on first use. RunBatch
+// preallocates it for scalar workloads; a BatchRunner that also calls
+// Access (a mixed-mode producer) lands here instead of hitting an index
+// panic on the nil buffer.
+func (s *batchLimitSink) lazyBuf() {
+	s.buf = make(trace.Batch, trace.DefaultBatchSize)
 }
 
 // flush delivers the buffered batch, trimming it to the limit and aborting
@@ -97,11 +108,32 @@ func (s *batchLimitSink) flush() {
 	s.i = 0
 }
 
+// tail delivers whatever references are still buffered when the producer
+// ends between flush boundaries. The workload can finish with more
+// buffered references than the cap allows (a finite stream shorter than
+// the next flush boundary past the limit), so the tail is trimmed to the
+// limit before delivery.
+func (s *batchLimitSink) tail() {
+	if s.i == 0 {
+		return
+	}
+	k := uint64(s.i)
+	if s.n+k > s.max {
+		k = s.max - s.n
+	}
+	s.next.ProcessBatch(s.buf[:k])
+	s.n += k
+	s.i = 0
+}
+
 // ProcessBatch is the batch-producer leg: whole batches from a
-// trace.BatchRunner pass straight through, trimmed at the limit. A
-// producer uses either Access or ProcessBatch for a whole run, never both,
-// so the two legs share the counters but not the buffer.
+// trace.BatchRunner pass straight through, trimmed at the limit. The two
+// legs share the counters; a mixed-mode producer that interleaves Access
+// calls gets its own lazily-allocated buffer on the Access leg.
 func (s *batchLimitSink) ProcessBatch(b trace.Batch) {
+	if s.i > 0 {
+		s.flush() // drain buffered Access refs so the stream stays ordered
+	}
 	if s.n+uint64(len(b)) >= s.max {
 		s.next.ProcessBatch(b[:s.max-s.n])
 		s.n = s.max
@@ -133,14 +165,11 @@ func RunBatch(w Workload, sink trace.BatchSink, maxRefs uint64) (n uint64) {
 	}()
 	if br, ok := w.(trace.BatchRunner); ok {
 		br.RunBatches(&ls)
-		return ls.n
+	} else {
+		ls.buf = make(trace.Batch, trace.DefaultBatchSize)
+		w.Run(&ls)
 	}
-	ls.buf = make(trace.Batch, trace.DefaultBatchSize)
-	w.Run(&ls)
-	if ls.i > 0 { // workload ended before the limit: deliver the tail
-		ls.next.ProcessBatch(ls.buf[:ls.i])
-		ls.n += uint64(ls.i)
-	}
+	ls.tail()
 	return ls.n
 }
 

@@ -231,7 +231,9 @@ func (r *BatchReader) ReplayAll(sink Sink) (uint64, error) {
 // guarantee a whole record, the partial batch is returned rather than
 // waiting for more bytes, so a live stream (a session fed through a pipe)
 // observes every record with bounded delay instead of stalling until a
-// full batch accumulates.
+// full batch accumulates. A mid-batch decode error returns the records
+// decoded before it alongside the error; callers that want scalar-ReplayAll
+// semantics must consume that partial batch before handling the error.
 func (r *Reader) ReadBatch(buf Batch) (Batch, error) {
 	max := cap(buf)
 	if max == 0 {
@@ -255,20 +257,25 @@ func (r *Reader) ReadBatch(buf Batch) (Batch, error) {
 }
 
 // ReplayBatches streams the v1 trace into sink in DefaultBatchSize batches,
-// returning the record count.
+// returning the record count. A malformed stream delivers every record
+// decoded before the error — ReadBatch can return records alongside a
+// non-EOF error — so the delivered stream and count match what the scalar
+// ReplayAll produces on the same bytes.
 func (r *Reader) ReplayBatches(sink BatchSink) (uint64, error) {
 	var n uint64
 	buf := make(Batch, 0, DefaultBatchSize)
 	for {
 		b, err := r.ReadBatch(buf)
+		if len(b) > 0 {
+			sink.ProcessBatch(b)
+			n += uint64(len(b))
+		}
 		if errors.Is(err, io.EOF) {
 			return n, nil
 		}
 		if err != nil {
 			return n, err
 		}
-		sink.ProcessBatch(b)
-		n += uint64(len(b))
 		buf = b
 	}
 }

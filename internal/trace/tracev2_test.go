@@ -310,3 +310,57 @@ func TestV1ReaderReadBatch(t *testing.T) {
 		t.Fatalf("decoded %d records, want %d", n, len(accesses))
 	}
 }
+
+// TestV1ReplayBatchesDeliversPartialOnError pins batched-vs-scalar parity
+// on a malformed v1 stream: the scalar ReplayAll delivers every record up
+// to the decode error, so ReplayBatches must deliver the same records and
+// report the same count rather than discarding the partial batch the
+// error arrived with.
+func TestV1ReplayBatchesDeliversPartialOnError(t *testing.T) {
+	accesses := mkAccesses(1_000, 5)
+	var v1 bytes.Buffer
+	w, _ := NewWriter(&v1)
+	for _, a := range accesses {
+		w.Access(a.VA, a.Write)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// An unterminated varint after the valid records makes decoding fail
+	// mid-stream.
+	data := append(v1.Bytes(), 0x80)
+
+	rScalar, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recScalar Recorder
+	nScalar, errScalar := rScalar.ReplayAll(&recScalar)
+	if errScalar == nil {
+		t.Fatal("corrupt stream replayed cleanly through ReplayAll")
+	}
+	if nScalar != uint64(len(accesses)) {
+		t.Fatalf("ReplayAll delivered %d records before the error, want %d", nScalar, len(accesses))
+	}
+
+	rBatch, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recBatch Recorder
+	nBatch, errBatch := rBatch.ReplayBatches(BatchSinkOf(&recBatch))
+	if errBatch == nil {
+		t.Fatal("corrupt stream replayed cleanly through ReplayBatches")
+	}
+	if nBatch != nScalar {
+		t.Fatalf("ReplayBatches delivered %d records, scalar path delivered %d", nBatch, nScalar)
+	}
+	if len(recBatch.Accesses) != len(recScalar.Accesses) {
+		t.Fatalf("batched sink saw %d records, scalar sink saw %d", len(recBatch.Accesses), len(recScalar.Accesses))
+	}
+	for i := range recBatch.Accesses {
+		if recBatch.Accesses[i] != recScalar.Accesses[i] {
+			t.Fatalf("record %d diverged between the batched and scalar error paths", i)
+		}
+	}
+}
