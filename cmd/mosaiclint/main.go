@@ -58,6 +58,8 @@ func run() int {
 	updateBCE := flag.Bool("update-bce", false, "regenerate the bcegate bounds-check baseline from the current tree and exit")
 	updateInline := flag.Bool("update-inline", false, "regenerate the inlinegate baseline from the current tree and exit")
 	diffRef := flag.String("diff", "", "lint only packages with files changed since this git ref")
+	callgraph := flag.String("callgraph", "", "export the whole-program call graph as 'json' or 'dot' on stdout and exit")
+	workers := flag.Int("workers", 0, "summary-computation workers (0 = GOMAXPROCS); the output is identical at any count")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 	if *cpuprofile != "" {
@@ -147,9 +149,32 @@ func run() int {
 		}
 	}
 
+	if *callgraph != "" {
+		if *callgraph != "json" && *callgraph != "dot" {
+			return fail(fmt.Errorf("mosaiclint: -callgraph wants 'json' or 'dot', got %q", *callgraph))
+		}
+		passes, err := lint.Load(patterns)
+		if err != nil {
+			return fail(err)
+		}
+		pr := lint.AttachProgram(passes, *workers)
+		if pr == nil {
+			return fail(fmt.Errorf("mosaiclint: no packages matched %v", patterns))
+		}
+		if *callgraph == "dot" {
+			err = pr.WriteDOT(os.Stdout)
+		} else {
+			err = pr.WriteJSON(os.Stdout)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
 	var diags []lint.Diagnostic
 	if len(patterns) > 0 {
-		if diags, err = lintOnce(patterns); err != nil {
+		if diags, err = lintOnce(patterns, *workers); err != nil {
 			return fail(err)
 		}
 	}
@@ -161,7 +186,7 @@ func run() int {
 		if applied > 0 {
 			fmt.Fprintf(os.Stderr, "mosaiclint: applied %d fix(es) across %d file(s)\n", applied, len(changed))
 			// Re-lint so the report reflects the rewritten tree.
-			if diags, err = lintOnce(patterns); err != nil {
+			if diags, err = lintOnce(patterns, *workers); err != nil {
 				return fail(err)
 			}
 		}
@@ -232,11 +257,13 @@ func run() int {
 	return 0
 }
 
-// lintOnce loads the patterns and runs the per-package analyzer suite.
-func lintOnce(patterns []string) ([]lint.Diagnostic, error) {
+// lintOnce loads the patterns, builds the whole-program call graph with the
+// requested worker bound, and runs the analyzer suite.
+func lintOnce(patterns []string, workers int) ([]lint.Diagnostic, error) {
 	passes, err := lint.Load(patterns)
 	if err != nil {
 		return nil, err
 	}
+	lint.AttachProgram(passes, workers)
 	return lint.RunAll(passes, lint.All()), nil
 }

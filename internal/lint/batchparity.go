@@ -1,0 +1,282 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// BatchParity guards the scalar≡batch equivalence the batched replay
+// engine (PR 8) rests on. Two shapes break it:
+//
+//  1. A type implementing both trace.Sink and trace.BatchSink whose
+//     ProcessBatch does not visibly do per-reference what Access does —
+//     the batch path must forward the batch, share a per-ref core with
+//     Access (some function reachable from Access is called once per
+//     element), or update the same receiver fields per element (or in one
+//     len(batch)-shaped bulk step). Anything else is a side-effect/count
+//     shape that diverges from the scalar path.
+//  2. A per-ref loop feeding a trace.Batch through Sink.Access when a
+//     batch-level delivery exists — the batched path silently degrades to
+//     the scalar one and the equivalence gate stops exercising it.
+//
+// internal/trace itself is exempt from shape 2: Batch.Replay and the
+// BatchSinkOf adapter are the sanctioned scalar bridges.
+var BatchParity = &Analyzer{
+	Name: "batchparity",
+	ID:   "ML015",
+	Doc:  "trace.Sink+BatchSink dual implementors must keep ProcessBatch and per-ref Access in the same side-effect shape; don't replay a Batch per-ref through Sink.Access",
+	Run:  runBatchParity,
+}
+
+const (
+	sigAccess       = "Access(uint64, bool)"
+	sigProcessBatch = "ProcessBatch(mosaic/internal/trace.Batch)"
+)
+
+func runBatchParity(p *Pass) []Diagnostic {
+	pr := p.flow()
+	var out []Diagnostic
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		var access, pb *types.Func
+		ms := types.NewMethodSet(types.NewPointer(named))
+		for i := 0; i < ms.Len(); i++ {
+			m, isFn := ms.At(i).Obj().(*types.Func)
+			if !isFn {
+				continue
+			}
+			switch methodSig(m) {
+			case sigAccess:
+				access = m
+			case sigProcessBatch:
+				pb = m
+			}
+		}
+		if access == nil || pb == nil {
+			continue
+		}
+		accNode, pbNode := pr.node(access), pr.node(pb)
+		if accNode == nil || pbNode == nil || pbNode.pass != p {
+			continue // embedded from elsewhere: that package's finding
+		}
+		out = append(out, checkDual(p, pr, name, accNode, pbNode)...)
+	}
+	if p.ImportPath != "mosaic/internal/trace" {
+		out = append(out, perRefReplays(p)...)
+	}
+	return out
+}
+
+// checkDual compares one dual implementor's ProcessBatch shape against its
+// per-ref Access.
+func checkDual(p *Pass, pr *Program, typeName string, accNode, pbNode *progFunc) []Diagnostic {
+	use, ok := pbNode.sum.batchParams[1]
+	if !ok || !use.used {
+		return []Diagnostic{p.diag("batchparity", pbNode.decl.Pos(),
+			"%s implements both trace.Sink and trace.BatchSink, but ProcessBatch ignores its batch while per-ref Access processes references: the batched and scalar replay paths diverge",
+			typeName)}
+	}
+	if use.forwarded {
+		return nil
+	}
+	reach := pr.reachable(accNode)
+	for _, id := range use.perRef {
+		if reach[id] {
+			return nil // shared per-ref core: both paths run the same code
+		}
+	}
+	// No shared core and no forwarding: compare the receiver-field update
+	// shape of the two paths.
+	accFields := recvFieldWrites(p, accNode, nil)
+	batchObj := firstParamObj(p, pbNode.decl)
+	perRef, bulk, once := pbWriteShape(p, pbNode, batchObj)
+	var diverged []string
+	for _, f := range accFields {
+		switch {
+		case perRef[f] || bulk[f]:
+		case once[f]:
+			diverged = append(diverged, f+" (updated once per batch, not per reference)")
+		default:
+			diverged = append(diverged, f+" (never updated)")
+		}
+	}
+	if len(diverged) == 0 {
+		return nil
+	}
+	return []Diagnostic{p.diag("batchparity", pbNode.decl.Pos(),
+		"%s.ProcessBatch diverges from per-ref Access: %s; forward the batch, share Access's per-ref core, or mirror its updates per element",
+		typeName, strings.Join(diverged, ", "))}
+}
+
+// firstParamObj returns the object of fd's first named parameter, or nil.
+func firstParamObj(p *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil || len(fd.Type.Params.List) == 0 {
+		return nil
+	}
+	names := fd.Type.Params.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	return p.Info.Defs[names[0]]
+}
+
+// recvFieldWrites returns the sorted receiver fields a method updates
+// anywhere in its body. When filter is non-nil, only writes for which
+// filter returns true are counted.
+func recvFieldWrites(p *Pass, node *progFunc, filter func(stack []ast.Node) bool) []string {
+	recv := recvObj(p, node.decl)
+	if recv == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	eachRecvWrite(p, node.decl.Body, recv, func(field string, stack []ast.Node) {
+		if filter == nil || filter(stack) {
+			set[field] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recvObj returns the method's receiver object, or nil.
+func recvObj(p *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return p.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// eachRecvWrite calls fn for every receiver-field update site (assignment,
+// compound assignment, or ++/--) with the enclosing node stack.
+func eachRecvWrite(p *Pass, body *ast.BlockStmt, recv types.Object, fn func(field string, stack []ast.Node)) {
+	fieldOf := func(e ast.Expr) string {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		if id, _ := selChain(sel.X); id == nil || p.Info.Uses[id] != recv {
+			return ""
+		}
+		return sel.Sel.Name
+	}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if f := fieldOf(lhs); f != "" {
+					fn(f, stack)
+				}
+			}
+		case *ast.IncDecStmt:
+			if f := fieldOf(x.X); f != "" {
+				fn(f, stack)
+			}
+		}
+		return true
+	})
+}
+
+// pbWriteShape classifies ProcessBatch's receiver-field updates: perRef
+// (inside a loop), bulk (a single step shaped by len(batch)), or once
+// (anything else).
+func pbWriteShape(p *Pass, node *progFunc, batchObj types.Object) (perRef, bulk, once map[string]bool) {
+	perRef, bulk, once = map[string]bool{}, map[string]bool{}, map[string]bool{}
+	recv := recvObj(p, node.decl)
+	if recv == nil {
+		return
+	}
+	usesLen := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "len" || len(call.Args) != 1 {
+				return true
+			}
+			if batchObj == nil || rootObj(p, ast.Unparen(call.Args[0])) == batchObj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	eachRecvWrite(p, node.decl.Body, recv, func(field string, stack []ast.Node) {
+		inLoop := false
+		for _, n := range stack {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop = true
+			}
+		}
+		site := stack[len(stack)-1]
+		switch {
+		case inLoop:
+			perRef[field] = true
+		case usesLen(site):
+			bulk[field] = true
+		default:
+			once[field] = true
+		}
+	})
+	return
+}
+
+// perRefReplays flags range loops that push a trace.Batch element by
+// element through the Sink.Access interface.
+func perRefReplays(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			r, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[r.X]
+			if !ok || !namedFrom(tv.Type, "mosaic/internal/trace", "Batch") {
+				return true
+			}
+			ast.Inspect(r.Body, func(m ast.Node) bool {
+				call, isCall := m.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				fn, isFn := callee(p.Info, call).(*types.Func)
+				if !isFn || fn.Name() != "Access" {
+					return true
+				}
+				sig, isSig := fn.Type().(*types.Signature)
+				if !isSig || sig.Recv() == nil || !namedFrom(sig.Recv().Type(), "mosaic/internal/trace", "Sink") {
+					return true
+				}
+				out = append(out, p.diag("batchparity", call.Pos(),
+					"per-ref Sink.Access loop over a trace.Batch: deliver the whole batch (BatchSink.ProcessBatch, Batch.Replay, or trace.BatchSinkOf) so the batched path stays exercised"))
+				return false
+			})
+			return true
+		})
+	}
+	return out
+}

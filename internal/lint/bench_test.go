@@ -23,6 +23,23 @@ func BenchmarkMosaiclintTree(b *testing.B) {
 	}
 }
 
+// BenchmarkCallGraphBuild isolates the whole-program phase of a tree run:
+// call-graph construction, Tarjan condensation, levelization, and the
+// bottom-up fixpoint summaries — everything BuildProgram does after the
+// packages are loaded. Load is hoisted out of the loop so the number is
+// the marginal cost the fixpoint engine adds on top of the per-package
+// analyzers; scripts/bench.sh records it into BENCH_lint.json.
+func BenchmarkCallGraphBuild(b *testing.B) {
+	passes, err := Load([]string{"mosaic/..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		BuildProgram(passes, 0)
+	}
+}
+
 // BenchmarkCompilerGates measures the three compiler-introspection gates end
 // to end — hotalloc, bcegate, inlinegate — including the `go build` each
 // shells out to. On an unchanged tree the build cache replays the compiler's

@@ -1,0 +1,544 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file builds the whole-module call graph the fixpoint summary engine
+// (fixpoint.go) and the deep analyzers run on. Nodes are the functions
+// declared in the loaded packages; edges are direct calls plus
+// interface-dispatch edges resolved through method sets. Because each
+// package is type-checked with its own importer, the same imported function
+// is a *different* types.Func object in every importing package — so the
+// graph is keyed by a stable rendered function ID, and all cross-package
+// structural questions (does T implement this interface?) are answered by
+// comparing method signatures rendered with full package-path qualifiers,
+// which are identical across type-checker universes.
+
+// An edgeKind distinguishes how a call edge was resolved.
+type edgeKind uint8
+
+const (
+	// edgeStatic is a direct call to a declared function or method.
+	edgeStatic edgeKind = iota
+	// edgeDispatch is a call through an interface method, fanned out to
+	// every module-declared method whose receiver satisfies the interface.
+	edgeDispatch
+)
+
+func (k edgeKind) String() string {
+	if k == edgeDispatch {
+		return "dispatch"
+	}
+	return "static"
+}
+
+// A progEdge is one resolved call edge.
+type progEdge struct {
+	to   *progFunc
+	kind edgeKind
+}
+
+// A progFunc is one declared function in the program: its identity, its
+// declaring pass (type-checker universe), its outgoing edges, and — once the
+// engine has run — its fixpoint summary.
+type progFunc struct {
+	id   string
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pass *Pass
+	out  []progEdge // sorted by (to.id, kind), deduplicated
+	scc  int        // index into Program.sccs (bottom-up order)
+	rank int        // condensation DAG depth: 0 = leaf (no module callees)
+	sum  *funcSummary
+}
+
+// A Program is the whole-module index: every declared function, the call
+// graph over them, its Tarjan SCC condensation in bottom-up order, and the
+// per-function summaries computed by the fixpoint engine.
+type Program struct {
+	passes []*Pass
+	byID   map[string]*progFunc
+	funcs  []*progFunc   // sorted by id
+	sccs   [][]*progFunc // bottom-up: every SCC follows all SCCs it calls into
+	ranks  [][]int       // sccs indices grouped by rank, ranks ascending
+	// workers bounds the per-rank summary parallelism (0 = sweep default).
+	workers int
+	// fieldTaint maps a struct-field ID ("pkg.Type.field") to the taint mask
+	// observed flowing into that field anywhere in the module. It is the one
+	// global lattice: written between fixpoint rounds, read during them.
+	fieldTaint map[string]taintMask
+}
+
+// funcID renders a function's stable identity: "pkg.Func" for package
+// functions, "pkg.(T).M" / "pkg.(*T).M" for methods. The rendering depends
+// only on names and package paths, never on type-checker object identity,
+// so the same function imported into two passes resolves to one node.
+func funcID(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if pt, isPtr := t.(*types.Pointer); isPtr {
+			t = pt.Elem()
+			ptr = "*"
+		}
+		if n, isNamed := types.Unalias(t).(*types.Named); isNamed && n.Obj().Pkg() != nil {
+			return n.Obj().Pkg().Path() + ".(" + ptr + n.Obj().Name() + ")." + fn.Name()
+		}
+		// Interface receivers (abstract methods) and other exotica never
+		// become nodes; give them a recognizable non-colliding rendering.
+		return "<abstract>." + fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// pathQualifier renders named types with their full package path, the one
+// rendering that is identical across type-checker universes.
+func pathQualifier(p *types.Package) string { return p.Path() }
+
+// methodSig renders a method's dispatch signature — name plus parameter and
+// result types, receiver and parameter names excluded — with full-path
+// qualifiers, so structurally identical methods render identically across
+// type-checker universes and across differently-named declarations.
+func methodSig(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return fn.Name()
+	}
+	return fn.Name() + sigString(sig)
+}
+
+func sigString(sig *types.Signature) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		t := params.At(i).Type()
+		if sig.Variadic() && i == params.Len()-1 {
+			if sl, isSlice := t.(*types.Slice); isSlice {
+				b.WriteString("...")
+				b.WriteString(types.TypeString(sl.Elem(), pathQualifier))
+				continue
+			}
+		}
+		b.WriteString(types.TypeString(t, pathQualifier))
+	}
+	b.WriteByte(')')
+	res := sig.Results()
+	switch {
+	case res.Len() == 1:
+		b.WriteByte(' ')
+		b.WriteString(types.TypeString(res.At(0).Type(), pathQualifier))
+	case res.Len() > 1:
+		b.WriteString(" (")
+		for i := 0; i < res.Len(); i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(types.TypeString(res.At(i).Type(), pathQualifier))
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// A concreteType is one named type with at least one module-declared method:
+// its full pointer-method-set signatures (for interface satisfaction) and
+// the graph node behind each declared method.
+type concreteType struct {
+	id      string
+	allSigs map[string]bool      // every method in the pointer method set
+	nodes   map[string]*progFunc // sig → declared node (module methods only)
+}
+
+// dispatchIndex resolves interface method calls to concrete targets.
+type dispatchIndex struct {
+	types []*concreteType
+	cache map[string][]*progFunc
+}
+
+// targets returns, in deterministic order, every module-declared method a
+// call through the interface method ifn could dispatch to: methods on types
+// whose pointer method set structurally satisfies the interface.
+func (di *dispatchIndex) targets(iface *types.Interface, ifn *types.Func) []*progFunc {
+	want := make([]string, 0, iface.NumMethods())
+	for i := 0; i < iface.NumMethods(); i++ {
+		want = append(want, methodSig(iface.Method(i)))
+	}
+	sort.Strings(want)
+	callSig := methodSig(ifn)
+	key := callSig + "|" + strings.Join(want, ";")
+	if hit, ok := di.cache[key]; ok {
+		return hit
+	}
+	var out []*progFunc
+	for _, ct := range di.types {
+		ok := true
+		for _, sig := range want {
+			if !ct.allSigs[sig] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if node := ct.nodes[callSig]; node != nil {
+			out = append(out, node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	di.cache[key] = out
+	return out
+}
+
+// BuildProgram indexes the passes into a whole-module call graph, condenses
+// it with Tarjan's algorithm, and computes every function summary bottom-up
+// with fixpoint iteration inside cycles. workers bounds the per-rank
+// parallelism (0 = the sweep engine's default); the result is byte-identical
+// at any worker count.
+func BuildProgram(passes []*Pass, workers int) *Program {
+	pr := &Program{
+		passes:     passes,
+		byID:       map[string]*progFunc{},
+		workers:    workers,
+		fieldTaint: map[string]taintMask{},
+	}
+	for _, p := range passes {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				pf := &progFunc{id: funcID(fn), fn: fn, decl: fd, pass: p}
+				if pr.byID[pf.id] == nil {
+					pr.byID[pf.id] = pf
+					pr.funcs = append(pr.funcs, pf)
+				}
+			}
+		}
+	}
+	sort.Slice(pr.funcs, func(i, j int) bool { return pr.funcs[i].id < pr.funcs[j].id })
+	di := pr.buildDispatchIndex()
+	for _, pf := range pr.funcs {
+		pr.addEdges(pf, di)
+	}
+	pr.condense()
+	pr.levelize()
+	pr.computeSummaries()
+	for _, p := range passes {
+		p.prog = pr
+	}
+	return pr
+}
+
+// buildDispatchIndex collects every named type that declares a graph node
+// method, with its pointer method set rendered for structural matching.
+func (pr *Program) buildDispatchIndex() *dispatchIndex {
+	di := &dispatchIndex{cache: map[string][]*progFunc{}}
+	seen := map[string]bool{}
+	for _, p := range pr.passes {
+		scope := p.Pkg.Scope()
+		names := scope.Names()
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			id := p.Pkg.Path() + "." + name
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			ct := &concreteType{id: id, allSigs: map[string]bool{}, nodes: map[string]*progFunc{}}
+			ms := types.NewMethodSet(types.NewPointer(named))
+			for i := 0; i < ms.Len(); i++ {
+				m, ok := ms.At(i).Obj().(*types.Func)
+				if !ok {
+					continue
+				}
+				sig := methodSig(m)
+				ct.allSigs[sig] = true
+				if node := pr.byID[funcID(m)]; node != nil {
+					ct.nodes[sig] = node
+				}
+			}
+			if len(ct.nodes) > 0 {
+				di.types = append(di.types, ct)
+			}
+		}
+	}
+	sort.Slice(di.types, func(i, j int) bool { return di.types[i].id < di.types[j].id })
+	return di
+}
+
+// addEdges resolves every call expression in pf's body (function literals
+// included — their calls run on behalf of the enclosing function) to static
+// or dispatch edges.
+func (pr *Program) addEdges(pf *progFunc, di *dispatchIndex) {
+	seen := map[progEdge]bool{}
+	add := func(e progEdge) {
+		if e.to != nil && !seen[e] {
+			seen[e] = true
+			pf.out = append(pf.out, e)
+		}
+	}
+	ast.Inspect(pf.decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := callee(pf.pass.Info, call).(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			if iface, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+				for _, target := range di.targets(iface, fn) {
+					add(progEdge{target, edgeDispatch})
+				}
+				return true
+			}
+		}
+		add(progEdge{pr.byID[funcID(fn)], edgeStatic})
+		return true
+	})
+	sort.Slice(pf.out, func(i, j int) bool {
+		a, b := pf.out[i], pf.out[j]
+		if a.to.id != b.to.id {
+			return a.to.id < b.to.id
+		}
+		return a.kind < b.kind
+	})
+}
+
+// condense runs Tarjan's SCC algorithm over the sorted node order. Tarjan
+// emits each component only after every component it can reach — so
+// Program.sccs is already in bottom-up (callees-first) order, exactly the
+// order the summary engine wants.
+func (pr *Program) condense() {
+	index := make(map[*progFunc]int, len(pr.funcs))
+	low := make(map[*progFunc]int, len(pr.funcs))
+	onStack := make(map[*progFunc]bool, len(pr.funcs))
+	var stack []*progFunc
+	next := 0
+	var connect func(v *progFunc)
+	connect = func(v *progFunc) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range v.out {
+			w := e.to
+			if _, visited := index[w]; !visited {
+				connect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []*progFunc
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Slice(comp, func(i, j int) bool { return comp[i].id < comp[j].id })
+			for _, w := range comp {
+				w.scc = len(pr.sccs)
+			}
+			pr.sccs = append(pr.sccs, comp)
+		}
+	}
+	for _, v := range pr.funcs {
+		if _, visited := index[v]; !visited {
+			connect(v)
+		}
+	}
+}
+
+// levelize groups the condensation into ranks: an SCC's rank is one more
+// than the deepest SCC it calls into. All SCCs in one rank depend only on
+// lower ranks, so each rank's summaries can be computed in parallel.
+func (pr *Program) levelize() {
+	rankOf := make([]int, len(pr.sccs))
+	maxRank := 0
+	for i, comp := range pr.sccs {
+		r := 0
+		for _, v := range comp {
+			for _, e := range v.out {
+				if e.to.scc != i && rankOf[e.to.scc]+1 > r {
+					r = rankOf[e.to.scc] + 1
+				}
+			}
+		}
+		rankOf[i] = r
+		for _, v := range comp {
+			v.rank = r
+		}
+		if r > maxRank {
+			maxRank = r
+		}
+	}
+	pr.ranks = make([][]int, maxRank+1)
+	for i := range pr.sccs {
+		pr.ranks[rankOf[i]] = append(pr.ranks[rankOf[i]], i)
+	}
+}
+
+// cyclic reports whether an SCC needs fixpoint iteration: more than one
+// member, or a single member that calls itself.
+func cyclic(comp []*progFunc) bool {
+	if len(comp) > 1 {
+		return true
+	}
+	for _, e := range comp[0].out {
+		if e.to == comp[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// node resolves a types.Func (from any pass's universe) to its graph node,
+// or nil for functions outside the loaded module.
+func (pr *Program) node(fn *types.Func) *progFunc {
+	if fn == nil {
+		return nil
+	}
+	return pr.byID[funcID(fn)]
+}
+
+// summaryOf returns a function's fixpoint summary, or nil for functions
+// outside the module.
+func (pr *Program) summaryOf(fn *types.Func) *funcSummary {
+	if pf := pr.node(fn); pf != nil {
+		return pf.sum
+	}
+	return nil
+}
+
+// reachable returns the set of node IDs reachable from pf over static and
+// dispatch edges, including pf itself.
+func (pr *Program) reachable(pf *progFunc) map[string]bool {
+	seen := map[string]bool{pf.id: true}
+	work := []*progFunc{pf}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, e := range v.out {
+			if !seen[e.to.id] {
+				seen[e.to.id] = true
+				work = append(work, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+// AttachProgram ensures the passes share one built Program, building it
+// with the given worker bound when absent. RunAll calls it with the default
+// bound; cmd/mosaiclint calls it explicitly to honour -workers.
+func AttachProgram(passes []*Pass, workers int) *Program {
+	for _, p := range passes {
+		if p.prog != nil {
+			return p.prog
+		}
+	}
+	if len(passes) == 0 {
+		return nil
+	}
+	return BuildProgram(passes, workers)
+}
+
+// cgFunc is one function entry in the -callgraph export. The export is
+// position-free on purpose: parse order (and therefore token offsets) can
+// differ across worker counts, but IDs, edges, SCCs, and ranks cannot.
+type cgFunc struct {
+	ID    string   `json:"id"`
+	SCC   int      `json:"scc"`
+	Rank  int      `json:"rank"`
+	Calls []cgEdge `json:"calls,omitempty"`
+}
+
+type cgEdge struct {
+	To   string `json:"to"`
+	Kind string `json:"kind"`
+}
+
+// cgFile is the -callgraph json document.
+type cgFile struct {
+	SchemaVersion int      `json:"schema_version"`
+	Funcs         []cgFunc `json:"funcs"`
+	SCCs          int      `json:"sccs"`
+	Ranks         int      `json:"ranks"`
+}
+
+// WriteJSON emits the call graph as deterministic JSON: functions sorted by
+// ID, edges in their canonical order, SCC indices in bottom-up order.
+func (pr *Program) WriteJSON(w io.Writer) error {
+	file := cgFile{SchemaVersion: 1, SCCs: len(pr.sccs), Ranks: len(pr.ranks)}
+	for _, pf := range pr.funcs {
+		f := cgFunc{ID: pf.id, SCC: pf.scc, Rank: pf.rank}
+		for _, e := range pf.out {
+			f.Calls = append(f.Calls, cgEdge{To: e.to.id, Kind: e.kind.String()})
+		}
+		file.Funcs = append(file.Funcs, f)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(file)
+}
+
+// WriteDOT emits the call graph in Graphviz dot form, nodes labelled with
+// their SCC and rank, dispatch edges dashed.
+func (pr *Program) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph callgraph {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for _, pf := range pr.funcs {
+		fmt.Fprintf(&b, "  %q [label=\"%s\\nscc=%d rank=%d\"];\n", pf.id, pf.id, pf.scc, pf.rank)
+	}
+	for _, pf := range pr.funcs {
+		for _, e := range pf.out {
+			style := ""
+			if e.kind == edgeDispatch {
+				style = " [style=dashed]"
+			}
+			fmt.Fprintf(&b, "  %q -> %q%s;\n", pf.id, e.to.id, style)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

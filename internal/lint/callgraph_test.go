@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// exportPasses is the fixture set the export tests build their program
+// from: a dispatch cycle (dashed edges in dot, one multi-function SCC in
+// json) plus the recursion fixtures, loaded under distinct import paths so
+// function IDs stay distinct in the shared program.
+func exportPasses(t *testing.T) []*Pass {
+	t.Helper()
+	return []*Pass{
+		loadFixture(t, "ifacecycle", "mosaic/internal/ifacecycle"),
+		loadFixture(t, "recurse", "mosaic/internal/recurse"),
+		loadFixture(t, "mutrec", "mosaic/internal/mutrec"),
+	}
+}
+
+// TestCallGraphGolden pins both -callgraph encodings byte for byte. The
+// golden files double as documentation of the export schema: reviewers see
+// exactly what schema_version 1 promises, and any drift is a diff they
+// must approve.
+func TestCallGraphGolden(t *testing.T) {
+	pr := BuildProgram(exportPasses(t), 0)
+	var j, d bytes.Buffer
+	if err := pr.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.WriteDOT(&d); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "callgraph.json", j.Bytes())
+	checkGolden(t, "callgraph.dot", d.Bytes())
+}
+
+// TestCallGraphExportDeterministic proves the -callgraph contract end to
+// end: the rendered export is byte-identical run over run and at every
+// worker count. The summaries are computed rank-parallel, so this is the
+// test that would catch a scheduling-order leak into SCC numbering, edge
+// order, or rank assignment.
+func TestCallGraphExportDeterministic(t *testing.T) {
+	render := func(workers int) []byte {
+		t.Helper()
+		pr := BuildProgram(exportPasses(t), workers)
+		var buf bytes.Buffer
+		if err := pr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := render(1)
+	for _, workers := range []int{1, 2, 8} {
+		if got := render(workers); !bytes.Equal(got, base) {
+			t.Errorf("callgraph json at workers=%d differs from workers=1:\n--- workers=%d ---\n%s",
+				workers, workers, got)
+		}
+	}
+}

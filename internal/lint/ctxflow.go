@@ -136,6 +136,19 @@ func runCtxFlow(p *Pass) []Diagnostic {
 						out = append(out, p.diag("ctxflow", arg.Pos(),
 							"%s passed while %s is in scope: the caller's cancellation and deadline stop here; propagate %s",
 							name, ctx, ctx))
+						continue
+					}
+					// A module factory whose fixpoint summary says it can
+					// return a Background/TODO-rooted context is the same
+					// break in the chain, one or more calls removed.
+					if call, isCall := ast.Unparen(arg).(*ast.CallExpr); isCall {
+						if fn, isFn := callee(p.Info, call).(*types.Func); isFn {
+							if sum := p.flow().summaryOf(fn); sum != nil && sum.returnsFreshCtx {
+								out = append(out, p.diag("ctxflow", arg.Pos(),
+									"%s returns a context rooted in context.Background(), passed while %s is in scope: the caller's cancellation and deadline stop here; propagate %s",
+									fn.Name(), ctx, ctx))
+							}
+						}
 					}
 				}
 			case *ast.GoStmt:

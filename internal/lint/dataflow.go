@@ -6,14 +6,11 @@ import (
 	"go/types"
 )
 
-// This file is the interprocedural layer shared by lockflow, ctxflow, and
-// narrowconv: a same-package call graph plus one per-function summary of the
-// effects a caller needs to know about. Precision is deliberately one level
-// deep — summaries are computed from a function's own statements only, never
-// from the summaries of its callees, so a caller sees through exactly one
-// helper call. That contract keeps the engine linear in package size, makes
-// fixpoint divergence impossible, and is documented in DESIGN.md; code that
-// needs deeper threading restructures or carries a //lint:ignore.
+// This file holds the lock-effect vocabulary shared by the fixpoint summary
+// engine (fixpoint.go) and the lockflow walker: lock keys, selector-chain
+// resolution, slot mapping, and call-site effect translation. The summaries
+// themselves are computed whole-program — see fixpoint.go for the lattices
+// and the SCC fixpoint contract that replaced the old one-level engine.
 
 // A lockEffect is one net lock operation a function performs on behalf of
 // its caller: Lock (acquire=true) or Unlock (acquire=false) of a mutex
@@ -30,67 +27,24 @@ type lockEffect struct {
 	acquire bool
 }
 
-// A funcSummary is the caller-visible behaviour of one declared function.
-type funcSummary struct {
-	// effects are the lock operations whose balance the caller inherits:
-	// locks held at some return (acquire) and unlocks of locks the function
-	// never took itself (release).
-	effects []lockEffect
-	// lockHelper marks a function whose body is nothing but lock-management
-	// statements — a deliberate Lock/Unlock wrapper. Such a function is
-	// summarised, not flagged; its callers carry the balancing burden.
-	lockHelper bool
-	// bounded marks a single-result function every one of whose return
-	// expressions carries a masking operation (&, %, or >>) — its result is
-	// already range-reduced, so narrowing conversions of it need no further
-	// guard.
-	bounded bool
+// flow returns the whole-program index this pass belongs to, building a
+// single-pass program on the fly when the pass is analysed standalone (the
+// fixture harness); RunAll attaches the full multi-package program up front.
+func (p *Pass) flow() *Program {
+	if p.prog == nil {
+		BuildProgram([]*Pass{p}, 1)
+	}
+	return p.prog
 }
 
-// flowInfo is the package-level index the dataflow analyzers share: every
-// declared function's body and its summary.
-type flowInfo struct {
-	decls     map[*types.Func]*ast.FuncDecl
-	summaries map[*types.Func]*funcSummary
-}
-
-// flow builds (once per pass) the call-graph index for this package.
-func (p *Pass) flow() *flowInfo {
-	if p.flowOnce != nil {
-		return p.flowOnce
-	}
-	fi := &flowInfo{
-		decls:     map[*types.Func]*ast.FuncDecl{},
-		summaries: map[*types.Func]*funcSummary{},
-	}
-	for _, f := range p.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			fi.decls[fn] = fd
-		}
-	}
-	for fn, fd := range fi.decls {
-		fi.summaries[fn] = summarize(p, fd)
-	}
-	p.flowOnce = fi
-	return fi
-}
-
-// localCallee resolves call to a function declared in this package (the
-// only functions the summary engine knows), or nil.
-func (p *Pass) localCallee(call *ast.CallExpr) *types.Func {
+// progCallee resolves call to its declared graph node anywhere in the
+// program (the callee's package need not be the caller's), or nil.
+func (p *Pass) progCallee(call *ast.CallExpr) *progFunc {
 	fn, ok := callee(p.Info, call).(*types.Func)
-	if !ok || fn.Pkg() != p.Pkg {
+	if !ok {
 		return nil
 	}
-	return fn
+	return p.flow().node(fn)
 }
 
 // A lockKey identifies one mutex inside a function: the root object the
@@ -229,129 +183,30 @@ func effectFor(p *Pass, slots map[types.Object]int, key lockKey, acquire bool) (
 	return lockEffect{}, false
 }
 
-// summarize computes one function's summary from its own statements only —
-// the one-level-deep contract. Lock state is tracked linearly through the
-// body; branch and loop bodies are examined for Unlock coverage but control
-// flow is not joined (a summary records the straight-line net effect, which
-// is what deliberate helpers look like).
-func summarize(p *Pass, fd *ast.FuncDecl) *funcSummary {
-	sum := &funcSummary{}
-	slots := slotIndex(p, fd)
-	held := map[lockKey]bool{}
-	var order []lockKey // deterministic effect order: first-op position
-	pureLockOps := len(fd.Body.List) > 0
-	for _, st := range fd.Body.List {
-		// A deferred unlock (direct or inside a deferred closure) covers the
-		// whole function: the lock is balanced from the caller's view.
-		if ds, isDefer := st.(*ast.DeferStmt); isDefer {
-			pureLockOps = false
-			release := func(call *ast.CallExpr) {
-				if key, acquire, ok := lockOp(p, call); ok && !acquire {
-					delete(held, key)
-				}
-			}
-			release(ds.Call)
-			if fl, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
-				ast.Inspect(fl.Body, func(n ast.Node) bool {
-					if call, ok := n.(*ast.CallExpr); ok {
-						release(call)
-					}
-					return true
-				})
-			}
-			continue
-		}
-		es, isExpr := st.(*ast.ExprStmt)
-		if !isExpr {
-			pureLockOps = false
-			continue
-		}
-		call, isCall := es.X.(*ast.CallExpr)
-		if !isCall {
-			pureLockOps = false
-			continue
-		}
-		key, acquire, ok := lockOp(p, call)
-		if !ok {
-			pureLockOps = false
-			continue
-		}
-		if acquire {
-			if !held[key] {
-				order = append(order, key)
-			}
-			held[key] = true
-		} else {
-			if held[key] {
-				delete(held, key)
-			} else {
-				// Unlock of a lock this function never took: a release
-				// helper; the caller must hold it.
-				if eff, ok := effectFor(p, slots, key, false); ok {
-					sum.effects = append(sum.effects, eff)
-				}
-			}
+// resolveGlobal maps a package-level effect object (declared in the callee's
+// type-checker universe) to the caller's universe: same-package objects are
+// already identical (one pass per package), cross-package ones are looked up
+// through the caller's imports. Nil when the caller cannot see the variable.
+func resolveGlobal(p *Pass, obj types.Object) types.Object {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	if pkg.Path() == p.Pkg.Path() {
+		return obj
+	}
+	for _, imp := range p.Pkg.Imports() {
+		if imp.Path() == pkg.Path() {
+			return imp.Scope().Lookup(obj.Name())
 		}
 	}
-	for _, key := range order {
-		if !held[key] {
-			continue
-		}
-		if eff, ok := effectFor(p, slots, key, true); ok {
-			sum.effects = append(sum.effects, eff)
-		}
-	}
-	sum.lockHelper = pureLockOps && len(sum.effects) > 0
-	sum.bounded = returnsBounded(fd)
-	return sum
+	return nil
 }
 
-// returnsBounded reports whether fd has exactly one result and every return
-// expression in its body (outside nested function literals) carries a
-// masking operation: &, %, or >>.
-func returnsBounded(fd *ast.FuncDecl) bool {
-	res := fd.Type.Results
-	if res == nil || res.NumFields() != 1 || len(res.List[0].Names) > 1 {
-		return false
-	}
-	found := false
-	bounded := true
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if _, isLit := n.(*ast.FuncLit); isLit {
-			return false
-		}
-		ret, ok := n.(*ast.ReturnStmt)
-		if !ok {
-			return true
-		}
-		found = true
-		if len(ret.Results) != 1 || !hasMaskingOp(ret.Results[0]) {
-			bounded = false
-		}
-		return true
-	})
-	return found && bounded
-}
-
-// hasMaskingOp reports whether the expression tree contains a &, %, or >>
-// binary operation — the range-reduction idioms a bounds guard recognises.
-func hasMaskingOp(e ast.Expr) bool {
-	masked := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if b, ok := n.(*ast.BinaryExpr); ok {
-			switch b.Op {
-			case token.AND, token.REM, token.SHR:
-				masked = true
-			}
-		}
-		return !masked
-	})
-	return masked
-}
-
-// callSiteKeys maps a summarised callee's effects into the caller's lock
-// keys. Effects whose argument is not a plain variable chain are dropped —
-// the caller cannot track them.
+// callSiteKeys maps a summarised callee's exported effects into the
+// caller's lock keys. Effects whose argument is not a plain variable chain
+// (or whose package-level root the caller cannot resolve) are dropped — the
+// caller cannot track them.
 func callSiteKeys(p *Pass, call *ast.CallExpr, sum *funcSummary) []struct {
 	key     lockKey
 	acquire bool
@@ -372,10 +227,14 @@ func callSiteKeys(p *Pass, call *ast.CallExpr, sum *funcSummary) []struct {
 		}
 		return nil
 	}
-	for _, eff := range sum.effects {
+	for _, eff := range sum.exportedEffects() {
 		var key lockKey
 		if eff.slot == -1 {
-			key = lockKey{root: eff.obj, path: eff.path}
+			root := resolveGlobal(p, eff.obj)
+			if root == nil {
+				continue
+			}
+			key = lockKey{root: root, path: eff.path}
 		} else {
 			arg := slotExpr(eff.slot)
 			if arg == nil {
@@ -393,6 +252,22 @@ func callSiteKeys(p *Pass, call *ast.CallExpr, sum *funcSummary) []struct {
 		}{key, eff.acquire})
 	}
 	return out
+}
+
+// hasMaskingOp reports whether the expression tree contains a &, %, or >>
+// binary operation — the range-reduction idioms a bounds guard recognises.
+func hasMaskingOp(e ast.Expr) bool {
+	masked := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if b, ok := n.(*ast.BinaryExpr); ok {
+			switch b.Op {
+			case token.AND, token.REM, token.SHR:
+				masked = true
+			}
+		}
+		return !masked
+	})
+	return masked
 }
 
 // isPanicCall reports whether e is a call to the predeclared panic.

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak flags spawned goroutines that can never be told to stop: the body
+// (or, for a named function, its summary — computed to any static call
+// depth) contains an unconditional for-loop with no exit edge (return,
+// break, goto, panic) and no done edge (a context value, a channel
+// receive, a select, a range over a channel, or a call into a module
+// function that consults one). Such a worker outlives every driver — it
+// survives session teardown in mosaicd and keeps the process alive after a
+// sweep is cancelled.
+//
+// This is the whole-program deepening of ctxflow's goroutine rule: ML012
+// asks a worker loop to consult the context in scope at the spawn site;
+// ML016 asks that *some* cancellation edge be reachable at all, through
+// any chain of calls.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	ID:   "ML016",
+	Doc:  "spawned goroutines must have a reachable cancellation or done edge at some call depth",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(p *Pass) []Diagnostic {
+	if !p.internalPkg() && p.ImportPath != "mosaic" {
+		return nil
+	}
+	pr := p.flow()
+	c := &sumCtx{pr: pr}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fl, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit); isLit {
+				if bodySpins(c, p, fl.Body) {
+					out = append(out, p.diag("goleak", g.Pos(),
+						"goroutine spins in an unconditional loop with no exit or cancellation edge at any call depth; give it a context, a closable channel, or a done signal"))
+				}
+				return true
+			}
+			if fn, isFn := callee(p.Info, g.Call).(*types.Func); isFn {
+				if node := pr.node(fn); node != nil && node.sum != nil && node.sum.spins {
+					out = append(out, p.diag("goleak", g.Pos(),
+						"goroutine runs %s, which spins in an unconditional loop with no exit or cancellation edge at any call depth; give it a context, a closable channel, or a done signal",
+						node.id))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -24,15 +24,25 @@
 //     write shared package- or struct-level state outside a lock set, nor
 //     capture pre-loop variables that later iterations mutate.
 //   - lockflow:   mutex Lock/Unlock balance is tracked through every
-//     function (and one level of same-package helper calls): a lock must be
-//     released on every return and panic path, never held across a blocking
-//     operation, and never copied by value.
+//     function, with helper calls resolved to any depth across the module:
+//     a lock must be released on every return and panic path, never held
+//     across a blocking operation, and never copied by value.
 //   - ctxflow:    a function holding a context must propagate it rather
 //     than minting context.Background(), and worker goroutine loops must
 //     consult cancellation.
 //   - narrowconv: uint64-derived values (PFNs, virtual addresses, refill
 //     indices) must be masked, reduced, or bounds-checked before narrowing
 //     to int/uint32-class types.
+//   - dettaint:   nondeterministic values (wall clock, environment, the
+//     global math/rand stream, select ordering, map iteration order) must
+//     not flow — through any chain of calls, returns, or struct fields —
+//     into results files, traces, or non-wall.* metrics.
+//   - batchparity: a type implementing both trace.Sink and trace.BatchSink
+//     must keep ProcessBatch and per-ref Access in the same side-effect
+//     shape, and a trace.Batch must not be replayed per-ref through
+//     Sink.Access when a batch-level delivery exists.
+//   - goleak:     spawned goroutines must have a reachable cancellation or
+//     done edge at some call depth.
 //   - hotalloc:   a tree-level escape-analysis budget gate — heap-escape
 //     sites in the hot-path packages are diffed against
 //     internal/lint/escapes.baseline and regressions fail the run.
@@ -43,8 +53,13 @@
 //     InlinePins must stay inlinable, and cost growth against
 //     internal/lint/inline.baseline is reported.
 //
-// lockflow, ctxflow, and narrowconv share the interprocedural summary
-// engine in dataflow.go, which resolves same-package calls one level deep.
+// The interprocedural analyzers (lockflow, ctxflow, narrowconv, dettaint,
+// batchparity, goleak) share a whole-program engine: callgraph.go builds a
+// module-wide call graph (static and interface-dispatch edges) and its
+// Tarjan SCC condensation, and fixpoint.go computes bottom-up function
+// summaries over it, iterating to fixpoint inside cycles over bounded
+// lattices so termination holds by construction. See those files for the
+// precision and termination contracts.
 //
 // Every analyzer has a stable diagnostic ID (ML001…), used as the rule ID
 // in the machine-readable -json and -sarif output modes.
@@ -87,7 +102,7 @@ type Analyzer struct {
 
 // All returns the per-package analyzer suite in output order.
 func All() []*Analyzer {
-	return []*Analyzer{DetRand, NoPanic, CPFNBounds, ErrDrop, ObsNames, MapOrder, SweepSafe, LockFlow, CtxFlow, NarrowConv}
+	return []*Analyzer{DetRand, NoPanic, CPFNBounds, ErrDrop, ObsNames, MapOrder, SweepSafe, LockFlow, CtxFlow, NarrowConv, DetTaint, BatchParity, GoLeak}
 }
 
 // Catalog returns every analyzer mosaiclint can report under, including
@@ -150,7 +165,7 @@ type Pass struct {
 
 	ignores       map[ignoreKey]bool
 	badDirectives []Diagnostic
-	flowOnce      *flowInfo
+	prog          *Program
 }
 
 type ignoreKey struct {
@@ -247,8 +262,11 @@ func SortDiagnostics(out []Diagnostic) {
 }
 
 // RunAll applies every analyzer to every pass, appends malformed-directive
-// findings, and returns the result sorted by position.
+// findings, and returns the result sorted by position. The module call
+// graph and its fixpoint summaries are built once, over all passes, before
+// any analyzer runs.
 func RunAll(passes []*Pass, analyzers []*Analyzer) []Diagnostic {
+	AttachProgram(passes, 0)
 	var out []Diagnostic
 	for _, p := range passes {
 		out = append(out, p.badDirectives...)

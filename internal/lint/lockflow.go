@@ -9,9 +9,9 @@ import (
 )
 
 // LockFlow tracks mutex acquire/release balance through each function body:
-// a Lock (or a call to a same-package lock helper, via the one-level summary
-// engine in dataflow.go) must be matched by an Unlock — immediate or
-// deferred — on every return path, and must not still be held when the
+// a Lock (or a call to a lock helper, resolved to any depth through the
+// whole-program summary engine in fixpoint.go) must be matched by an
+// Unlock — immediate or deferred — on every return path, and must not still be held when the
 // function panics without a deferred unlock. Holding a lock across a
 // blocking operation (channel send/receive, select, sweep.Run) is flagged
 // too: the sweep engine's workers would serialize behind it, and a
@@ -23,10 +23,12 @@ import (
 // The analysis is a linear must-walk: branch bodies are walked with copied
 // lock state and the continuing states unioned, loop bodies are examined
 // with copied state that is discarded at the join (a lock balanced within
-// one iteration stays balanced). Helpers are seen through exactly one level;
-// a function whose body is nothing but lock-management statements is a
+// one iteration stays balanced). A function whose body is nothing but
+// lock-management statements — possibly through other such helpers — is a
 // deliberate wrapper and is summarised for its callers instead of being
-// flagged itself.
+// flagged itself; the summaries are fixpoints, so a helper that wraps a
+// helper that wraps a Lock still lands its effect at the outermost call
+// site.
 var LockFlow = &Analyzer{
 	Name: "lockflow",
 	ID:   "ML011",
@@ -51,7 +53,7 @@ func (s lockState) clone() lockState {
 // leaks by acquiring position.
 type lockWalker struct {
 	p        *Pass
-	fi       *flowInfo
+	pr       *Program
 	diags    *[]Diagnostic
 	reported map[token.Pos]bool
 	// exemptLeaks suppresses return-path findings: set for lock-helper
@@ -130,14 +132,12 @@ func (w *lockWalker) applyCall(call *ast.CallExpr, held lockState, deferred map[
 		w.blockingOp(held, call.Pos(), "sweep.Run")
 		return
 	}
-	if fn := w.p.localCallee(call); fn != nil {
-		if sum := w.fi.summaries[fn]; sum != nil {
-			for _, eff := range callSiteKeys(w.p, call, sum) {
-				if eff.acquire {
-					held[eff.key] = call.Pos()
-				} else {
-					delete(held, eff.key)
-				}
+	if pf := w.p.progCallee(call); pf != nil && pf.sum != nil {
+		for _, eff := range callSiteKeys(w.p, call, pf.sum) {
+			if eff.acquire {
+				held[eff.key] = call.Pos()
+			} else {
+				delete(held, eff.key)
 			}
 		}
 	}
@@ -164,12 +164,10 @@ func (w *lockWalker) applyDefer(st *ast.DeferStmt, deferred map[lockKey]bool) {
 		})
 		return
 	}
-	if fn := w.p.localCallee(st.Call); fn != nil {
-		if sum := w.fi.summaries[fn]; sum != nil {
-			for _, eff := range callSiteKeys(w.p, st.Call, sum) {
-				if !eff.acquire {
-					deferred[eff.key] = true
-				}
+	if pf := w.p.progCallee(st.Call); pf != nil && pf.sum != nil {
+		for _, eff := range callSiteKeys(w.p, st.Call, pf.sum) {
+			if !eff.acquire {
+				deferred[eff.key] = true
 			}
 		}
 	}
@@ -493,7 +491,7 @@ func runLockFlow(p *Pass) []Diagnostic {
 	if !p.internalPkg() {
 		return nil
 	}
-	fi := p.flow()
+	pr := p.flow()
 	var out []Diagnostic
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
@@ -505,9 +503,9 @@ func runLockFlow(p *Pass) []Diagnostic {
 			if fd.Body == nil {
 				continue
 			}
-			w := &lockWalker{p: p, fi: fi, diags: &out, reported: map[token.Pos]bool{}}
+			w := &lockWalker{p: p, pr: pr, diags: &out, reported: map[token.Pos]bool{}}
 			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
-				if sum := fi.summaries[fn]; sum != nil && sum.lockHelper {
+				if sum := pr.summaryOf(fn); sum != nil && sum.lockHelper {
 					w.exemptLeaks = true
 				}
 			}
@@ -516,7 +514,7 @@ func runLockFlow(p *Pass) []Diagnostic {
 			// callbacks): each is analysed as an independent function.
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				if fl, ok := n.(*ast.FuncLit); ok {
-					lw := &lockWalker{p: p, fi: fi, diags: &out, reported: map[token.Pos]bool{}}
+					lw := &lockWalker{p: p, pr: pr, diags: &out, reported: map[token.Pos]bool{}}
 					lw.walkFunc(fl.Body)
 					// Keep descending: nested literals are analysed on
 					// their own visit (walkFunc never enters them).

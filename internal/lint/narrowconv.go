@@ -17,8 +17,9 @@ import (
 //     iceberg bucket-index idiom int(hash % uint64(numBuckets));
 //   - an enclosing if or for condition compares one of the operand's
 //     variables, a dominating bounds guard;
-//   - the operand is a call to a same-package function whose every return
-//     expression is masked (the one-level summary contract in dataflow.go).
+//   - the operand is a call to a module function whose every return
+//     expression is range-reduced, at any call depth (the `bounded`
+//     fixpoint summary in fixpoint.go).
 //
 // Constant conversions are the compiler's to check and are skipped.
 var NarrowConv = &Analyzer{
@@ -206,18 +207,19 @@ func indexesWith(p *Pass, n ast.Node, vars map[*types.Var]bool) bool {
 	return found
 }
 
-// boundedCall reports whether e is a call to a same-package function whose
-// summary says every return value is masked.
+// boundedCall reports whether e is a call to a module function whose
+// fixpoint summary says every return value is range-reduced — masked
+// directly or produced by a bounded callee, to any depth.
 func boundedCall(p *Pass, e ast.Expr) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
 		return false
 	}
-	fn := p.localCallee(call)
-	if fn == nil {
+	fn, ok := callee(p.Info, call).(*types.Func)
+	if !ok {
 		return false
 	}
-	sum := p.flow().summaries[fn]
+	sum := p.flow().summaryOf(fn)
 	return sum != nil && sum.bounded
 }
 

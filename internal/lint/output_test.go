@@ -12,14 +12,20 @@ import (
 )
 
 // goldenDiags produces a deterministic diagnostic set covering the output
-// surface: plain findings from the new analyzers plus fix-carrying findings
-// from detrand and errdrop, all position-sorted by RunAll.
+// surface: plain findings from the per-package analyzers, fix-carrying
+// findings from detrand and errdrop, and call-graph-derived findings from
+// the whole-program analyzers, all position-sorted by RunAll. Each fixture
+// loads under its own import path so function IDs stay distinct inside the
+// shared program.
 func goldenDiags(t *testing.T) []Diagnostic {
 	t.Helper()
 	passes := []*Pass{
-		loadFixture(t, "maporder", "mosaic/internal/fixture"),
-		loadFixture(t, "sweepsafe", "mosaic/internal/fixture"),
-		loadFixture(t, "fixapply", "mosaic/internal/fixture"),
+		loadFixture(t, "maporder", "mosaic/internal/maporder"),
+		loadFixture(t, "sweepsafe", "mosaic/internal/sweepsafe"),
+		loadFixture(t, "fixapply", "mosaic/internal/fixapply"),
+		loadFixture(t, "dettaint", "mosaic/internal/dettaint"),
+		loadFixture(t, "batchparity", "mosaic/internal/batchparity"),
+		loadFixture(t, "goleak", "mosaic/internal/goleak"),
 	}
 	diags := RunAll(passes, All())
 	if len(diags) == 0 {
@@ -122,6 +128,21 @@ func TestFingerprintLineIndependent(t *testing.T) {
 	if fingerprint(other.Analyzer, other.Pos.Filename, other.Message) ==
 		fingerprint("lockflow", "internal/tlb/set.go", mk(17, 2).Message) {
 		t.Error("distinct messages collided")
+	}
+
+	// Call-graph-derived findings carry function IDs, not positions, in
+	// their messages, so the same identity property holds for them: the
+	// finding follows the call site across pure line moves, and a change of
+	// carrier function is a different finding.
+	viaMsg := "wall-clock-tainted value reaches a results.File metric through mosaic/internal/daemon.flush"
+	if fingerprint("dettaint", "internal/daemon/session.go", viaMsg) !=
+		fingerprint("dettaint", "internal/daemon/session.go", viaMsg) {
+		t.Error("call-graph-derived fingerprint not stable")
+	}
+	otherVia := "wall-clock-tainted value reaches a results.File metric through mosaic/internal/daemon.drain"
+	if fingerprint("dettaint", "internal/daemon/session.go", viaMsg) ==
+		fingerprint("dettaint", "internal/daemon/session.go", otherVia) {
+		t.Error("distinct carrier functions collided")
 	}
 }
 

@@ -1,0 +1,84 @@
+// Fixture for the batchparity analyzer: dual trace.Sink+BatchSink
+// implementors whose batch path diverges from the scalar one, and per-ref
+// replay loops that bypass an available batch delivery.
+package batchparity
+
+import "mosaic/internal/trace"
+
+// counter diverges: Access counts per reference, ProcessBatch counts at
+// most once per batch.
+type counter struct {
+	n uint64
+}
+
+func (c *counter) Access(va uint64, write bool) { c.n++ }
+
+func (c *counter) ProcessBatch(b trace.Batch) { // want "ProcessBatch diverges from per-ref Access: n (updated once per batch, not per reference)"
+	if len(b) > 0 {
+		c.n++
+	}
+}
+
+// ignorer drops its batch entirely.
+type ignorer struct {
+	n       uint64
+	flushed uint64
+}
+
+func (c *ignorer) Access(va uint64, write bool) { c.n++ }
+
+func (c *ignorer) ProcessBatch(b trace.Batch) { // want "ProcessBatch ignores its batch"
+	c.flushed++
+}
+
+// bulkCounter mirrors the per-ref count in one len-shaped step. Clean.
+type bulkCounter struct {
+	n uint64
+}
+
+func (c *bulkCounter) Access(va uint64, write bool) { c.n++ }
+
+func (c *bulkCounter) ProcessBatch(b trace.Batch) { c.n += uint64(len(b)) }
+
+// core shares a per-ref step between both paths. Clean.
+type core struct {
+	n uint64
+}
+
+func (c *core) step(r trace.Ref) { c.n++ }
+
+func (c *core) Access(va uint64, write bool) { c.step(trace.MakeRef(va, write)) }
+
+func (c *core) ProcessBatch(b trace.Batch) {
+	for _, r := range b {
+		c.step(r)
+	}
+}
+
+// forwarder hands the batch on whole — re-slicing included. Clean.
+type forwarder struct {
+	next  *core
+	limit int
+}
+
+func (s *forwarder) Access(va uint64, write bool) { s.next.Access(va, write) }
+
+func (s *forwarder) ProcessBatch(b trace.Batch) {
+	if s.limit > 0 && s.limit < len(b) {
+		b = b[:s.limit]
+	}
+	s.next.ProcessBatch(b)
+}
+
+// replayScalar pushes a batch element by element through Sink.Access when
+// batch-level delivery exists.
+func replayScalar(b trace.Batch, s trace.Sink) {
+	for _, r := range b {
+		s.Access(r.VA(), r.Write()) // want "per-ref Sink.Access loop over a trace.Batch"
+	}
+}
+
+// replayBatch delivers whole batches via the sanctioned bridge. Clean.
+func replayBatch(b trace.Batch, s trace.Sink) {
+	b.Replay(s)
+}

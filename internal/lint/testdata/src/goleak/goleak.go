@@ -1,0 +1,79 @@
+// Fixture for the goleak analyzer: spawned goroutines with no reachable
+// cancellation or done edge at any call depth.
+package goleak
+
+import "context"
+
+func work() {}
+
+// spinner loops unconditionally with no exit or done edge.
+func spinner() {
+	for {
+		work()
+	}
+}
+
+// runner reaches the spin one call down; the summary carries it up.
+func runner() {
+	spinner()
+}
+
+func spawnLit() {
+	go func() { // want "goroutine spins in an unconditional loop"
+		for {
+			work()
+		}
+	}()
+}
+
+func spawnNamed() {
+	go spinner() // want "goroutine runs mosaic/internal/fixture.spinner"
+}
+
+func spawnDeep() {
+	go runner() // want "goroutine runs mosaic/internal/fixture.runner"
+}
+
+// drain ranges a closable channel: the close is its done signal. Clean.
+func drain(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// polling consults the context each lap. Clean.
+func polling(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// selecting has a done arm. Clean.
+func selecting(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// bounded exits on its own. Clean.
+func bounded() {
+	go func() {
+		for i := 0; i < 8; i++ {
+			work()
+		}
+	}()
+}

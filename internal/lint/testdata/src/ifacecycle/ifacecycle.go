@@ -1,0 +1,28 @@
+// Fixture for the fixpoint engine: a cycle closed through interface
+// dispatch. The call graph's dispatch edges put both concrete step methods
+// in one SCC even though neither names the other.
+package ifacecycle
+
+type stepper interface {
+	step(n int)
+}
+
+type alpha struct {
+	next stepper
+}
+
+type beta struct {
+	next stepper
+}
+
+func (x *alpha) step(n int) {
+	if n > 0 {
+		x.next.step(n - 1)
+	}
+}
+
+func (x *beta) step(n int) {
+	if n > 0 {
+		x.next.step(n - 1)
+	}
+}

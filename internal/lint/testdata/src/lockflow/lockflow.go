@@ -182,29 +182,36 @@ func pointerUses(c *counter) int {
 	return (*d).n
 }
 
-// lockIndirect wraps the wrapper; the one-level walk sees the acquire and
-// flags the missing unlock here, where it is visible.
+// lockIndirect wraps the wrapper. Its body is nothing but lock management,
+// so the fixpoint engine summarises it as a helper in its own right — the
+// acquire folds through and the balancing burden lands on its callers, not
+// here.
 func lockIndirect(c *counter) {
-	c.lock() // want "never unlocked on the return path"
+	c.lock()
 }
 
-// twoLevelNotSeen: by the one-level precision contract the acquire two
-// hops down is invisible to this caller — deliberately not a finding; the
-// leak is reported in lockIndirect itself, where it is one hop away.
-func twoLevelNotSeen(c *counter) {
-	lockIndirect(c)
+// twoLevelSeen: the acquire two hops down is visible to this caller — the
+// helper-of-a-helper summary carries it through, and the missing unlock is
+// flagged where the imbalance actually lives.
+func twoLevelSeen(c *counter) {
+	lockIndirect(c) // want "never unlocked on the return path"
 	c.n++
 }
 
-var globalMu sync.Mutex
+var (
+	globalMu sync.Mutex
+	globalN  int
+)
 
 // globalHelperLock is a wrapper over a package-level mutex; callers inherit
 // the obligation with no argument mapping.
 func globalHelperLock() { globalMu.Lock() }
 
-// globalLeak acquires the package-level lock through the helper.
+// globalLeak acquires the package-level lock through the helper and then
+// does real work, so it is no helper itself: the leak lands here.
 func globalLeak() {
 	globalHelperLock() // want "never unlocked on the return path"
+	globalN++
 }
 
 // globalBalanced releases it directly.

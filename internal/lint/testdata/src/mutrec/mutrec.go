@@ -1,0 +1,31 @@
+// Fixture for the fixpoint engine: mutual recursion. Both members land in
+// one SCC and iterate to a joint fixpoint.
+package mutrec
+
+func work() {}
+
+// spinA and spinB form a cycle; only spinB holds the loop, but the spin
+// fact must propagate around the cycle to spinA.
+func spinA() { spinB() }
+
+func spinB() {
+	for {
+		spinA()
+	}
+}
+
+// evenStep/oddStep: a bounded fact cannot be proven around the cycle (sound
+// false), but the pair must still converge.
+func evenStep(n uint64) uint64 {
+	if n == 0 {
+		return 0 & 0x1
+	}
+	return oddStep(n - 1)
+}
+
+func oddStep(n uint64) uint64 {
+	if n == 0 {
+		return 1 & 0x1
+	}
+	return evenStep(n - 1)
+}

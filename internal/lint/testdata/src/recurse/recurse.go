@@ -1,0 +1,28 @@
+// Fixture for the fixpoint engine: self-recursion. The SCC iteration must
+// terminate and settle on sound summaries.
+package recurse
+
+// maskedRec narrows through itself: the base return is masked, the
+// recursive one is the bare recursive call. Least-fixpoint iteration from
+// the pessimistic bottom cannot prove the cycle bounded — the pinned result
+// is a sound "false", not a hang.
+func maskedRec(n uint64) uint64 {
+	if n < 2 {
+		return n & 0x3f
+	}
+	return maskedRec(n - 1)
+}
+
+// maskedWrap masks the recursion at the boundary, so it is bounded even
+// though it sits on an unproven cycle.
+func maskedWrap(n uint64) uint64 {
+	return maskedRec(n) & 0x3f
+}
+
+// spinRec recurses from inside an unconditional loop; spins must settle
+// true without oscillating.
+func spinRec() {
+	for {
+		spinRec()
+	}
+}

@@ -9,7 +9,7 @@ import (
 // Span marks one phase of a run — warmup, run, report — on both of the
 // axes the rest of the package measures: the reference index (where in
 // the simulated stream the phase started and ended) and wall time (what
-// it cost us to compute). Finishing a span feeds the sim.phase.duration
+// it cost us to compute). Finishing a span feeds the wall.phase.duration
 // histogram and drops one structured event, so phase boundaries line up
 // with the metrics and the event log in one results file.
 //
@@ -28,15 +28,19 @@ type Span struct {
 
 // spanNameRE is the span-name grammar: one lowercase segment. Unlike
 // metric names, spans are single words — the dotted namespace they land
-// in ("phase.<name>" events, the sim.phase.duration histogram) is fixed.
+// in ("phase.<name>" events, the wall.phase.duration histogram) is fixed.
 var spanNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 
 // ValidSpanName reports whether name is a lowercase span identifier.
 func ValidSpanName(name string) bool { return spanNameRE.MatchString(name) }
 
 // PhaseDurationMetric is the histogram every finished span observes its
-// wall-time duration into, in microseconds.
-const PhaseDurationMetric = "sim.phase.duration"
+// wall-time duration into, in microseconds. It lives in the reserved
+// "wall." namespace: wall-clock observations are telemetry, not results —
+// results.File.AddSnapshot excludes the namespace from deterministic
+// results files, and mosaiclint's dettaint analyzer exempts instruments
+// fetched under it.
+const PhaseDurationMetric = "wall.phase.duration"
 
 // NewSpan starts a phase span at the given reference index, stamping the
 // wall clock. It panics on a malformed name: spans are wired at
@@ -66,7 +70,7 @@ func (sp *Span) Duration() time.Duration {
 	return sp.End.Sub(sp.Start)
 }
 
-// Record observes the span's duration in the sim.phase.duration histogram
+// Record observes the span's duration in the wall.phase.duration histogram
 // and emits a phase.<name> event carrying both axes. Split from Finish so
 // tests (and replayers) can record spans with explicit timestamps.
 // Nil-safe in o and in each of its fields.

@@ -94,9 +94,15 @@ func (f *File) Metric(name string) (float64, bool) {
 
 // AddSnapshot flattens a metrics snapshot into the file under an optional
 // "prefix." namespace (histograms expand to .count/.mean/.p50/.p99/.max).
+// Instruments in the reserved "wall." namespace are excluded: wall-clock
+// telemetry varies run to run by construction, and a results file must be
+// byte-identical across runs of one seed.
 func (f *File) AddSnapshot(prefix string, snap obs.Snapshot) {
 	for _, nv := range snap.Flatten() {
 		name := nv.Name
+		if strings.HasPrefix(name, "wall.") {
+			continue
+		}
 		if prefix != "" {
 			name = prefix + "." + name
 		}

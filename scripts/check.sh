@@ -24,6 +24,23 @@ git diff --exit-code -- internal/lint/escapes.baseline \
 # tests pin the bytes; this pins the exit path on the real tree).
 go run ./cmd/mosaiclint -sarif ./... >/dev/null
 go run ./cmd/mosaiclint -json ./... >/dev/null
+# Call-graph determinism gate: the -callgraph export over the real module
+# must be byte-identical run over run and at every worker count — the
+# fixpoint summaries are computed rank-parallel, so a diff here means
+# scheduling order leaked into SCC numbering, ranks, or edge order.
+cg="$(mktemp -d)"
+go run ./cmd/mosaiclint -callgraph json ./... >"$cg/a.json"
+go run ./cmd/mosaiclint -callgraph json ./... >"$cg/b.json"
+go run ./cmd/mosaiclint -callgraph json -workers 1 ./... >"$cg/w1.json"
+go run ./cmd/mosaiclint -callgraph json -workers 8 ./... >"$cg/w8.json"
+cmp "$cg/a.json" "$cg/b.json"
+cmp "$cg/w1.json" "$cg/w8.json"
+cmp "$cg/a.json" "$cg/w1.json"
+rm -rf "$cg"
+# -diff mode must load cleanly with the whole-program analyzers attached:
+# a package-scoped run still builds a (partial) call graph, so dettaint,
+# batchparity, and goleak run at whatever depth the diff scope gives them.
+go run ./cmd/mosaiclint -diff HEAD
 # The sweep engine and the progress line are the only concurrency in the
 # repo; hammer them under the race detector first so an engine race fails
 # fast, then run the whole suite. Race runs get explicit timeouts: a
