@@ -67,6 +67,14 @@ func BenchmarkFigure6XSBench(b *testing.B)  { benchFigure6(b, "xsbench") }
 func BenchmarkFigure6Sequential(b *testing.B) { benchFigure6Workers(b, "gups", 1) }
 func BenchmarkFigure6Parallel(b *testing.B)   { benchFigure6Workers(b, "gups", 4) }
 
+// BenchmarkFigure6Batch pins the end-to-end batch-native pipeline: every
+// worker's capture leg runs the generator's RunBatches straight into the
+// simulator's ProcessBatch, with no per-reference interface call between
+// workload and TLB. Identical configuration to BenchmarkFigure6Parallel, so
+// the committed BENCH_parallel.json baseline from the scalar-generation era
+// is directly comparable.
+func BenchmarkFigure6Batch(b *testing.B) { benchFigure6Workers(b, "gups", 4) }
+
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err := Table3(Table3Options{
@@ -311,6 +319,45 @@ func BenchmarkRunBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(1<<20)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+// The generate pair measures workload generation alone — GUPS emitting into
+// a counting sink, with the simulator out of the picture — on the
+// batch-native leg (whole trace.Batch delivery) versus the scalar interface
+// leg (one dynamic Access call per reference). scripts/bench.sh records the
+// batch number into BENCH_parallel.json and mosaicstat bench lines it up
+// against the replay throughput, answering whether generation or simulation
+// bounds a sweep.
+const genBenchRefs = 1 << 20
+
+func BenchmarkGenerateGUPSBatch(b *testing.B) {
+	w, err := NewWorkload("gups", 8<<20, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s batchCountSink
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := RunBatch(w, &s, genBenchRefs); got != genBenchRefs {
+			b.Fatalf("delivered %d refs, want %d", got, genBenchRefs)
+		}
+	}
+	b.ReportMetric(float64(genBenchRefs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+func BenchmarkGenerateGUPSScalar(b *testing.B) {
+	w, err := NewWorkload("gups", 8<<20, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s countSink
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := RunLimited(w, &s, genBenchRefs); got != genBenchRefs {
+			b.Fatalf("delivered %d refs, want %d", got, genBenchRefs)
+		}
+	}
+	b.ReportMetric(float64(genBenchRefs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
 }
 
 // BenchmarkBatchDecode measures v2 frame decoding alone — the trace-replay

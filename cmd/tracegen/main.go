@@ -86,22 +86,56 @@ func main() {
 	}
 }
 
+// captureSink consumes a capture whole-batch: it tallies reads and writes,
+// tracks touched pages (when pages is non-nil), reports progress at every
+// 1M-reference boundary, and hands the batch to the encoder (nil when only
+// summarizing). The scalar leg wraps one reference and reuses the batch leg,
+// so both dispatch paths tally identically.
+type captureSink struct {
+	name                 string
+	verb                 string          // "captured" or "streamed", for the progress line
+	enc                  trace.BatchSink // nil in -stats mode
+	pages                map[core.VPN]bool
+	reads, writes, total uint64
+}
+
+func (s *captureSink) Access(va uint64, write bool) {
+	var one [1]trace.Ref
+	one[0] = trace.MakeRef(va, write)
+	s.ProcessBatch(one[:])
+}
+
+func (s *captureSink) ProcessBatch(b trace.Batch) {
+	for _, r := range b {
+		if r.Write() {
+			s.writes++
+		} else {
+			s.reads++
+		}
+		if s.pages != nil {
+			s.pages[core.VPNOf(r.VA())] = true
+		}
+	}
+	if s.enc != nil {
+		s.enc.ProcessBatch(b)
+	}
+	prev := s.total
+	s.total += uint64(len(b))
+	if s.total>>20 > prev>>20 {
+		progress.Stepf("tracegen %s: %d M refs %s", s.name, s.total>>20, s.verb)
+	}
+}
+
 func capture(name string, footprint, maxRefs, seed uint64, out, format string, statsOnly bool) error {
 	w, err := mosaic.NewWorkload(name, footprint, seed)
 	if err != nil {
 		return err
 	}
-	var pages = map[core.VPN]bool{}
-	var counter trace.Counter
-	sinks := []trace.Sink{&counter, trace.SinkFunc(func(va uint64, _ bool) {
-		pages[core.VPNOf(va)] = true
-		if counter.Total()%(1<<20) == 0 {
-			progress.Stepf("tracegen %s: %d M refs captured", name, counter.Total()>>20)
-		}
-	})}
+	cs := &captureSink{name: name, verb: "captured", pages: map[core.VPN]bool{}}
 
-	// Both encoders hide behind Sink so the stats tee stays format-blind;
-	// the v2 path batches records in front of the frame encoder.
+	// Both encoders hide behind BatchSink so the stats pass stays
+	// format-blind; the v1 path unrolls each batch into the fixed-record
+	// writer, the v2 frame encoder takes batches natively.
 	var (
 		flush func() error
 		count func() uint64
@@ -118,16 +152,15 @@ func capture(name string, footprint, maxRefs, seed uint64, out, format string, s
 			if err != nil {
 				return err
 			}
-			batcher := trace.NewBatcher(bw, trace.DefaultBatchSize)
-			sinks = append(sinks, batcher)
-			flush = func() error { batcher.Flush(); return bw.Flush() }
+			cs.enc = bw
+			flush = bw.Flush
 			count = bw.Count
 		case "v1":
 			tw, err := trace.NewWriter(f)
 			if err != nil {
 				return err
 			}
-			sinks = append(sinks, tw)
+			cs.enc = trace.BatchSinkOf(tw)
 			flush = tw.Flush
 			count = tw.Count
 		default:
@@ -135,10 +168,10 @@ func capture(name string, footprint, maxRefs, seed uint64, out, format string, s
 		}
 	}
 
-	mosaic.RunLimited(w, trace.Tee(sinks...), maxRefs)
+	mosaic.RunBatch(w, cs, maxRefs)
 	progress.Done()
 	fmt.Printf("%s: %d refs (%d reads, %d writes), %d pages touched, footprint %d MiB\n",
-		name, counter.Total(), counter.Reads, counter.Writes, len(pages), w.FootprintBytes()>>20)
+		name, cs.total, cs.reads, cs.writes, len(cs.pages), w.FootprintBytes()>>20)
 	if flush != nil {
 		if err := flush(); err != nil {
 			return err
@@ -240,21 +273,15 @@ func postSession(base, name string, footprint, maxRefs, seed uint64, entries, ar
 	werr := make(chan error, 1)
 	go func() {
 		// Stream the capture in the v2 format; the daemon sniffs the magic.
+		// Batches flow from the generator straight into the frame encoder —
+		// no scalar re-batching between the workload and the wire.
 		bw, err := trace.NewBatchWriter(pw)
 		if err != nil {
 			werr <- err
 			pw.CloseWithError(err)
 			return
 		}
-		batcher := trace.NewBatcher(bw, trace.DefaultBatchSize)
-		var n uint64
-		mosaic.RunLimited(w, trace.Tee(batcher, trace.SinkFunc(func(uint64, bool) {
-			n++
-			if n%(1<<20) == 0 {
-				progress.Stepf("tracegen %s: %d M refs streamed", name, n>>20)
-			}
-		})), maxRefs)
-		batcher.Flush()
+		mosaic.RunBatch(w, &captureSink{name: name, verb: "streamed", enc: bw}, maxRefs)
 		err = bw.Flush()
 		werr <- err
 		pw.CloseWithError(err)

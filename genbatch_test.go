@@ -1,0 +1,121 @@
+package mosaic
+
+import (
+	"bytes"
+	"testing"
+
+	"mosaic/internal/obs"
+	"mosaic/internal/stats"
+)
+
+// Batch-native generation's contract mirrors batched replay's: the batch leg
+// (RunBatches) and the scalar leg (Run) of every workload must drive a
+// consumer to byte-identical results. These tests force the scalar leg by
+// hiding the BatchRunner capability and compare full results.File JSON.
+
+// scalarOnly hides a workload's BatchRunner leg, so the harness dispatches
+// onto the scalar Run path. Explicit delegation, not embedding: an embedded
+// workload would re-expose RunBatches and defeat the point.
+type scalarOnly struct{ w Workload }
+
+func (s scalarOnly) Name() string           { return s.w.Name() }
+func (s scalarOnly) FootprintBytes() uint64 { return s.w.FootprintBytes() }
+func (s scalarOnly) Run(sink Sink)          { s.w.Run(sink) }
+
+// TestGeneratorBatchMatchesScalarAllWorkloads runs every workload through
+// the same fig6-style simulator twice — batch-native generation on and off —
+// and requires byte-identical results files.
+func TestGeneratorBatchMatchesScalarAllWorkloads(t *testing.T) {
+	for _, name := range []string{"graph500", "btree", "gups", "xsbench", "kvstore"} {
+		t.Run(name, func(t *testing.T) {
+			const footprint, maxRefs = 4 << 20, 400_000
+			wBatch, err := NewWorkload(name, footprint, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wScalar, err := NewWorkload(name, footprint, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			simBatch := equivSim(t, nil)
+			nBatch := RunLimited(wBatch, simBatch, maxRefs)
+			simScalar := equivSim(t, nil)
+			nScalar := RunLimited(scalarOnly{wScalar}, simScalar, maxRefs)
+			if nBatch != nScalar {
+				t.Fatalf("delivered %d refs batch-native vs %d scalar", nBatch, nScalar)
+			}
+			a, b := resultsJSON(t, simBatch, nil), resultsJSON(t, simScalar, nil)
+			if !bytes.Equal(a, b) {
+				t.Errorf("batch-native generation diverged from scalar:\n%s", firstDiff(a, b))
+			}
+		})
+	}
+}
+
+// TestFigure6CellGeneratorBatchMatchesScalar pins the fig6 capture cell with
+// and without the observer attached: the sampled variant exercises the
+// windowed sampler whose per-reference clock must tick identically under
+// whole-batch delivery.
+func TestFigure6CellGeneratorBatchMatchesScalar(t *testing.T) {
+	for _, sampled := range []bool{false, true} {
+		var obBatch, obScalar *obs.Observer
+		if sampled {
+			obBatch = obs.NewObserver(1 << 12)
+			obScalar = obs.NewObserver(1 << 12)
+		}
+		wBatch, err := NewWorkload("gups", 4<<20, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wScalar, err := NewWorkload("gups", 4<<20, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simBatch := equivSim(t, obBatch)
+		RunLimited(wBatch, simBatch, 300_000)
+		simScalar := equivSim(t, obScalar)
+		RunLimited(scalarOnly{wScalar}, simScalar, 300_000)
+		a, b := resultsJSON(t, simBatch, obBatch), resultsJSON(t, simScalar, obScalar)
+		if !bytes.Equal(a, b) {
+			t.Errorf("sampled=%v: batch-native generation diverged from scalar:\n%s",
+				sampled, firstDiff(a, b))
+		}
+	}
+}
+
+// TestTable3CellGeneratorBatchMatchesScalar pins one Table 3 cell — the
+// allocator-under-pressure path with its every-4096-references utilization
+// sampler — across the two generation legs.
+func TestTable3CellGeneratorBatchMatchesScalar(t *testing.T) {
+	cell := func(w Workload) (first, steadyMean float64, samples int) {
+		t.Helper()
+		frames := 8 << 20 / PageSize
+		sys, err := NewSystem(SystemConfig{Frames: frames, Mode: ModeMosaic, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var steady stats.Running
+		RunLimited(w, &table3Sink{sys: sys, steady: &steady}, 2_000_000)
+		u, saw := sys.FirstConflictUtilization()
+		if !saw {
+			t.Fatal("cell never conflicted — footprint too small for the pool")
+		}
+		return u, steady.Mean(), steady.N()
+	}
+	pool := uint64(8 << 20)
+	footprint := pool + pool/20 // 1.05× the pool, past the conflict point
+	wBatch, err := NewWorkload("btree", footprint, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wScalar, err := NewWorkload("btree", footprint, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, s1, n1 := cell(wBatch)
+	f2, s2, n2 := cell(scalarOnly{wScalar})
+	if f1 != f2 || s1 != s2 || n1 != n2 {
+		t.Errorf("batch-native cell (first=%v steady=%v samples=%d) diverged from scalar (first=%v steady=%v samples=%d)",
+			f1, s1, n1, f2, s2, n2)
+	}
+}

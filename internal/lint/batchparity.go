@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 	"strings"
@@ -20,6 +21,12 @@ import (
 //  2. A per-ref loop feeding a trace.Batch through Sink.Access when a
 //     batch-level delivery exists — the batched path silently degrades to
 //     the scalar one and the equivalence gate stops exercising it.
+//  3. A batch-native generator (a type implementing both Run(trace.Sink)
+//     and RunBatches(trace.BatchSink)) whose emit path calls Access through
+//     the trace.Sink interface — the generation algorithm still lives on
+//     the scalar side, paying one dynamic dispatch per reference, and the
+//     batch leg is native in name only. Emit through the concrete
+//     *trace.Batcher (or the arena GetB/SetB legs) instead.
 //
 // internal/trace itself is exempt from shape 2: Batch.Replay and the
 // BatchSinkOf adapter are the sanctioned scalar bridges.
@@ -33,6 +40,8 @@ var BatchParity = &Analyzer{
 const (
 	sigAccess       = "Access(uint64, bool)"
 	sigProcessBatch = "ProcessBatch(mosaic/internal/trace.Batch)"
+	sigRun          = "Run(mosaic/internal/trace.Sink)"
+	sigRunBatches   = "RunBatches(mosaic/internal/trace.BatchSink)"
 )
 
 func runBatchParity(p *Pass) []Diagnostic {
@@ -48,7 +57,7 @@ func runBatchParity(p *Pass) []Diagnostic {
 		if !ok {
 			continue
 		}
-		var access, pb *types.Func
+		var access, pb, run, rb *types.Func
 		ms := types.NewMethodSet(types.NewPointer(named))
 		for i := 0; i < ms.Len(); i++ {
 			m, isFn := ms.At(i).Obj().(*types.Func)
@@ -60,16 +69,21 @@ func runBatchParity(p *Pass) []Diagnostic {
 				access = m
 			case sigProcessBatch:
 				pb = m
+			case sigRun:
+				run = m
+			case sigRunBatches:
+				rb = m
 			}
 		}
-		if access == nil || pb == nil {
-			continue
+		if access != nil && pb != nil {
+			accNode, pbNode := pr.node(access), pr.node(pb)
+			if accNode != nil && pbNode != nil && pbNode.pass == p {
+				out = append(out, checkDual(p, pr, name, accNode, pbNode)...)
+			}
 		}
-		accNode, pbNode := pr.node(access), pr.node(pb)
-		if accNode == nil || pbNode == nil || pbNode.pass != p {
-			continue // embedded from elsewhere: that package's finding
+		if run != nil && rb != nil {
+			out = append(out, generatorEmitPaths(p, pr, name, run, rb)...)
 		}
-		out = append(out, checkDual(p, pr, name, accNode, pbNode)...)
 	}
 	if p.ImportPath != "mosaic/internal/trace" {
 		out = append(out, perRefReplays(p)...)
@@ -116,6 +130,53 @@ func checkDual(p *Pass, pr *Program, typeName string, accNode, pbNode *progFunc)
 	return []Diagnostic{p.diag("batchparity", pbNode.decl.Pos(),
 		"%s.ProcessBatch diverges from per-ref Access: %s; forward the batch, share Access's per-ref core, or mirror its updates per element",
 		typeName, strings.Join(diverged, ", "))}
+}
+
+// generatorEmitPaths walks every module function reachable from a
+// batch-native generator's two legs and flags Access calls made through the
+// trace.Sink interface: the generation algorithm must emit through the
+// concrete *trace.Batcher (one packed store per reference), not degrade the
+// batch leg back to per-ref dynamic dispatch.
+func generatorEmitPaths(p *Pass, pr *Program, typeName string, run, rb *types.Func) []Diagnostic {
+	runNode, rbNode := pr.node(run), pr.node(rb)
+	if runNode == nil || rbNode == nil || rbNode.pass != p {
+		return nil // embedded from elsewhere: that package's finding
+	}
+	reach := pr.reachable(runNode)
+	for id := range pr.reachable(rbNode) {
+		reach[id] = true
+	}
+	var out []Diagnostic
+	seen := map[token.Pos]bool{}
+	for id := range reach {
+		pf := pr.byID[id]
+		if pf == nil || pf.pass != p || pf.decl == nil || pf.decl.Body == nil {
+			continue // another package's function: that package's finding
+		}
+		ast.Inspect(pf.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, isFn := callee(p.Info, call).(*types.Func)
+			if !isFn || fn.Name() != "Access" || seen[call.Pos()] {
+				return true
+			}
+			sig, isSig := fn.Type().(*types.Signature)
+			if !isSig || sig.Recv() == nil || !namedFrom(sig.Recv().Type(), "mosaic/internal/trace", "Sink") {
+				return true
+			}
+			seen[call.Pos()] = true
+			out = append(out, p.diag("batchparity", call.Pos(),
+				"Sink.Access on %s's emit path: the generator implements trace.BatchRunner, so emit through the concrete *trace.Batcher instead of per-ref interface dispatch",
+				typeName))
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
 }
 
 // firstParamObj returns the object of fd's first named parameter, or nil.

@@ -111,7 +111,7 @@ func TestTouchesGatePaths(t *testing.T) {
 		{[]string{"figure6.go"}, true},                     // root pin
 		{[]string{"internal/lint/bce.baseline"}, true},     // baseline edit
 		{[]string{"internal/lint/lockflow.go"}, true},      // analyzer edit
-		{[]string{"internal/workloads/gups.go"}, false},    // cold package
+		{[]string{"internal/results/results.go"}, false},   // cold package
 		{[]string{"README.md", "scripts/check.sh"}, false}, // no Go at all
 		{nil, false},
 	}

@@ -45,6 +45,7 @@ var HotPathPackages = []string{
 	"./internal/cache",
 	"./internal/iceberg",
 	"./internal/trace",
+	"./internal/workloads",
 }
 
 // EscapeBaselineFile is the checked-in baseline, relative to the module

@@ -69,6 +69,13 @@ var InlinePins = []InlinePin{
 	{"internal/trace/batch.go", "Ref.VA", "batch consumers unpack the VA in their inner loop"},
 	{"internal/trace/batch.go", "Ref.Write", "batch consumers unpack the write bit in their inner loop"},
 	{"internal/trace/batch.go", "MakeRef", "batch producers pack references in their inner loop"},
+	{"internal/workloads/arena.go", "(*U64Array).GetB", "batch-native emit: packed store straight into the batcher buffer"},
+	{"internal/workloads/arena.go", "(*U64Array).SetB", "batch-native emit: packed store straight into the batcher buffer"},
+	{"internal/workloads/arena.go", "(*F64Array).GetB", "batch-native emit: packed store straight into the batcher buffer"},
+	{"internal/workloads/arena.go", "(*F64Array).SetB", "batch-native emit: packed store straight into the batcher buffer"},
+	{"internal/workloads/arena.go", "(*U32Array).GetB", "batch-native emit: packed store straight into the batcher buffer"},
+	{"internal/workloads/arena.go", "(*U32Array).SetB", "batch-native emit: packed store straight into the batcher buffer"},
+	{"internal/trace/batch.go", "GetBatcher", "pooled batcher checkout at the head of every batch-native run"},
 }
 
 // InlineGatePatterns are the build patterns the gate compiles: the hot-path

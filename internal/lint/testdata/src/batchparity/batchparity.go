@@ -82,3 +82,40 @@ func replayScalar(b trace.Batch, s trace.Sink) {
 func replayBatch(b trace.Batch, s trace.Sink) {
 	b.Replay(s)
 }
+
+// scalarEmitter claims a batch leg but keeps its generation loop on the
+// trace.Sink interface: every reference still pays a dynamic dispatch, so
+// the batch leg is native in name only.
+type scalarEmitter struct {
+	n int
+}
+
+func (g *scalarEmitter) emit(sink trace.Sink) {
+	for i := 0; i < g.n; i++ {
+		sink.Access(uint64(i)<<12, false) // want "emit through the concrete"
+	}
+}
+
+func (g *scalarEmitter) Run(sink trace.Sink) { g.emit(sink) }
+
+func (g *scalarEmitter) RunBatches(sink trace.BatchSink) {
+	b := trace.NewBatcher(sink, 0)
+	g.emit(b)
+	b.Flush()
+}
+
+// batchEmitter generates on the concrete batcher; the scalar leg unrolls
+// the same batches through the sanctioned adapter. Clean.
+type batchEmitter struct {
+	n int
+}
+
+func (g *batchEmitter) Run(sink trace.Sink) { g.RunBatches(trace.BatchSinkOf(sink)) }
+
+func (g *batchEmitter) RunBatches(sink trace.BatchSink) {
+	b := trace.NewBatcher(sink, 0)
+	for i := 0; i < g.n; i++ {
+		b.Access(uint64(i)<<12, i&1 == 0)
+	}
+	b.Flush()
+}

@@ -1,5 +1,7 @@
 package trace
 
+import "sync"
+
 // Batched replay: the scalar Sink interface costs one dynamic dispatch per
 // reference, which caps replay throughput long before the simulator's own
 // work does. A Batch packs many references into one contiguous []Ref so the
@@ -96,22 +98,70 @@ func NewBatcher(next BatchSink, size int) *Batcher {
 	return &Batcher{Next: next, buf: make(Batch, size)}
 }
 
-// Access implements Sink.
+// Access implements Sink. The body is MakeRef flattened by hand and the
+// batch-boundary store lives out of line in deliver: what remains — pack,
+// store, increment, one compare — sits under the compiler's inlining budget,
+// so producers that call Access on the concrete *Batcher get the whole fast
+// path inlined into their innermost loop.
 func (b *Batcher) Access(va uint64, write bool) {
-	b.buf[b.i] = MakeRef(va, write)
-	b.i++
-	if b.i == len(b.buf) {
-		b.Next.ProcessBatch(b.buf)
-		b.i = 0
+	r := Ref(va << 1)
+	if write {
+		r |= 1
 	}
+	if b.i == len(b.buf)-1 {
+		b.deliver(r)
+		return
+	}
+	b.buf[b.i] = r
+	b.i++
 }
 
-// Flush delivers the buffered tail, if any.
+// deliver stores the batch's final reference and hands the full buffer
+// downstream. It must stay out of line: inlined into Access, its dynamic
+// ProcessBatch call would push Access past the inlining budget, putting a
+// call back into every producer's innermost loop.
+//
+//go:noinline
+func (b *Batcher) deliver(r Ref) {
+	b.buf[b.i] = r
+	b.Next.ProcessBatch(b.buf)
+	b.i = 0
+}
+
+// Flush delivers the buffered tail, if any. A stream ending mid-buffer hands
+// its partial batch downstream exactly once: delivery resets the fill index,
+// so a second Flush (or one right after a full-batch boundary) is a no-op.
 func (b *Batcher) Flush() {
 	if b.i > 0 {
 		b.Next.ProcessBatch(b.buf[:b.i])
 		b.i = 0
 	}
+}
+
+// batcherPool recycles Batcher buffers across workload runs so a generator's
+// whole batch leg costs no per-run allocation beyond the pool hit.
+var batcherPool = sync.Pool{
+	New: func() any { return &Batcher{buf: make(Batch, DefaultBatchSize)} },
+}
+
+// GetBatcher returns a pooled Batcher (DefaultBatchSize) delivering to next.
+// Return it with PutBatcher when the run ends; the caller still flushes the
+// tail itself, on the normal path only, so an aborted run delivers nothing
+// past its abort point.
+func GetBatcher(next BatchSink) *Batcher {
+	b := batcherPool.Get().(*Batcher)
+	b.Next = next
+	b.i = 0
+	return b
+}
+
+// PutBatcher recycles b. Safe to call with undelivered references buffered
+// (an aborted run): they are discarded, never delivered. The sink reference
+// is dropped so the pool does not pin it.
+func PutBatcher(b *Batcher) {
+	b.Next = nil
+	b.i = 0
+	batcherPool.Put(b)
 }
 
 var (

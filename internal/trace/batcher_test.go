@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"testing"
+)
+
+// batchRecorder copies every delivered batch (the Batcher reuses its buffer,
+// so retaining the slice would alias later batches).
+type batchRecorder struct {
+	batches [][]Ref
+}
+
+func (r *batchRecorder) ProcessBatch(b Batch) {
+	cp := make([]Ref, len(b))
+	copy(cp, b)
+	r.batches = append(r.batches, cp)
+}
+
+func (r *batchRecorder) refs() []Ref {
+	var out []Ref
+	for _, b := range r.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// TestBatcherTailFlushedExactlyOnce is the tail-handling contract: a stream
+// whose length is not a multiple of the batch size delivers its partial tail
+// exactly once, and a second Flush delivers nothing more.
+func TestBatcherTailFlushedExactlyOnce(t *testing.T) {
+	const size = 8
+	for _, n := range []int{1, size - 1, size, size + 1, 3*size - 5, 3 * size} {
+		var rec batchRecorder
+		b := NewBatcher(&rec, size)
+		for i := 0; i < n; i++ {
+			b.Access(uint64(i)<<12, i%3 == 0)
+		}
+		b.Flush()
+		b.Flush() // must be a no-op: the tail was already delivered
+
+		refs := rec.refs()
+		if len(refs) != n {
+			t.Fatalf("n=%d: delivered %d refs, want %d", n, len(refs), n)
+		}
+		for i, r := range refs {
+			if r.VA() != uint64(i)<<12 || r.Write() != (i%3 == 0) {
+				t.Fatalf("n=%d: ref %d = (%#x, %v), want (%#x, %v)",
+					n, i, r.VA(), r.Write(), uint64(i)<<12, i%3 == 0)
+			}
+		}
+		// Every batch but the last must be exactly full; the last carries
+		// the remainder (or a full batch when n divides evenly).
+		for bi, batch := range rec.batches {
+			want := size
+			if bi == len(rec.batches)-1 {
+				if tail := n % size; tail != 0 {
+					want = tail
+				}
+			}
+			if len(batch) != want {
+				t.Fatalf("n=%d: batch %d has %d refs, want %d", n, bi, len(batch), want)
+			}
+		}
+	}
+}
+
+// TestBatcherFlushOnEmptyDeliversNothing covers the two empty cases: a
+// Batcher that never saw a reference, and one flushed right at a full-batch
+// boundary. Neither may deliver an empty batch.
+func TestBatcherFlushOnEmptyDeliversNothing(t *testing.T) {
+	var rec batchRecorder
+	b := NewBatcher(&rec, 4)
+	b.Flush()
+	if len(rec.batches) != 0 {
+		t.Fatalf("Flush on fresh Batcher delivered %d batches, want 0", len(rec.batches))
+	}
+	for i := 0; i < 4; i++ {
+		b.Access(uint64(i), false)
+	}
+	if len(rec.batches) != 1 {
+		t.Fatalf("full buffer delivered %d batches, want 1", len(rec.batches))
+	}
+	b.Flush()
+	if len(rec.batches) != 1 {
+		t.Fatalf("Flush at batch boundary delivered %d batches, want 1", len(rec.batches))
+	}
+}
+
+// TestGetBatcherReusesCleanState exercises the pool round-trip: a Batcher
+// returned with buffered (aborted) references must come back empty, deliver
+// to the new sink only, and use the default batch size.
+func TestGetBatcherReusesCleanState(t *testing.T) {
+	var abandoned batchRecorder
+	b := GetBatcher(&abandoned)
+	for i := 0; i < 100; i++ {
+		b.Access(uint64(i), false) // buffered, never flushed — an aborted run
+	}
+	PutBatcher(b)
+	if len(abandoned.batches) != 0 {
+		t.Fatalf("aborted refs were delivered: %d batches", len(abandoned.batches))
+	}
+
+	var rec batchRecorder
+	b2 := GetBatcher(&rec)
+	b2.Access(0x1000, true)
+	b2.Flush()
+	if got := rec.refs(); len(got) != 1 || got[0].VA() != 0x1000 || !got[0].Write() {
+		t.Fatalf("pooled Batcher delivered %v, want exactly [(0x1000, write)]", got)
+	}
+	if len(rec.batches[0]) != 1 {
+		t.Fatalf("pooled Batcher tail had %d refs, want 1 (stale fill index?)", len(rec.batches[0]))
+	}
+	PutBatcher(b2)
+}

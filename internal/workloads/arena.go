@@ -71,6 +71,19 @@ func (arr *U64Array) Set(sink trace.Sink, i int, v uint64) {
 	arr.Data[i] = v
 }
 
+// GetB is Get's batch leg: the reference is packed straight into the
+// batcher's buffer, no interface dispatch until a batch fills.
+func (arr *U64Array) GetB(b *trace.Batcher, i int) uint64 {
+	b.Access(arr.Addr(i), false)
+	return arr.Data[i]
+}
+
+// SetB is Set's batch leg.
+func (arr *U64Array) SetB(b *trace.Batcher, i int, v uint64) {
+	b.Access(arr.Addr(i), true)
+	arr.Data[i] = v
+}
+
 // Len is the element count.
 func (arr *U64Array) Len() int { return len(arr.Data) }
 
@@ -100,6 +113,18 @@ func (arr *F64Array) Set(sink trace.Sink, i int, v float64) {
 	arr.Data[i] = v
 }
 
+// GetB is Get's batch leg.
+func (arr *F64Array) GetB(b *trace.Batcher, i int) float64 {
+	b.Access(arr.Addr(i), false)
+	return arr.Data[i]
+}
+
+// SetB is Set's batch leg.
+func (arr *F64Array) SetB(b *trace.Batcher, i int, v float64) {
+	b.Access(arr.Addr(i), true)
+	arr.Data[i] = v
+}
+
 // Len is the element count.
 func (arr *F64Array) Len() int { return len(arr.Data) }
 
@@ -126,6 +151,18 @@ func (arr *U32Array) Get(sink trace.Sink, i int) uint32 {
 // Set writes element i, emitting the reference.
 func (arr *U32Array) Set(sink trace.Sink, i int, v uint32) {
 	sink.Access(arr.Addr(i), true)
+	arr.Data[i] = v
+}
+
+// GetB is Get's batch leg.
+func (arr *U32Array) GetB(b *trace.Batcher, i int) uint32 {
+	b.Access(arr.Addr(i), false)
+	return arr.Data[i]
+}
+
+// SetB is Set's batch leg.
+func (arr *U32Array) SetB(b *trace.Batcher, i int, v uint32) {
+	b.Access(arr.Addr(i), true)
 	arr.Data[i] = v
 }
 

@@ -97,15 +97,22 @@ func (t *BTree) FootprintBytes() uint64 {
 // Depth is the tree height after Run.
 func (t *BTree) Depth() int { return t.depth }
 
-// Run implements Workload: bulk-load the index, then perform random point
-// lookups.
-func (t *BTree) Run(sink trace.Sink) {
+// Run implements Workload. The build and lookup loops live on the batch
+// leg; the scalar path unrolls the same batches through the sink, so both
+// legs emit the identical reference stream by construction.
+func (t *BTree) Run(sink trace.Sink) { t.RunBatches(trace.BatchSinkOf(sink)) }
+
+// RunBatches implements trace.BatchRunner: bulk-load the index, then
+// perform random point lookups, emitting whole batches.
+func (t *BTree) RunBatches(sink trace.BatchSink) {
+	b := trace.GetBatcher(sink)
+	defer trace.PutBatcher(b)
 	rnd := rng.Derive(t.cfg.Seed, 0x6274726565) // "btree"
-	t.build(sink, rnd)
+	t.build(b, rnd)
 	hits := 0
 	for i := 0; i < t.cfg.Lookups; i++ {
 		key := t.keys[rnd.Intn(len(t.keys))]
-		if _, ok := t.Lookup(sink, key); ok {
+		if _, ok := t.lookup(b, key); ok {
 			hits++
 		}
 	}
@@ -113,11 +120,12 @@ func (t *BTree) Run(sink trace.Sink) {
 		//lint:ignore nopanic lookups draw from t.keys, all of which were bulk-loaded into the tree
 		panic(fmt.Sprintf("btree: %d/%d lookups found their key", hits, t.cfg.Lookups))
 	}
+	b.Flush()
 }
 
 // build bulk-loads the tree from sorted random keys, writing every slot of
 // every node to the simulated heap.
-func (t *BTree) build(sink trace.Sink, rng *rand.Rand) {
+func (t *BTree) build(sink *trace.Batcher, rng *rand.Rand) {
 	keys := make([]uint64, 0, t.cfg.Keys)
 	seen := make(map[uint64]bool, t.cfg.Keys)
 	for len(keys) < t.cfg.Keys {
@@ -184,9 +192,21 @@ func minKey(n *bnode) uint64 {
 	return n.keys[0]
 }
 
-// Lookup performs one point lookup, emitting every node slot it reads:
-// a binary-search probe sequence in each node plus the child-pointer read.
+// Lookup performs one point lookup, emitting every node slot it reads.
+// The probe sequence is generated on the batch leg and unrolled through
+// the sink, so standalone lookups (the database example) emit exactly the
+// references a batched run would.
 func (t *BTree) Lookup(sink trace.Sink, key uint64) (uint64, bool) {
+	b := trace.GetBatcher(trace.BatchSinkOf(sink))
+	defer trace.PutBatcher(b)
+	v, ok := t.lookup(b, key)
+	b.Flush()
+	return v, ok
+}
+
+// lookup is one point lookup on the batch leg: a binary-search probe
+// sequence in each node plus the child-pointer read.
+func (t *BTree) lookup(sink *trace.Batcher, key uint64) (uint64, bool) {
 	n := t.root
 	for {
 		// Binary search for the upper bound of key among n.keys.
@@ -216,6 +236,15 @@ func (t *BTree) Lookup(sink trace.Sink, key uint64) (uint64, bool) {
 // RangeScan reads count consecutive keys starting at the smallest key ≥
 // from, following the leaf chain (used by the database example).
 func (t *BTree) RangeScan(sink trace.Sink, from uint64, count int) []uint64 {
+	b := trace.GetBatcher(trace.BatchSinkOf(sink))
+	defer trace.PutBatcher(b)
+	out := t.rangeScan(b, from, count)
+	b.Flush()
+	return out
+}
+
+// rangeScan is RangeScan's batch leg.
+func (t *BTree) rangeScan(sink *trace.Batcher, from uint64, count int) []uint64 {
 	n := t.root
 	for !n.leaf {
 		lo, hi := 0, len(n.keys)

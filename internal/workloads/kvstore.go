@@ -135,22 +135,31 @@ func (kv *KVStore) FootprintBytes() uint64 { return kv.arena.Size() }
 // Keys is the number of stored keys.
 func (kv *KVStore) Keys() int { return kv.cfg.Keys }
 
-// Run implements Workload: a Zipf-distributed GET/SET stream.
-func (kv *KVStore) Run(sink trace.Sink) {
+// Run implements Workload. The request loop lives on the batch leg; the
+// scalar path unrolls the same batches through the sink, so both legs emit
+// the identical reference stream by construction.
+func (kv *KVStore) Run(sink trace.Sink) { kv.RunBatches(trace.BatchSinkOf(sink)) }
+
+// RunBatches implements trace.BatchRunner: a Zipf-distributed GET/SET
+// stream, emitted in whole batches.
+func (kv *KVStore) RunBatches(sink trace.BatchSink) {
+	b := trace.GetBatcher(sink)
+	defer trace.PutBatcher(b)
 	rnd := rng.Derive(kv.cfg.Seed, 0x72657175657374) // "request"
 	z := newZipf(rnd, kv.cfg.ZipfS, kv.cfg.Keys)
 	for op := 0; op < kv.cfg.Ops; op++ {
 		key := z.next()
 		if rnd.Float64() < kv.cfg.ReadFraction {
-			kv.get(sink, key)
+			kv.get(b, key)
 		} else {
-			kv.set(sink, key)
+			kv.set(b, key)
 		}
 	}
+	b.Flush()
 }
 
 // get walks the key's bucket chain and reads the value.
-func (kv *KVStore) get(sink trace.Sink, key int) {
+func (kv *KVStore) get(sink *trace.Batcher, key int) {
 	h := kv.entryHash[key]
 	b := int(h & uint64(kv.numBuckets-1))
 	sink.Access(kv.buckets.Addr(b), false) // bucket head pointer
@@ -172,7 +181,7 @@ func (kv *KVStore) get(sink trace.Sink, key int) {
 }
 
 // set walks the chain like get, then overwrites the value.
-func (kv *KVStore) set(sink trace.Sink, key int) {
+func (kv *KVStore) set(sink *trace.Batcher, key int) {
 	h := kv.entryHash[key]
 	b := int(h & uint64(kv.numBuckets-1))
 	sink.Access(kv.buckets.Addr(b), false)

@@ -14,6 +14,14 @@ import (
 )
 
 // Workload is a runnable benchmark emitting its reference stream.
+//
+// Every workload in this package also implements trace.BatchRunner: the
+// access-pattern loops emit through a pooled trace.Batcher, so whole
+// trace.Batches — write bit packed at generation time — cross the sink
+// boundary instead of one interface call per reference. The scalar Run is a
+// thin delegate that unrolls those same batches through the sink
+// (trace.BatchSinkOf), which makes the two legs emit the identical
+// reference stream by construction: there is only one generation source.
 type Workload interface {
 	// Name is the workload's short name ("graph500", "btree", …).
 	Name() string
@@ -22,6 +30,16 @@ type Workload interface {
 	// Run executes the workload, emitting every data reference into sink.
 	Run(sink trace.Sink)
 }
+
+// Every workload generates batch-natively; the replay harness dispatches on
+// this capability.
+var (
+	_ trace.BatchRunner = (*Graph500)(nil)
+	_ trace.BatchRunner = (*BTree)(nil)
+	_ trace.BatchRunner = (*GUPS)(nil)
+	_ trace.BatchRunner = (*XSBench)(nil)
+	_ trace.BatchRunner = (*KVStore)(nil)
+)
 
 // Registry constructs the paper's four workloads at a common scale.
 // footprintBytes is a target heap size; each constructor picks its natural

@@ -55,6 +55,11 @@ go test -run='^$' -fuzz=FuzzBatchEncodeDecode -fuzztime=3s ./internal/trace
 # scalar Access path, for a fig6-style replay and a multiprogram
 # quantum-sliced replay.
 go test -run 'TestBatchReplayMatchesScalar' -count=1 .
+# Generator batch ≡ scalar gate: batch-native generation (RunBatches into
+# the simulator's ProcessBatch) must yield byte-identical results files to
+# the scalar Run leg for every workload, plus one fig6 cell (sampled and
+# unsampled) and one table3 cell.
+go test -run 'TestGeneratorBatchMatchesScalarAllWorkloads|TestFigure6CellGeneratorBatchMatchesScalar|TestTable3CellGeneratorBatchMatchesScalar' -count=1 .
 
 # Smoke-test the machine-readable results path: a tiny fig6 run must
 # produce JSON that parses and carries the current schema version
